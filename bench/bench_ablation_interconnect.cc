@@ -1,0 +1,80 @@
+// Interconnect ablation: what happens when cross-ISP capacity is an
+// explicit shared bottleneck rather than a fixed latency penalty. This is
+// the ISP-side motivation of the paper made concrete — if P2P selection is
+// topology-blind, the cross-ISP pipes must carry the stream many times
+// over; with PPLive's emergent locality they barely notice the swarm.
+//
+// Reports, for decreasing TELE<->CNC interconnect capacity, the probe's
+// locality and continuity under the PPLive policy vs the tracker-only
+// baseline. As the pipe shrinks, the baseline's viewers start to starve
+// while the locality-forming policy keeps streaming.
+
+#include <cstdio>
+#include <iostream>
+
+#include "figures_common.h"
+
+namespace {
+
+using namespace ppsim;
+
+struct Row {
+  double locality = 0;
+  double continuity = 0;
+  double cross_mb = 0;
+};
+
+Row run(const bench::Scale& scale, baseline::Strategy strategy,
+        double pipe_bps) {
+  auto config = bench::popular_config(scale, {core::tele_probe()});
+  config.strategy = strategy;
+  if (pipe_bps > 0) {
+    net::InterconnectConfig ic;
+    ic.default_bps = pipe_bps;
+    config.interconnects = ic;
+  }
+  auto result = core::run_experiment(config);
+  Row row;
+  row.locality = result.probes.front().analysis.byte_locality(
+      result.probes.front().category);
+  row.continuity = result.swarm.avg_continuity;
+  row.cross_mb = static_cast<double>(result.traffic.cross_isp()) / 1e6;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Scale scale = bench::parse_flags(argc, argv);
+  scale.minutes = std::min(scale.minutes, 8);
+  bench::print_banner(std::cout,
+                      "Ablation: shared inter-ISP bottleneck capacity",
+                      scale);
+
+  constexpr double kPipes[] = {0, 100e6, 40e6, 15e6};
+  std::printf("%-14s | %28s | %28s\n", "", "pplive-referral",
+              "tracker-only");
+  std::printf("%-14s | %9s %9s %8s | %9s %9s %8s\n", "pipe capacity", "loc",
+              "contin", "crossMB", "loc", "contin", "crossMB");
+  for (double pipe : kPipes) {
+    Row pplive = run(scale, baseline::Strategy::kPplive, pipe);
+    Row tracker = run(scale, baseline::Strategy::kTrackerOnly, pipe);
+    char label[32];
+    if (pipe == 0)
+      std::snprintf(label, sizeof label, "unlimited");
+    else
+      std::snprintf(label, sizeof label, "%.0f Mbps", pipe / 1e6);
+    std::printf("%-14s | %8.1f%% %8.1f%% %8.1f | %8.1f%% %8.1f%% %8.1f\n",
+                label, 100 * pplive.locality, 100 * pplive.continuity,
+                pplive.cross_mb, 100 * tracker.locality,
+                100 * tracker.continuity, tracker.cross_mb);
+  }
+  std::printf(
+      "\nExpected shape: with any finite pipe, cross-ISP data slows and\n"
+      "drops, so the latency-driven mechanisms push locality to ~100%% and\n"
+      "cross-ISP volume collapses by an order of magnitude — but viewers in\n"
+      "ISPs with thin same-ISP supply pay for it in continuity. The swarm\n"
+      "fragments into ISP islands: the regime ISP throttling (the paper's\n"
+      "Comcast/BitTorrent example) pushes P2P systems into.\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Protocol ablation for the design decisions DESIGN.md calls out, plus a
+// check of the reverse-engineered protocol constants (paper Section 2):
+//
+//   * tracker-query decay: once healthy, ~1 query per 5 minutes;
+//   * gossip every 20 s, peer lists capped at 60 addresses;
+//   * neighborhood optimization (latency-driven turnover);
+//   * connect-on-arrival racing;
+//   * scheduler latency selectivity.
+//
+// Every variant cell is the mean over a few seeds (single runs are noisy).
+
+#include <cstdio>
+#include <iostream>
+
+#include "figures_common.h"
+
+namespace {
+
+using namespace ppsim;
+
+constexpr int kSeeds = 3;
+
+struct VariantResult {
+  double locality = 0;
+  double continuity = 0;
+};
+
+template <typename ConfigMutator>
+VariantResult run_variant(const bench::Scale& scale, ConfigMutator mutate) {
+  VariantResult out;
+  for (int s = 0; s < kSeeds; ++s) {
+    bench::Scale seeded = scale;
+    seeded.seed = scale.seed + static_cast<std::uint64_t>(s) * 104729;
+    auto config = bench::popular_config(seeded, {core::tele_probe()});
+    mutate(config);
+    auto result = core::run_experiment(config);
+    out.locality += result.probes.front().analysis.byte_locality(
+        result.probes.front().category);
+    out.continuity += result.probes.front().counters.continuity();
+  }
+  out.locality /= kSeeds;
+  out.continuity /= kSeeds;
+  return out;
+}
+
+void print_row(const char* label, const VariantResult& r) {
+  std::printf("%-44s %9.1f%% %11.1f%%\n", label, 100.0 * r.locality,
+              100.0 * r.continuity);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Scale scale = bench::parse_flags(argc, argv);
+  bench::print_banner(std::cout, "Ablation: protocol knobs", scale);
+
+  // --- Protocol-constant check on a default run ---
+  auto config = bench::popular_config(scale, {core::tele_probe()});
+  auto result = core::run_experiment(config);
+  const auto& counters = result.probes.front().counters;
+  const double minutes = static_cast<double>(scale.minutes);
+  std::printf("protocol constants (probe counters over %.0f sim-min):\n",
+              minutes);
+  std::printf("  tracker queries: %llu (%.2f/min; 5-min steady period => "
+              "~%.2f/min + initial sweep)\n",
+              static_cast<unsigned long long>(counters.tracker_queries_sent),
+              static_cast<double>(counters.tracker_queries_sent) / minutes,
+              1.0 / 5.0);
+  std::printf("  gossip queries sent: %llu (%.2f/min; 20-s period x fanout "
+              "2 => ~6/min + per-connect queries)\n",
+              static_cast<unsigned long long>(counters.gossip_queries_sent),
+              static_cast<double>(counters.gossip_queries_sent) / minutes);
+  std::printf("  lists received from peers: %llu, from trackers: %llu "
+              "(paper: mostly from peers)\n",
+              static_cast<unsigned long long>(
+                  result.probes.front().analysis.lists_from_peers),
+              static_cast<unsigned long long>(
+                  result.probes.front().analysis.lists_from_trackers));
+  std::printf("  neighbor turnover: %llu optimized drops; handshake races "
+              "lost: %llu\n\n",
+              static_cast<unsigned long long>(
+                  counters.neighbors_dropped_optimized),
+              static_cast<unsigned long long>(counters.connects_lost_race));
+
+  // --- Knob ablations (means over seeds) ---
+  std::printf("%-44s %10s %12s\n", "variant (popular channel, TELE probe)",
+              "probe-loc", "continuity");
+  print_row("default (optimize 15s, selectivity 3.0)",
+            run_variant(scale, [](core::ExperimentConfig&) {}));
+  print_row("no neighborhood optimization",
+            run_variant(scale, [](core::ExperimentConfig& c) {
+              c.peer_config.optimize_period = sim::Time::hours(10);
+            }));
+  print_row("latency-blind request scheduling",
+            run_variant(scale, [](core::ExperimentConfig& c) {
+              c.peer_config.latency_selectivity = 0.0;
+            }));
+  print_row("no optimization + latency-blind scheduling",
+            run_variant(scale, [](core::ExperimentConfig& c) {
+              c.peer_config.optimize_period = sim::Time::hours(10);
+              c.peer_config.latency_selectivity = 0.0;
+            }));
+  print_row("slow gossip (60s instead of 20s)",
+            run_variant(scale, [](core::ExperimentConfig& c) {
+              c.peer_config.gossip_period = sim::Time::seconds(60);
+            }));
+
+  std::printf(
+      "\nExpected shape: the latency-driven mechanisms each contribute\n"
+      "locality; disabling them moves the probe toward the audience mix\n"
+      "(~56%% TELE) at similar continuity.\n");
+  return 0;
+}

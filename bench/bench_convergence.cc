@@ -1,0 +1,57 @@
+// Locality convergence (beyond the paper): how quickly the emergent
+// clustering builds up after a probe joins. The paper's probes measured
+// mature sessions; this bench shows the transient — the locality of the
+// probe's downloaded bytes per minute since join, for the PPLive policy and
+// the ablated variants. It is the calibration tool used to size the
+// capture windows of the figure benches.
+
+#include <cstdio>
+#include <iostream>
+
+#include "figures_common.h"
+
+namespace {
+
+using namespace ppsim;
+
+void run_variant(const char* label, const bench::Scale& scale,
+                 baseline::Strategy strategy) {
+  auto config = bench::popular_config(scale, {core::tele_probe()});
+  config.strategy = strategy;
+  config.scenario.duration = sim::Time::minutes(scale.minutes);
+  auto result = core::run_experiment(config);
+  const auto& probe = result.probes.front();
+  auto series = probe.analysis.locality_over_time(probe.category,
+                                                  sim::Time::minutes(1));
+  std::printf("%-20s", label);
+  for (const auto& point : series) {
+    if (point.bytes == 0)
+      std::printf("    - ");
+    else
+      std::printf(" %4.0f%%", 100.0 * point.locality);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Scale scale = bench::parse_flags(argc, argv);
+  scale.minutes = std::max(scale.minutes, 15);
+  bench::print_banner(std::cout,
+                      "Convergence: probe locality per minute since join",
+                      scale);
+
+  std::printf("%-20s minute-by-minute own-ISP share of downloaded bytes\n",
+              "strategy");
+  run_variant("pplive-referral", scale, baseline::Strategy::kPplive);
+  run_variant("tracker-only", scale, baseline::Strategy::kTrackerOnly);
+  run_variant("no-rush-referral", scale, baseline::Strategy::kNoRush);
+  run_variant("isp-biased-oracle", scale, baseline::Strategy::kIspBiased);
+
+  std::printf(
+      "\nExpected shape: pplive-referral climbs toward the oracle within\n"
+      "minutes (latency races + turnover compound); the ablations plateau\n"
+      "near the audience mix.\n");
+  return 0;
+}

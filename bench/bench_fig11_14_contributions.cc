@@ -1,0 +1,51 @@
+// Reproduces Figures 11-14: per-peer connections and contributions for the
+// four probe x channel combinations. Panels per figure:
+//   (a) unique peers connected for data transfer, by ISP
+//   (b) rank distribution of data requests: stretched-exponential fit
+//       (c, a, b, R2 in SE scale) vs Zipf fit (R2 in log-log)
+//   (c) CDF of traffic contributions: top-10% share
+//
+// Paper shapes: few unique data peers relative to listed IPs (<10-20% used);
+// request counts fit a stretched exponential (R2 ~0.95-0.998), clearly not
+// Zipf; top 10% of peers contribute ~67-86% of requests/traffic.
+//   Fig 11 (TELE-pop):    326 peers, c=0.35 a=5.48 b=32.1 R2=0.956, top10 73%
+//   Fig 12 (TELE-unpop):  226 peers, c=0.40 a=10.5 b=58.1 R2=0.987, top10 67%
+//   Fig 13 (Mason-pop):   233 peers, c=0.20 a=1.33 b=8.24 R2=0.998, top10 82%
+//   Fig 14 (Mason-unpop):  89 peers, c=0.30 a=6.35 b=29.1 R2=0.991, top10 77%
+
+#include <iostream>
+
+#include "core/report.h"
+#include "figures_common.h"
+
+namespace {
+
+using namespace ppsim;
+
+void report(const char* figure, const core::ProbeResult& probe) {
+  std::cout << "--- " << figure << " ---\n";
+  core::print_contributions(std::cout, probe.analysis);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Scale scale = bench::parse_flags(argc, argv);
+  bench::print_banner(
+      std::cout, "Figures 11-14: connections and contributions", scale);
+
+  auto popular = bench::run_days(
+      scale, /*popular=*/true, {core::tele_probe(), core::mason_probe()});
+  auto unpopular = bench::run_days(
+      scale, /*popular=*/false, {core::tele_probe(), core::mason_probe()});
+
+  report("Fig 11: TELE probe, popular", popular.probes[0]);
+  report("Fig 12: TELE probe, unpopular", unpopular.probes[0]);
+  report("Fig 13: Mason probe, popular", popular.probes[1]);
+  report("Fig 14: Mason probe, unpopular", unpopular.probes[1]);
+
+  std::cout << "Expected shape: SE fit beats Zipf in every panel; top-10% "
+               "share in the 50-90% band.\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Micro-benchmarks of the library's hot paths (google-benchmark): the
+// event queue, the ASN longest-prefix-match trie, the latency model, and
+// the distribution fitters. These bound the simulator's throughput and the
+// analysis cost per capture.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/fit.h"
+#include "net/asn_db.h"
+#include "net/latency.h"
+#include "net/prefix_alloc.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace ppsim;
+
+void BM_SimulatorScheduleRun(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    for (int i = 0; i < n; ++i) {
+      simulator.schedule(sim::Time::micros((i * 7919) % 100000), [] {});
+    }
+    benchmark::DoNotOptimize(simulator.run());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SimulatorScheduleRun)->Arg(1000)->Arg(100000);
+
+void BM_SimulatorSelfScheduling(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    int remaining = 100000;
+    std::function<void()> tick = [&] {
+      if (--remaining > 0) simulator.schedule(sim::Time::micros(10), tick);
+    };
+    simulator.schedule(sim::Time::micros(10), tick);
+    simulator.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_SimulatorSelfScheduling);
+
+void BM_AsnLookup(benchmark::State& state) {
+  auto registry = net::IspRegistry::standard_topology();
+  auto db = net::AsnDatabase::from_registry(registry);
+  net::PrefixAllocator alloc(registry);
+  std::vector<net::IpAddress> ips;
+  for (const auto& isp : registry.all())
+    for (int i = 0; i < 100; ++i) ips.push_back(alloc.allocate(isp.id));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.lookup(ips[i++ % ips.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AsnLookup);
+
+void BM_LatencySample(benchmark::State& state) {
+  net::LatencyModel model;
+  sim::Rng rng(1);
+  net::Endpoint a{net::IpAddress(0x3D800001), net::IspId{0},
+                  net::IspCategory::kTele};
+  net::Endpoint b{net::IpAddress(0x14000001), net::IspId{1},
+                  net::IspCategory::kCnc};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.sample_one_way(a, b, rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LatencySample);
+
+void BM_StretchedExpFit(benchmark::State& state) {
+  auto series = analysis::stretched_exponential_series(
+      static_cast<std::size_t>(state.range(0)), 0.35, 5.483);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::fit_stretched_exponential(series));
+  }
+}
+BENCHMARK(BM_StretchedExpFit)->Arg(326)->Arg(5000);
+
+void BM_RngFork(benchmark::State& state) {
+  sim::Rng rng(7);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    auto child = rng.fork(i++);
+    benchmark::DoNotOptimize(child.next_u64());
+  }
+}
+BENCHMARK(BM_RngFork);
+
+}  // namespace
+
+BENCHMARK_MAIN();

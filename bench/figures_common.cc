@@ -1,0 +1,83 @@
+#include "figures_common.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <ostream>
+
+namespace ppsim::bench {
+
+Scale parse_flags(int argc, char** argv) {
+  Scale scale;
+  for (int i = 1; i < argc; ++i) {
+    auto intval = [&](const char* name) -> long {
+      return (i + 1 < argc && std::strcmp(argv[i], name) == 0)
+                 ? std::strtol(argv[++i], nullptr, 10)
+                 : -1;
+    };
+    if (long v = intval("--viewers"); v > 0) {
+      scale.popular_viewers = static_cast<int>(v);
+      scale.unpopular_viewers = std::max(30, static_cast<int>(v * 64 / 300));
+    } else if (long m = intval("--minutes"); m > 0) {
+      scale.minutes = static_cast<int>(m);
+    } else if (long s = intval("--seed"); s > 0) {
+      scale.seed = static_cast<std::uint64_t>(s);
+    }
+  }
+  return scale;
+}
+
+core::ExperimentConfig popular_config(const Scale& scale,
+                                      std::vector<core::ProbeSpec> probes) {
+  core::ExperimentConfig config;
+  config.scenario = workload::popular_channel();
+  config.scenario.viewers = scale.popular_viewers;
+  config.scenario.duration = sim::Time::minutes(scale.minutes);
+  config.scenario.seed = scale.seed;
+  config.probes = std::move(probes);
+  return config;
+}
+
+core::ExperimentConfig unpopular_config(const Scale& scale,
+                                        std::vector<core::ProbeSpec> probes) {
+  core::ExperimentConfig config;
+  config.scenario = workload::unpopular_channel();
+  config.scenario.viewers = scale.unpopular_viewers;
+  config.scenario.duration = sim::Time::minutes(scale.minutes);
+  config.scenario.seed = scale.seed + 1;
+  config.probes = std::move(probes);
+  return config;
+}
+
+MultiDayResult run_days(const Scale& scale, bool popular,
+                        std::vector<core::ProbeSpec> probes, int days) {
+  MultiDayResult out;
+  for (int day = 0; day < days; ++day) {
+    Scale day_scale = scale;
+    day_scale.seed = scale.seed + static_cast<std::uint64_t>(day) * 1000003;
+    auto config = popular ? popular_config(day_scale, probes)
+                          : unpopular_config(day_scale, probes);
+    auto result = core::run_experiment(config);
+    for (std::size_t i = 0; i < net::kNumIspCategories; ++i)
+      for (std::size_t j = 0; j < net::kNumIspCategories; ++j)
+        out.traffic.bytes[i][j] += result.traffic.bytes[i][j];
+    if (day == 0) {
+      out.probes = std::move(result.probes);
+    } else {
+      for (std::size_t p = 0; p < out.probes.size(); ++p) {
+        capture::merge_into(out.probes[p].analysis,
+                            result.probes[p].analysis);
+      }
+    }
+  }
+  return out;
+}
+
+void print_banner(std::ostream& os, const char* what, const Scale& scale) {
+  os << "=== " << what << " ===\n"
+     << "(popular viewers=" << scale.popular_viewers
+     << ", unpopular viewers=" << scale.unpopular_viewers
+     << ", duration=" << scale.minutes << " sim-min, seed=" << scale.seed
+     << "; paper scale: thousands of viewers, 120 min)\n\n";
+}
+
+}  // namespace ppsim::bench

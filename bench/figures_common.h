@@ -1,0 +1,50 @@
+#pragma once
+
+// Shared harness for the figure-reproduction benches: flag parsing and the
+// standard experiment configurations corresponding to the paper's probe
+// deployments. Every bench accepts:
+//
+//   --viewers N     scale the popular channel's audience (default 300;
+//                   the unpopular channel gets a proportional share)
+//   --minutes M     capture duration in simulated minutes (default 10;
+//                   the paper captured 2-hour sessions — pass 120 to match)
+//   --seed S        reproducible run seed
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "core/experiment.h"
+#include "workload/scenario.h"
+
+namespace ppsim::bench {
+
+struct Scale {
+  int popular_viewers = 300;
+  int unpopular_viewers = 64;
+  int minutes = 10;
+  std::uint64_t seed = 20081012;  // a representative capture day (see Fig 6)
+};
+
+Scale parse_flags(int argc, char** argv);
+
+/// Experiment configs mirroring the paper's four headline workloads.
+core::ExperimentConfig popular_config(const Scale& scale,
+                                      std::vector<core::ProbeSpec> probes);
+core::ExperimentConfig unpopular_config(const Scale& scale,
+                                        std::vector<core::ProbeSpec> probes);
+
+/// Runs the workload on `days` consecutive capture days (distinct seeds)
+/// and merges each probe's analyses, like pooling several of the paper's
+/// daily measurement sessions. Stabilizes single-day variance while
+/// preserving every distributional shape. Traffic matrices are summed.
+struct MultiDayResult {
+  std::vector<core::ProbeResult> probes;  // analyses merged across days
+  core::TrafficMatrix traffic;
+};
+MultiDayResult run_days(const Scale& scale, bool popular,
+                        std::vector<core::ProbeSpec> probes, int days = 3);
+
+/// Prints the standard run banner (workload, scale, seed).
+void print_banner(std::ostream& os, const char* what, const Scale& scale);
+
+}  // namespace ppsim::bench

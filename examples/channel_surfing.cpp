@@ -1,0 +1,55 @@
+// Multi-channel deployment: two live channels share the bootstrap and
+// tracker infrastructure (as PPLive's 150+ channels did), viewers
+// channel-surf on departure, and one probe watches each channel. Shows
+// that locality emerges per channel even with a shared control plane and
+// cross-channel audience flow.
+
+#include <cstdio>
+
+#include "core/experiment.h"
+#include "core/report.h"
+#include "workload/scenario.h"
+
+int main() {
+  using namespace ppsim;
+
+  core::MultiChannelConfig config;
+  auto popular = workload::popular_channel();
+  popular.viewers = 160;
+  auto unpopular = workload::unpopular_channel();
+  unpopular.viewers = 50;
+  config.channels.push_back(
+      core::ChannelPlan{popular, {core::tele_probe()}});
+  config.channels.push_back(
+      core::ChannelPlan{unpopular, {core::tele_probe()}});
+  config.duration = sim::Time::minutes(8);
+  config.seed = 303;
+  config.surf_probability = 0.4;  // 40% of departing viewers switch channel
+
+  auto result = core::run_multi_channel(config);
+
+  std::printf("two channels, shared trackers, surf probability %.0f%%\n\n",
+              100.0 * config.surf_probability);
+  std::printf("%-10s %-8s %10s %12s %12s\n", "channel", "probe", "locality",
+              "uniq-peers", "continuity");
+  for (const auto& probe : result.probes) {
+    std::printf("%-10u %-8s %9.1f%% %12llu %11.1f%%\n", probe.channel,
+                probe.label.c_str(),
+                100.0 * probe.analysis.byte_locality(probe.category),
+                static_cast<unsigned long long>(
+                    probe.analysis.unique_data_peers.total()),
+                100.0 * probe.counters.continuity());
+  }
+
+  std::uint64_t surf_arrivals[3] = {};
+  for (const auto& s : result.sessions)
+    if (s.channel <= 2) ++surf_arrivals[s.channel];
+  std::printf("\nsessions observed: channel 1: %llu, channel 2: %llu "
+              "(initial audiences: %d and %d — the surplus surfed)\n",
+              static_cast<unsigned long long>(surf_arrivals[1]),
+              static_cast<unsigned long long>(surf_arrivals[2]),
+              popular.viewers, unpopular.viewers);
+  std::printf("swarm-wide intra-ISP share: %s\n",
+              core::pct(result.traffic.locality()).c_str());
+  return 0;
+}

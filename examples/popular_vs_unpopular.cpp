@@ -1,0 +1,52 @@
+// Compares what probes in different ISPs observe on a popular vs an
+// unpopular live channel — the paper's central experimental contrast
+// (Figures 2-5): locality is strong everywhere on the popular channel, but
+// degrades for observers whose ISP has too few viewers of a thin channel.
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/experiment.h"
+#include "core/report.h"
+#include "workload/scenario.h"
+
+namespace {
+
+using namespace ppsim;
+
+void run_channel(workload::ScenarioSpec scenario, const char* title) {
+  scenario.duration = sim::Time::minutes(8);
+  scenario.seed = 77;
+
+  core::ExperimentConfig config;
+  config.scenario = std::move(scenario);
+  config.probes = {core::tele_probe(), core::cnc_probe(),
+                   core::mason_probe()};
+  auto result = core::run_experiment(config);
+
+  std::printf("%s (%d viewers)\n", title, config.scenario.viewers);
+  std::printf("  %-6s %-10s %10s %12s %12s\n", "probe", "ISP", "locality",
+              "unique-peers", "continuity");
+  for (const auto& probe : result.probes) {
+    std::printf("  %-6s %-10s %9.1f%% %12llu %11.1f%%\n", probe.label.c_str(),
+                std::string(net::to_string(probe.category)).c_str(),
+                100.0 * probe.analysis.byte_locality(probe.category),
+                static_cast<unsigned long long>(
+                    probe.analysis.unique_data_peers.total()),
+                100.0 * probe.counters.continuity());
+  }
+  std::printf("  swarm-wide intra-ISP share: %s\n\n",
+              core::pct(result.traffic.locality()).c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Popular vs unpopular channel, three probe sites\n\n";
+  run_channel(workload::popular_channel(), "POPULAR channel");
+  run_channel(workload::unpopular_channel(), "UNPOPULAR channel");
+  std::cout << "Expected: China probes stay local on both channels; the\n"
+               "Mason probe's locality collapses on the unpopular channel\n"
+               "because almost no foreign viewers watch it.\n";
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Uses the baseline library to contrast peer-selection strategies on the
+// same workload — the discussion of Sections 1 and 4 made runnable: how
+// much locality does PPLive's decentralized policy buy compared with
+// BitTorrent-style tracker selection, and how close does it get to an
+// oracle with full topology knowledge?
+
+#include <cstdio>
+#include <iostream>
+
+#include "baseline/policies.h"
+#include "core/experiment.h"
+#include "workload/scenario.h"
+
+int main() {
+  using namespace ppsim;
+
+  std::cout << "Peer-selection strategy comparison (popular channel, "
+               "TELE probe)\n\n";
+  std::printf("%-20s %12s %14s %12s\n", "strategy", "swarm-loc",
+              "crossISP-MB", "continuity");
+
+  for (auto strategy :
+       {baseline::Strategy::kPplive, baseline::Strategy::kTrackerOnly,
+        baseline::Strategy::kIspBiased, baseline::Strategy::kNoRush}) {
+    core::ExperimentConfig config;
+    config.scenario = workload::popular_channel();
+    config.scenario.viewers = 240;
+    config.scenario.duration = sim::Time::minutes(8);
+    config.scenario.seed = 9;
+    config.probes = {core::tele_probe()};
+    config.strategy = strategy;
+
+    auto result = core::run_experiment(config);
+    std::printf("%-20s %11.1f%% %14.1f %11.1f%%\n",
+                std::string(baseline::to_string(strategy)).c_str(),
+                100.0 * result.traffic.locality(),
+                static_cast<double>(result.traffic.cross_isp()) / 1e6,
+                100.0 * result.swarm.avg_continuity);
+  }
+
+  std::cout << "\nPPLive's referral policy recovers much of the oracle's\n"
+               "locality without any topology information — the paper's\n"
+               "headline observation.\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// The paper notes its workload characterization "provides a basis to
+// generate practical P2P streaming workloads for simulation based
+// studies". This example is that basis, made executable:
+//
+//  1. generate a synthetic per-peer request workload following the
+//     stretched-exponential model with the paper's fitted parameters
+//     (Figure 11(b): c=0.35, a=5.483, n=326);
+//  2. verify with the analysis library that the synthetic workload has the
+//     paper's statistical fingerprints (SE fit beats Zipf, top-10% share);
+//  3. generate a 28-day audience plan with the campaign model.
+
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/cdf.h"
+#include "analysis/fit.h"
+#include "workload/campaign.h"
+#include "workload/scenario.h"
+
+int main() {
+  using namespace ppsim;
+
+  // --- 1. synthetic request workload, paper Fig 11(b) parameters ---
+  const std::size_t n_peers = 326;
+  const double c = 0.35, a = 5.483;
+  auto requests = analysis::stretched_exponential_series(n_peers, c, a);
+  std::printf("synthetic workload: %zu peers, rank-1 peer gets %.0f "
+              "requests, rank-%zu gets %.0f\n",
+              n_peers, requests.front(), n_peers, requests.back());
+
+  // --- 2. statistical fingerprints ---
+  auto se = analysis::fit_stretched_exponential(requests);
+  auto zipf = analysis::fit_zipf(requests);
+  std::printf("  SE fit:   c=%.2f a=%.3f b=%.3f R2=%.6f\n", se.c, se.a, se.b,
+              se.r2);
+  std::printf("  Zipf fit: alpha=%.3f R2=%.6f  (SE must beat this)\n",
+              zipf.alpha, zipf.r2);
+  std::printf("  top 10%% of peers issue %.1f%% of requests (paper: ~73%%)\n",
+              100.0 * analysis::top_share(requests, 0.10));
+
+  // --- 3. a 28-day audience plan ---
+  workload::CampaignConfig campaign;
+  campaign.seed = 1;
+  auto days = workload::campaign_scenarios(workload::popular_channel(),
+                                           campaign);
+  std::printf("\n28-day audience plan for '%s':\n", "popular-live");
+  std::printf("  day | viewers | foreign-share\n");
+  for (std::size_t d = 0; d < days.size(); d += 7) {
+    std::printf("  %3zu | %7d | %6.3f\n", d + 1, days[d].viewers,
+                days[d].mix[net::IspCategory::kForeign]);
+  }
+  std::printf("  (foreign share swings much harder than the audience size —\n"
+              "   the driver of the Mason probe's Figure-6 variance)\n");
+  return 0;
+}

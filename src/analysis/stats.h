@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ppsim::analysis {
+
+/// Arithmetic mean; 0 for an empty span.
+double mean(std::span<const double> xs);
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 points.
+double stddev(std::span<const double> xs);
+
+/// p-th percentile (0..100) by linear interpolation on the sorted copy.
+double percentile(std::span<const double> xs, double p);
+
+double median(std::span<const double> xs);
+
+/// Pearson correlation coefficient; 0 when either side is constant or the
+/// spans are shorter than 2 (no meaningful correlation).
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Sums of a span (convenience for share computations).
+double sum(std::span<const double> xs);
+
+/// Element-wise natural log; values <= 0 are clamped to `floor` first so
+/// log-space fits tolerate zero entries the way the paper's plots do.
+std::vector<double> log_transform(std::span<const double> xs,
+                                  double floor = 1e-12);
+
+}  // namespace ppsim::analysis

@@ -1,0 +1,37 @@
+#include "analysis/summary.h"
+
+#include <cstdio>
+#include <ostream>
+
+#include "analysis/stats.h"
+
+namespace ppsim::analysis {
+
+Summary describe(std::span<const double> xs) {
+  Summary s;
+  s.n = xs.size();
+  if (xs.empty()) return s;
+  s.mean = mean(xs);
+  s.stddev = stddev(xs);
+  s.min = percentile(xs, 0);
+  s.p25 = percentile(xs, 25);
+  s.median = percentile(xs, 50);
+  s.p75 = percentile(xs, 75);
+  s.max = percentile(xs, 100);
+  return s;
+}
+
+std::string to_string(const Summary& s) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "n=%zu mean=%.4g sd=%.4g min/p25/med/p75/max="
+                "%.4g/%.4g/%.4g/%.4g/%.4g",
+                s.n, s.mean, s.stddev, s.min, s.p25, s.median, s.p75, s.max);
+  return buf;
+}
+
+std::ostream& operator<<(std::ostream& os, const Summary& s) {
+  return os << to_string(s);
+}
+
+}  // namespace ppsim::analysis

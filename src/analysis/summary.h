@@ -1,0 +1,28 @@
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+namespace ppsim::analysis {
+
+/// Five-number-style descriptive summary of a sample.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0;
+  double stddev = 0;
+  double min = 0;
+  double p25 = 0;
+  double median = 0;
+  double p75 = 0;
+  double max = 0;
+};
+
+Summary describe(std::span<const double> xs);
+
+/// Renders "n=... mean=... sd=... min/p25/med/p75/max=..." on one line.
+std::string to_string(const Summary& s);
+
+std::ostream& operator<<(std::ostream& os, const Summary& s);
+
+}  // namespace ppsim::analysis

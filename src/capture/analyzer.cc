@@ -1,0 +1,315 @@
+#include "capture/analyzer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "analysis/cdf.h"
+#include "analysis/stats.h"
+
+namespace ppsim::capture {
+
+namespace {
+
+double avg_for_group(const std::vector<ResponseSample>& samples,
+                     net::ResponseGroup g) {
+  double acc = 0;
+  std::uint64_t n = 0;
+  for (const auto& s : samples) {
+    if (s.group == g) {
+      acc += s.response_seconds;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : acc / static_cast<double>(n);
+}
+
+}  // namespace
+
+double TraceAnalysis::avg_list_response(net::ResponseGroup g) const {
+  return avg_for_group(list_responses, g);
+}
+
+double TraceAnalysis::avg_data_response(net::ResponseGroup g) const {
+  return avg_for_group(data_responses, g);
+}
+
+std::uint64_t TraceAnalysis::response_count(
+    const std::vector<ResponseSample>& v, net::ResponseGroup g) const {
+  return static_cast<std::uint64_t>(
+      std::count_if(v.begin(), v.end(),
+                    [g](const ResponseSample& s) { return s.group == g; }));
+}
+
+std::vector<double> TraceAnalysis::request_rank_series() const {
+  std::vector<double> out;
+  out.reserve(peers.size());
+  for (const auto& p : peers)
+    out.push_back(static_cast<double>(p.data_requests_matched));
+  std::sort(out.begin(), out.end(), std::greater<>());
+  return out;
+}
+
+std::vector<double> TraceAnalysis::contribution_rank_series() const {
+  std::vector<double> out;
+  out.reserve(peers.size());
+  for (const auto& p : peers)
+    out.push_back(static_cast<double>(p.bytes_contributed));
+  std::sort(out.begin(), out.end(), std::greater<>());
+  return out;
+}
+
+double TraceAnalysis::top_request_share(double fraction) const {
+  return analysis::top_share(request_rank_series(), fraction);
+}
+
+double TraceAnalysis::top_contribution_share(double fraction) const {
+  return analysis::top_share(contribution_rank_series(), fraction);
+}
+
+analysis::StretchedExpFit TraceAnalysis::request_se_fit() const {
+  return analysis::fit_stretched_exponential(request_rank_series());
+}
+
+analysis::ZipfFit TraceAnalysis::request_zipf_fit() const {
+  return analysis::fit_zipf(request_rank_series());
+}
+
+double TraceAnalysis::rtt_request_correlation() const {
+  std::vector<double> log_req, log_rtt;
+  for (const auto& p : peers) {
+    if (p.data_requests_matched == 0 || p.min_response_seconds <= 0) continue;
+    log_req.push_back(std::log(static_cast<double>(p.data_requests_matched)));
+    log_rtt.push_back(std::log(p.min_response_seconds));
+  }
+  return analysis::pearson(log_req, log_rtt);
+}
+
+std::vector<TraceAnalysis::LocalityPoint> TraceAnalysis::locality_over_time(
+    net::IspCategory own, sim::Time bin) const {
+  std::vector<LocalityPoint> out;
+  if (data_events.empty() || bin <= sim::Time::zero()) return out;
+  const sim::Time t0 = data_events.front().request_time;
+  LocalityPoint current;
+  current.bin_start = t0;
+  std::uint64_t own_bytes = 0;
+  auto flush = [&] {
+    if (current.bytes > 0)
+      current.locality =
+          static_cast<double>(own_bytes) / static_cast<double>(current.bytes);
+    out.push_back(current);
+  };
+  for (const auto& ev : data_events) {
+    while (ev.request_time >= current.bin_start + bin) {
+      flush();
+      current = LocalityPoint{};
+      current.bin_start = out.back().bin_start + bin;
+      own_bytes = 0;
+    }
+    current.bytes += ev.bytes;
+    if (ev.server == own) own_bytes += ev.bytes;
+  }
+  flush();
+  return out;
+}
+
+void merge_into(TraceAnalysis& dst, const TraceAnalysis& src) {
+  for (std::size_t i = 0; i < net::kNumIspCategories; ++i) {
+    dst.returned_addresses.counts[i] += src.returned_addresses.counts[i];
+    dst.data_transmissions.counts[i] += src.data_transmissions.counts[i];
+    dst.data_bytes.counts[i] += src.data_bytes.counts[i];
+    dst.unique_data_peers.counts[i] += src.unique_data_peers.counts[i];
+  }
+  dst.unique_listed_ips += src.unique_listed_ips;
+  dst.lists_from_peers += src.lists_from_peers;
+  dst.lists_from_trackers += src.lists_from_trackers;
+  dst.list_requests_unanswered += src.list_requests_unanswered;
+
+  for (const auto& row : src.list_sources) {
+    auto it = std::find_if(dst.list_sources.begin(), dst.list_sources.end(),
+                           [&](const ListSourceRow& r) {
+                             return r.replier_category == row.replier_category &&
+                                    r.replier_is_tracker ==
+                                        row.replier_is_tracker;
+                           });
+    if (it == dst.list_sources.end()) {
+      dst.list_sources.push_back(row);
+    } else {
+      for (std::size_t i = 0; i < net::kNumIspCategories; ++i)
+        it->listed.counts[i] += row.listed.counts[i];
+    }
+  }
+
+  auto by_request_time = [](const ResponseSample& a, const ResponseSample& b) {
+    return a.request_time < b.request_time;
+  };
+  dst.list_responses.insert(dst.list_responses.end(),
+                            src.list_responses.begin(),
+                            src.list_responses.end());
+  std::sort(dst.list_responses.begin(), dst.list_responses.end(),
+            by_request_time);
+  dst.data_responses.insert(dst.data_responses.end(),
+                            src.data_responses.begin(),
+                            src.data_responses.end());
+  std::sort(dst.data_responses.begin(), dst.data_responses.end(),
+            by_request_time);
+
+  dst.data_events.insert(dst.data_events.end(), src.data_events.begin(),
+                         src.data_events.end());
+  std::sort(dst.data_events.begin(), dst.data_events.end(),
+            [](const DataEvent& a, const DataEvent& b) {
+              return a.request_time < b.request_time;
+            });
+
+  dst.peers.insert(dst.peers.end(), src.peers.begin(), src.peers.end());
+  std::sort(dst.peers.begin(), dst.peers.end(),
+            [](const PeerActivity& a, const PeerActivity& b) {
+              if (a.data_requests_matched != b.data_requests_matched)
+                return a.data_requests_matched > b.data_requests_matched;
+              return a.ip < b.ip;
+            });
+}
+
+TraceAnalysis analyze_trace(
+    const PacketTrace& trace, const net::AsnDatabase& asn_db,
+    net::IpAddress probe,
+    const std::unordered_set<net::IpAddress>& tracker_ips) {
+  TraceAnalysis out;
+
+  // Outstanding peer-list requests: latest request time per remote (the
+  // paper matches each reply to the latest request to the same address).
+  std::unordered_map<net::IpAddress, sim::Time> list_outstanding;
+  // Outstanding data requests keyed by (remote, chunk).
+  struct DataKey {
+    net::IpAddress ip;
+    proto::ChunkSeq chunk;
+    bool operator==(const DataKey&) const = default;
+  };
+  struct DataKeyHash {
+    std::size_t operator()(const DataKey& k) const {
+      return std::hash<net::IpAddress>{}(k.ip) ^
+             (std::hash<std::uint64_t>{}(k.chunk) * 0x9E3779B97F4A7C15ULL);
+    }
+  };
+  std::unordered_map<DataKey, sim::Time, DataKeyHash> data_outstanding;
+
+  std::unordered_set<net::IpAddress> listed_unique;
+  std::unordered_map<net::IpAddress, PeerActivity> activity;
+  // (replier category, is_tracker) -> row index in out.list_sources
+  std::map<std::pair<int, bool>, std::size_t> row_index;
+
+  auto category_of = [&](net::IpAddress ip) {
+    return asn_db.category_or_foreign(ip);
+  };
+
+  auto record_listed = [&](net::IpAddress replier, bool replier_is_tracker,
+                           const std::vector<net::IpAddress>& ips) {
+    const net::IspCategory replier_cat = category_of(replier);
+    const auto key = std::make_pair(static_cast<int>(replier_cat),
+                                    replier_is_tracker);
+    auto it = row_index.find(key);
+    if (it == row_index.end()) {
+      it = row_index.emplace(key, out.list_sources.size()).first;
+      out.list_sources.push_back(
+          ListSourceRow{replier_cat, replier_is_tracker, {}});
+    }
+    ListSourceRow& row = out.list_sources[it->second];
+    for (const auto& ip : ips) {
+      const net::IspCategory c = category_of(ip);
+      out.returned_addresses.add(c);
+      row.listed.add(c);
+      listed_unique.insert(ip);
+    }
+  };
+
+  for (const auto& rec : trace) {
+    if (rec.direction == net::Direction::kOutgoing) {
+      if (std::holds_alternative<proto::PeerListQuery>(rec.payload)) {
+        auto [it, inserted] = list_outstanding.try_emplace(rec.remote,
+                                                           rec.time);
+        if (!inserted) {
+          // Previous request was never answered; the newer one replaces it.
+          ++out.list_requests_unanswered;
+          it->second = rec.time;
+        }
+      } else if (const auto* dq =
+                     std::get_if<proto::DataQuery>(&rec.payload)) {
+        data_outstanding[DataKey{rec.remote, dq->chunk}] = rec.time;
+      }
+      continue;
+    }
+
+    // Incoming records.
+    if (const auto* tr = std::get_if<proto::TrackerReply>(&rec.payload)) {
+      ++out.lists_from_trackers;
+      record_listed(rec.remote, /*replier_is_tracker=*/true, tr->peers);
+    } else if (const auto* plr =
+                   std::get_if<proto::PeerListReply>(&rec.payload)) {
+      ++out.lists_from_peers;
+      record_listed(rec.remote, tracker_ips.contains(rec.remote), plr->peers);
+      auto it = list_outstanding.find(rec.remote);
+      if (it != list_outstanding.end()) {
+        out.list_responses.push_back(ResponseSample{
+            it->second, (rec.time - it->second).as_seconds(), rec.remote,
+            net::response_group(category_of(rec.remote))});
+        list_outstanding.erase(it);
+      }
+    } else if (const auto* dr = std::get_if<proto::DataReply>(&rec.payload)) {
+      auto it = data_outstanding.find(DataKey{rec.remote, dr->chunk});
+      if (it == data_outstanding.end()) continue;  // unsolicited/duplicate
+      const double resp = (rec.time - it->second).as_seconds();
+      const net::IspCategory c = category_of(rec.remote);
+      out.data_transmissions.add(c);
+      out.data_bytes.add(c, dr->payload_bytes);
+      out.data_responses.push_back(ResponseSample{
+          it->second, resp, rec.remote, net::response_group(c)});
+      out.data_events.push_back(DataEvent{it->second, c, dr->payload_bytes});
+      auto [ait, fresh] = activity.try_emplace(rec.remote);
+      PeerActivity& act = ait->second;
+      if (fresh) {
+        act.ip = rec.remote;
+        act.category = c;
+      }
+      ++act.data_requests_matched;
+      act.bytes_contributed += dr->payload_bytes;
+      if (act.min_response_seconds < 0 || resp < act.min_response_seconds)
+        act.min_response_seconds = resp;
+      data_outstanding.erase(it);
+    }
+  }
+
+  out.list_requests_unanswered +=
+      static_cast<std::uint64_t>(list_outstanding.size());
+  out.unique_listed_ips = static_cast<std::uint64_t>(listed_unique.size());
+
+  out.peers.reserve(activity.size());
+  for (auto& [ip, act] : activity) {
+    out.unique_data_peers.add(act.category);
+    out.peers.push_back(std::move(act));
+  }
+  std::sort(out.peers.begin(), out.peers.end(),
+            [](const PeerActivity& a, const PeerActivity& b) {
+              if (a.data_requests_matched != b.data_requests_matched)
+                return a.data_requests_matched > b.data_requests_matched;
+              return a.ip < b.ip;
+            });
+
+  // Response samples in request-time order ("requests along time").
+  auto by_request_time = [](const ResponseSample& a, const ResponseSample& b) {
+    return a.request_time < b.request_time;
+  };
+  std::sort(out.list_responses.begin(), out.list_responses.end(),
+            by_request_time);
+  std::sort(out.data_responses.begin(), out.data_responses.end(),
+            by_request_time);
+  std::sort(out.data_events.begin(), out.data_events.end(),
+            [](const DataEvent& a, const DataEvent& b) {
+              return a.request_time < b.request_time;
+            });
+
+  (void)probe;
+  return out;
+}
+
+}  // namespace ppsim::capture

@@ -1,0 +1,165 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/fit.h"
+#include "capture/trace.h"
+#include "net/asn_db.h"
+#include "net/isp.h"
+
+namespace ppsim::capture {
+
+/// Counts bucketed by the paper's five reporting ISPs.
+struct IspHistogram {
+  std::array<std::uint64_t, net::kNumIspCategories> counts{};
+
+  void add(net::IspCategory c, std::uint64_t n = 1) {
+    counts[static_cast<std::size_t>(c)] += n;
+  }
+  std::uint64_t get(net::IspCategory c) const {
+    return counts[static_cast<std::size_t>(c)];
+  }
+  std::uint64_t total() const {
+    std::uint64_t t = 0;
+    for (auto c : counts) t += c;
+    return t;
+  }
+  double share(net::IspCategory c) const {
+    const std::uint64_t t = total();
+    return t == 0 ? 0.0
+                  : static_cast<double>(get(c)) / static_cast<double>(t);
+  }
+};
+
+/// One row of the paper's Figure 2(b)-5(b): which ISPs the addresses
+/// returned by a given class of replier belong to. Repliers are classed by
+/// their own ISP and by whether they are a tracker server ("CNC_s") or a
+/// normal peer ("CNC_p").
+struct ListSourceRow {
+  net::IspCategory replier_category = net::IspCategory::kTele;
+  bool replier_is_tracker = false;
+  IspHistogram listed;
+};
+
+/// Response-time measurement for one matched request/reply exchange.
+struct ResponseSample {
+  sim::Time request_time;
+  double response_seconds = 0;
+  net::IpAddress remote;
+  net::ResponseGroup group = net::ResponseGroup::kOther;
+};
+
+/// Per-remote-peer activity aggregated over the capture, the substrate of
+/// Figures 11-18.
+struct PeerActivity {
+  net::IpAddress ip;
+  net::IspCategory category = net::IspCategory::kForeign;
+  std::uint64_t data_requests_matched = 0;  // matched request/reply pairs
+  std::uint64_t bytes_contributed = 0;
+  double min_response_seconds = -1;  // RTT estimate (min app-level latency)
+};
+
+/// One matched data transmission, kept for time-resolved analyses.
+struct DataEvent {
+  sim::Time request_time;
+  net::IspCategory server = net::IspCategory::kForeign;
+  std::uint32_t bytes = 0;
+};
+
+/// Everything the paper's evaluation extracts from one probe's capture.
+struct TraceAnalysis {
+  // --- Figure (a) panels: returned addresses by ISP, duplicates kept ---
+  IspHistogram returned_addresses;
+  std::uint64_t unique_listed_ips = 0;
+
+  // --- Figure (b) panels: returned addresses by replier class ---
+  std::vector<ListSourceRow> list_sources;
+  std::uint64_t lists_from_peers = 0;    // peer-list replies received
+  std::uint64_t lists_from_trackers = 0; // tracker replies received
+
+  // --- Figure (c) panels: data transmissions and bytes by ISP ---
+  IspHistogram data_transmissions;
+  IspHistogram data_bytes;
+
+  // --- Figures 7-10: peer-list response times ---
+  std::vector<ResponseSample> list_responses;  // ordered by request time
+  std::uint64_t list_requests_unanswered = 0;
+
+  // --- Table 1: data-request response times ---
+  std::vector<ResponseSample> data_responses;  // ordered by request time
+
+  // --- Figures 11-18 substrate ---
+  std::vector<PeerActivity> peers;  // sorted by data_requests desc
+  IspHistogram unique_data_peers;
+
+  // --- time-resolved data plane (matched transmissions, request order) ---
+  std::vector<DataEvent> data_events;
+
+  // Derived conveniences -------------------------------------------------
+
+  /// Fraction of downloaded bytes served by peers in `own` (Figure 6's
+  /// "traffic locality").
+  double byte_locality(net::IspCategory own) const {
+    return data_bytes.share(own);
+  }
+
+  double transmission_locality(net::IspCategory own) const {
+    return data_transmissions.share(own);
+  }
+
+  double avg_list_response(net::ResponseGroup g) const;
+  double avg_data_response(net::ResponseGroup g) const;
+  std::uint64_t response_count(const std::vector<ResponseSample>& v,
+                               net::ResponseGroup g) const;
+
+  /// Ranked data-request counts (descending), for distribution fits.
+  std::vector<double> request_rank_series() const;
+  /// Ranked byte contributions (descending).
+  std::vector<double> contribution_rank_series() const;
+
+  /// Share of matched data requests made to the top `fraction` of peers.
+  double top_request_share(double fraction) const;
+  /// Share of bytes contributed by the top `fraction` of peers.
+  double top_contribution_share(double fraction) const;
+
+  analysis::StretchedExpFit request_se_fit() const;
+  analysis::ZipfFit request_zipf_fit() const;
+
+  /// Pearson correlation between log(#requests) and log(RTT estimate)
+  /// across peers with at least one matched exchange (Figures 15-18).
+  double rtt_request_correlation() const;
+
+  /// Locality evolution within the capture: the fraction of downloaded
+  /// bytes served from `own` per time bin. Shows how fast the emergent
+  /// clustering converges after join (not in the paper — their captures
+  /// start after convergence — but essential for calibrating ours).
+  struct LocalityPoint {
+    sim::Time bin_start;
+    double locality = 0;      // own-ISP share of bytes in this bin
+    std::uint64_t bytes = 0;  // total bytes in the bin
+  };
+  std::vector<LocalityPoint> locality_over_time(net::IspCategory own,
+                                                sim::Time bin) const;
+};
+
+/// Merges another capture's analysis into `dst`, as if the two captures
+/// were measurement sessions of the same deployment on different days
+/// (counts add, sample series concatenate, rank tables recombine). Peer
+/// identities are not deduplicated across captures — separate days see
+/// separate peer populations.
+void merge_into(TraceAnalysis& dst, const TraceAnalysis& src);
+
+/// Runs the paper's trace-analysis methodology over a probe capture:
+/// request/reply matching by address (and chunk sequence for data), latest-
+/// request matching for peer lists, ISP attribution via the ASN database.
+/// `tracker_ips` distinguishes tracker servers from normal peers in the
+/// Figure (b) breakdown.
+TraceAnalysis analyze_trace(const PacketTrace& trace,
+                            const net::AsnDatabase& asn_db,
+                            net::IpAddress probe,
+                            const std::unordered_set<net::IpAddress>& tracker_ips);
+
+}  // namespace ppsim::capture

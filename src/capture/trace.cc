@@ -1,0 +1,18 @@
+#include "capture/trace.h"
+
+namespace ppsim::capture {
+
+std::shared_ptr<PacketTrace> attach_sniffer(proto::PeerNetwork& network,
+                                            net::IpAddress ip) {
+  auto trace = std::make_shared<PacketTrace>();
+  network.set_tap(
+      ip, [trace, &network](net::Direction dir, net::IpAddress local,
+                            net::IpAddress remote, const proto::Message& m,
+                            std::uint64_t bytes) {
+        trace->push_back(
+            TraceRecord{network.now(), dir, local, remote, bytes, m});
+      });
+  return trace;
+}
+
+}  // namespace ppsim::capture

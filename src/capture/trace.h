@@ -1,0 +1,36 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/ip.h"
+#include "net/transport.h"
+#include "proto/host.h"
+#include "proto/message.h"
+#include "sim/time.h"
+
+namespace ppsim::capture {
+
+/// One captured datagram at a probe host, as Wireshark would record it:
+/// timestamp, direction, the remote address, the size on the wire, and the
+/// decoded payload. The analyzer works exclusively on these records — it
+/// has no access to simulator internals, mirroring the paper's passive
+/// measurement position.
+struct TraceRecord {
+  sim::Time time;
+  net::Direction direction = net::Direction::kOutgoing;
+  net::IpAddress local;
+  net::IpAddress remote;
+  std::uint64_t wire_bytes = 0;
+  proto::Message payload;
+};
+
+using PacketTrace = std::vector<TraceRecord>;
+
+/// Installs a capture tap on `ip` and appends every sent/received datagram
+/// to the returned trace. The trace is heap-allocated and shared so it
+/// outlives network detach/re-attach of the host.
+std::shared_ptr<PacketTrace> attach_sniffer(proto::PeerNetwork& network,
+                                            net::IpAddress ip);
+
+}  // namespace ppsim::capture

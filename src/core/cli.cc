@@ -1,0 +1,266 @@
+#include "core/cli.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "capture/trace_io.h"
+#include "core/session_export.h"
+#include "core/report.h"
+#include "workload/scenario.h"
+
+namespace ppsim::core {
+
+namespace {
+
+bool is_one_of(const std::string& v, std::initializer_list<const char*> set) {
+  return std::any_of(set.begin(), set.end(),
+                     [&](const char* s) { return v == s; });
+}
+
+std::optional<ProbeSpec> probe_by_name(const std::string& name) {
+  if (name == "tele") return tele_probe();
+  if (name == "cnc") return cnc_probe();
+  if (name == "cer") return cer_probe();
+  if (name == "mason") return mason_probe();
+  return std::nullopt;
+}
+
+std::optional<baseline::Strategy> strategy_by_name(const std::string& name) {
+  if (name == "pplive") return baseline::Strategy::kPplive;
+  if (name == "tracker-only") return baseline::Strategy::kTrackerOnly;
+  if (name == "isp-biased") return baseline::Strategy::kIspBiased;
+  if (name == "no-rush") return baseline::Strategy::kNoRush;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string cli_usage() {
+  return
+      "ppsim — P2P live streaming traffic-locality experiments\n"
+      "\n"
+      "usage: ppsim [options]\n"
+      "  --channel popular|unpopular   workload scenario (default popular)\n"
+      "  --viewers N                   audience size (default: scenario's)\n"
+      "  --minutes M                   simulated duration (default 10)\n"
+      "  --seed S                      run seed (default 1)\n"
+      "  --probe tele|cnc|cer|mason    probe site; repeatable (default tele)\n"
+      "  --strategy pplive|tracker-only|isp-biased|no-rush\n"
+      "  --smart-trackers              ISP-aware tracker replies\n"
+      "  --report SECTION              repeatable; sections: returned,\n"
+      "                                sources, data, response, contrib,\n"
+      "                                rtt, swarm, all (default data)\n"
+      "  --dump-trace PREFIX           write each probe's capture to\n"
+      "                                PREFIX-<label>.trace\n"
+      "  --dump-sessions FILE          write viewer sessions as CSV\n"
+      "  --help\n";
+}
+
+CliParseResult parse_cli(int argc, const char* const* argv) {
+  CliParseResult out;
+  CliOptions& o = out.options;
+  bool probes_cleared = false;
+  bool reports_cleared = false;
+
+  auto need_value = [&](int& i, const char* flag) -> std::optional<std::string> {
+    if (i + 1 >= argc) {
+      out.error = std::string("missing value for ") + flag;
+      return std::nullopt;
+    }
+    return std::string(argv[++i]);
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      o.help = true;
+    } else if (arg == "--channel") {
+      auto v = need_value(i, "--channel");
+      if (!v) return out;
+      if (!is_one_of(*v, {"popular", "unpopular"})) {
+        out.error = "unknown channel: " + *v;
+        return out;
+      }
+      o.channel = *v;
+    } else if (arg == "--viewers") {
+      auto v = need_value(i, "--viewers");
+      if (!v) return out;
+      o.viewers = std::atoi(v->c_str());
+      if (o.viewers <= 0) {
+        out.error = "viewers must be positive";
+        return out;
+      }
+    } else if (arg == "--minutes") {
+      auto v = need_value(i, "--minutes");
+      if (!v) return out;
+      o.minutes = std::atoi(v->c_str());
+      if (o.minutes <= 0) {
+        out.error = "minutes must be positive";
+        return out;
+      }
+    } else if (arg == "--seed") {
+      auto v = need_value(i, "--seed");
+      if (!v) return out;
+      o.seed = std::strtoull(v->c_str(), nullptr, 10);
+    } else if (arg == "--probe") {
+      auto v = need_value(i, "--probe");
+      if (!v) return out;
+      if (!probe_by_name(*v)) {
+        out.error = "unknown probe site: " + *v;
+        return out;
+      }
+      if (!probes_cleared) {
+        o.probes.clear();
+        probes_cleared = true;
+      }
+      o.probes.push_back(*v);
+    } else if (arg == "--strategy") {
+      auto v = need_value(i, "--strategy");
+      if (!v) return out;
+      if (!strategy_by_name(*v)) {
+        out.error = "unknown strategy: " + *v;
+        return out;
+      }
+      o.strategy = *v;
+    } else if (arg == "--smart-trackers") {
+      o.smart_trackers = true;
+    } else if (arg == "--report") {
+      auto v = need_value(i, "--report");
+      if (!v) return out;
+      if (!is_one_of(*v, {"returned", "sources", "data", "response",
+                          "contrib", "rtt", "swarm", "all"})) {
+        out.error = "unknown report section: " + *v;
+        return out;
+      }
+      if (!reports_cleared) {
+        o.reports.clear();
+        reports_cleared = true;
+      }
+      o.reports.push_back(*v);
+    } else if (arg == "--dump-trace") {
+      auto v = need_value(i, "--dump-trace");
+      if (!v) return out;
+      o.dump_trace = *v;
+    } else if (arg == "--dump-sessions") {
+      auto v = need_value(i, "--dump-sessions");
+      if (!v) return out;
+      o.dump_sessions = *v;
+    } else {
+      out.error = "unknown option: " + arg;
+      return out;
+    }
+  }
+  return out;
+}
+
+CliConfigResult build_config(const CliOptions& options) {
+  CliConfigResult out;
+  ExperimentConfig& config = out.config;
+
+  config.scenario = options.channel == "popular"
+                        ? workload::popular_channel()
+                        : workload::unpopular_channel();
+  if (options.viewers > 0) config.scenario.viewers = options.viewers;
+  config.scenario.duration = sim::Time::minutes(options.minutes);
+  config.scenario.seed = options.seed;
+
+  for (const auto& name : options.probes) {
+    auto probe = probe_by_name(name);
+    if (!probe) {
+      out.error = "unknown probe site: " + name;
+      return out;
+    }
+    config.probes.push_back(*probe);
+  }
+  auto strategy = strategy_by_name(options.strategy);
+  if (!strategy) {
+    out.error = "unknown strategy: " + options.strategy;
+    return out;
+  }
+  config.strategy = *strategy;
+  config.locality_aware_trackers = options.smart_trackers;
+  config.keep_traces = !options.dump_trace.empty();
+  return out;
+}
+
+int run_cli(const CliOptions& options) {
+  return run_cli(options, std::cout);
+}
+
+int run_cli(const CliOptions& options, std::ostream& out) {
+  if (options.help) {
+    out << cli_usage();
+    return 0;
+  }
+  auto built = build_config(options);
+  if (built.error) {
+    std::cerr << "error: " << *built.error << "\n" << cli_usage();
+    return 2;
+  }
+
+  out << "channel=" << options.channel
+            << " viewers=" << built.config.scenario.viewers
+            << " minutes=" << options.minutes << " seed=" << options.seed
+            << " strategy=" << options.strategy
+            << (options.smart_trackers ? " smart-trackers" : "") << "\n\n";
+
+  ExperimentResult result = run_experiment(built.config);
+
+  auto wants = [&](const char* section) {
+    return std::any_of(options.reports.begin(), options.reports.end(),
+                       [&](const std::string& r) {
+                         return r == section || r == "all";
+                       });
+  };
+
+  for (const auto& probe : result.probes) {
+    out << "== probe " << probe.label << " ("
+              << net::to_string(probe.category) << ", "
+              << probe.ip.to_string() << ") ==\n";
+    if (wants("returned")) print_returned_addresses(out, probe.analysis);
+    if (wants("sources")) print_list_sources(out, probe.analysis);
+    if (wants("data")) {
+      print_data_by_isp(out, probe.analysis);
+      out << "locality: "
+                << pct(probe.analysis.byte_locality(probe.category))
+                << " of bytes from " << net::to_string(probe.category)
+                << " peers; continuity "
+                << pct(probe.counters.continuity()) << "\n";
+    }
+    if (wants("response")) {
+      print_response_times(out, probe.analysis, false);
+      print_response_times(out, probe.analysis, true);
+    }
+    if (wants("contrib")) print_contributions(out, probe.analysis);
+    if (wants("rtt")) print_rtt_rank(out, probe.analysis);
+
+    if (!options.dump_trace.empty() && probe.trace) {
+      const std::string path =
+          options.dump_trace + "-" + probe.label + ".trace";
+      if (capture::write_trace_file(path, *probe.trace)) {
+        out << "trace written: " << path << " (" << probe.trace->size()
+                  << " records)\n";
+      } else {
+        std::cerr << "error: could not write " << path << "\n";
+        return 1;
+      }
+    }
+    out << "\n";
+  }
+  if (wants("swarm")) print_traffic_matrix(out, result.traffic);
+  if (!options.dump_sessions.empty()) {
+    if (write_sessions_csv_file(options.dump_sessions, result.sessions)) {
+      out << "sessions written: " << options.dump_sessions << " ("
+          << result.sessions.size() << " rows)\n";
+    } else {
+      std::cerr << "error: could not write " << options.dump_sessions
+                << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace ppsim::core

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace ppsim::core {
+
+/// Options of the `ppsim` command-line driver. Parsing is factored out of
+/// the binary so it is unit-testable.
+struct CliOptions {
+  std::string channel = "popular";  // popular | unpopular
+  int viewers = 0;                  // 0 = scenario default
+  int minutes = 10;
+  std::uint64_t seed = 1;
+  std::vector<std::string> probes = {"tele"};  // tele|cnc|cer|mason
+  std::string strategy = "pplive";  // pplive|tracker-only|isp-biased|no-rush
+  bool smart_trackers = false;
+  std::string dump_trace;     // path prefix; empty = no dump
+  std::string dump_sessions;  // CSV path; empty = no dump
+  /// Report sections: any of returned, sources, data, response, contrib,
+  /// rtt, swarm — or "all".
+  std::vector<std::string> reports = {"data"};
+  bool help = false;
+};
+
+/// Parses argv; returns an error message on invalid input.
+struct CliParseResult {
+  CliOptions options;
+  std::optional<std::string> error;
+};
+CliParseResult parse_cli(int argc, const char* const* argv);
+
+/// Usage text for --help.
+std::string cli_usage();
+
+/// Builds the ExperimentConfig the options describe; error when names do
+/// not resolve (unknown probe/strategy/channel).
+struct CliConfigResult {
+  ExperimentConfig config;
+  std::optional<std::string> error;
+};
+CliConfigResult build_config(const CliOptions& options);
+
+/// Runs the experiment and prints the requested report sections to `out`
+/// (std::cout in the binary). Returns a process exit code.
+int run_cli(const CliOptions& options, std::ostream& out);
+int run_cli(const CliOptions& options);
+
+}  // namespace ppsim::core

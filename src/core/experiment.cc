@@ -1,0 +1,401 @@
+#include "core/experiment.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "capture/trace.h"
+#include "net/latency.h"
+#include "net/prefix_alloc.h"
+#include "net/transport.h"
+#include "proto/bootstrap.h"
+#include "proto/peer.h"
+#include "proto/source.h"
+#include "proto/tracker.h"
+#include "sim/simulator.h"
+
+namespace ppsim::core {
+
+ProbeSpec tele_probe() {
+  return ProbeSpec{net::IspCategory::kTele, net::AccessClass::kAdsl, "TELE"};
+}
+ProbeSpec cnc_probe() {
+  return ProbeSpec{net::IspCategory::kCnc, net::AccessClass::kAdsl, "CNC"};
+}
+ProbeSpec cer_probe() {
+  return ProbeSpec{net::IspCategory::kCer, net::AccessClass::kCampus, "CER"};
+}
+ProbeSpec mason_probe() {
+  return ProbeSpec{net::IspCategory::kForeign, net::AccessClass::kCampus,
+                   "Mason"};
+}
+
+std::uint64_t TrafficMatrix::total() const {
+  std::uint64_t t = 0;
+  for (const auto& row : bytes)
+    for (auto b : row) t += b;
+  return t;
+}
+
+std::uint64_t TrafficMatrix::intra_isp() const {
+  std::uint64_t t = 0;
+  for (std::size_t i = 0; i < bytes.size(); ++i) t += bytes[i][i];
+  return t;
+}
+
+double TrafficMatrix::locality() const {
+  const std::uint64_t t = total();
+  return t == 0 ? 0.0
+                : static_cast<double>(intra_isp()) / static_cast<double>(t);
+}
+
+namespace {
+
+/// Owns the whole simulated world for one run: shared bootstrap and
+/// trackers, one stream source and audience per channel. Peers are kept
+/// alive (even after leaving) until the run ends, because pending timer
+/// callbacks hold raw pointers to them.
+class Runner {
+ public:
+  explicit Runner(const MultiChannelConfig& config)
+      : config_(config),
+        master_rng_(config.seed),
+        registry_(net::IspRegistry::standard_topology()),
+        asn_db_(net::AsnDatabase::from_registry(registry_)),
+        allocator_(registry_),
+        network_(simulator_, make_latency_model(config.seed),
+                 master_rng_.fork(0x6E6574)) {}
+
+  ExperimentResult run();
+
+ private:
+  static net::LatencyModel make_latency_model(std::uint64_t seed) {
+    net::LatencyConfig lc;
+    // Re-roll per-pair path multipliers per run (day) deterministically.
+    lc.pair_salt = sim::hash_combine(lc.pair_salt, seed);
+    return net::LatencyModel(lc);
+  }
+
+  net::IspId pick_isp(net::IspCategory category, sim::Rng& rng) {
+    const auto ids = registry_.in_category(category);
+    return ids[static_cast<std::size_t>(rng.next_below(ids.size()))];
+  }
+
+  proto::HostIdentity make_identity(net::IspCategory category,
+                                    net::AccessClass access, sim::Rng& rng) {
+    const net::IspId isp = pick_isp(category, rng);
+    return proto::HostIdentity{allocator_.allocate(isp), isp, category,
+                               net::AccessProfile::sample(access, rng)};
+  }
+
+  void build_infrastructure();
+  void spawn_viewer(std::size_t channel_idx, net::IspCategory category,
+                    sim::Time session);
+  void on_departure(std::size_t channel_idx);
+  void schedule_audience();
+  void schedule_probes();
+  sim::Time sample_session(std::size_t channel_idx, sim::Rng& rng);
+
+  const MultiChannelConfig& config_;
+  sim::Rng master_rng_;
+  net::IspRegistry registry_;
+  net::AsnDatabase asn_db_;
+  net::PrefixAllocator allocator_;
+  sim::Simulator simulator_;
+  proto::PeerNetwork network_;
+
+  std::unique_ptr<proto::BootstrapServer> bootstrap_;
+  std::vector<std::unique_ptr<proto::TrackerServer>> trackers_;
+  std::unordered_set<net::IpAddress> tracker_ips_;
+  std::vector<std::unique_ptr<proto::StreamSource>> sources_;
+
+  std::vector<std::unique_ptr<proto::Peer>> peers_;
+  // sessions_[i] belongs to the audience peer in session_peers_[i]; probes
+  // are excluded.
+  std::vector<SessionRecord> sessions_;
+  std::vector<const proto::Peer*> session_peers_;
+  struct Probe {
+    std::string label;
+    proto::ChannelId channel = 0;
+    proto::Peer* peer = nullptr;
+    std::shared_ptr<capture::PacketTrace> trace;
+  };
+  std::vector<Probe> probes_;
+
+  TrafficMatrix traffic_;
+  std::uint64_t departures_ = 0;
+};
+
+void Runner::build_infrastructure() {
+  sim::Rng infra_rng = master_rng_.fork(0x696E667261);
+
+  // Bootstrap/channel server in a Chinese datacenter (TELE).
+  bootstrap_ = std::make_unique<proto::BootstrapServer>(
+      simulator_, network_,
+      make_identity(net::IspCategory::kTele, net::AccessClass::kDatacenter,
+                    infra_rng));
+
+  // Five tracker groups at different locations in China (paper Section 2);
+  // none abroad. One server per group at simulation scale; all channels
+  // share them, as in the real deployment.
+  const net::IspCategory tracker_sites[5] = {
+      net::IspCategory::kTele, net::IspCategory::kTele,
+      net::IspCategory::kCnc, net::IspCategory::kCnc,
+      net::IspCategory::kCer};
+  proto::TrackerConfig tracker_config;
+  if (config_.locality_aware_trackers) tracker_config.locality_db = &asn_db_;
+  std::vector<std::vector<net::IpAddress>> tracker_groups;
+  for (const auto site : tracker_sites) {
+    auto tracker = std::make_unique<proto::TrackerServer>(
+        simulator_, network_,
+        make_identity(site, net::AccessClass::kDatacenter, infra_rng),
+        infra_rng.fork(trackers_.size()), tracker_config);
+    tracker_ips_.insert(tracker->ip());
+    tracker_groups.push_back({tracker->ip()});
+    trackers_.push_back(std::move(tracker));
+  }
+  std::vector<net::IpAddress> tracker_list(tracker_ips_.begin(),
+                                           tracker_ips_.end());
+
+  // One stream source per channel, each in a TELE datacenter with bounded
+  // upload so swarms stay peer-served.
+  for (std::size_t c = 0; c < config_.channels.size(); ++c) {
+    auto source_identity = make_identity(net::IspCategory::kTele,
+                                         net::AccessClass::kDatacenter,
+                                         infra_rng);
+    source_identity.profile.up_bps = 8e6;  // seeds ~20 streams
+    auto source = std::make_unique<proto::StreamSource>(
+        simulator_, network_, source_identity,
+        config_.channels[c].scenario.channel, tracker_list,
+        infra_rng.fork(0x737263 + c));
+
+    proto::BootstrapServer::ChannelEntry entry;
+    entry.channel = config_.channels[c].scenario.channel.id;
+    entry.tracker_groups = tracker_groups;
+    entry.source = source->ip();
+    bootstrap_->register_channel(std::move(entry));
+    source->start();
+    sources_.push_back(std::move(source));
+  }
+
+  network_.set_global_tap([this](const net::Endpoint& from,
+                                 const net::Endpoint& to,
+                                 const proto::Message& m, std::uint64_t) {
+    if (const auto* dr = std::get_if<proto::DataReply>(&m)) {
+      traffic_.bytes[static_cast<std::size_t>(from.category)]
+                    [static_cast<std::size_t>(to.category)] +=
+          dr->payload_bytes;
+    }
+  });
+}
+
+sim::Time Runner::sample_session(std::size_t channel_idx, sim::Rng& rng) {
+  // Heavy-tailed session lengths: Weibull with shape < 1.
+  const double mean_s =
+      config_.channels[channel_idx].scenario.mean_session.as_seconds();
+  // For Weibull(lambda, k): mean = lambda * Gamma(1 + 1/k).
+  // With k = 0.6, Gamma(1 + 1/0.6) = Gamma(2.667) ~= 1.503.
+  const double lambda = mean_s / 1.503;
+  const double s = rng.weibull(lambda, 0.6);
+  return sim::Time::from_seconds(std::clamp(s, 10.0, 4 * 3600.0));
+}
+
+void Runner::on_departure(std::size_t channel_idx) {
+  ++departures_;
+  // A broadcast-event audience drains; nobody replaces a viewer who left.
+  if (config_.channels[channel_idx].scenario.curve ==
+      workload::AudienceCurve::kBroadcastEvent)
+    return;
+  sim::Rng churn_rng = master_rng_.fork(0x636875726E + departures_);
+  const sim::Time gap = sim::Time::from_seconds(churn_rng.exponential(
+      config_.channels[channel_idx].scenario.mean_rejoin_gap.as_seconds()));
+
+  // Channel surfing: the viewer may resurface on another channel. The surf
+  // draw only happens in multi-channel worlds, so single-channel runs
+  // consume exactly the same random stream as before this feature existed.
+  std::size_t next_channel = channel_idx;
+  if (config_.channels.size() > 1 && config_.surf_probability > 0 &&
+      churn_rng.chance(config_.surf_probability)) {
+    const std::size_t other = static_cast<std::size_t>(
+        churn_rng.next_below(config_.channels.size() - 1));
+    next_channel = other >= channel_idx ? other + 1 : other;
+  }
+  const net::IspCategory cat =
+      config_.channels[next_channel].scenario.mix.sample(churn_rng);
+  simulator_.schedule(gap, [this, next_channel, cat] {
+    sim::Rng r = master_rng_.fork(0x73657373 + peers_.size());
+    spawn_viewer(next_channel, cat, sample_session(next_channel, r));
+  });
+}
+
+void Runner::spawn_viewer(std::size_t channel_idx, net::IspCategory category,
+                          sim::Time session) {
+  sim::Rng rng = master_rng_.fork(0x7065657200 + peers_.size());
+  const net::AccessClass access = workload::access_class_for(category, rng);
+  auto identity = make_identity(category, access, rng);
+  auto policy = baseline::make_policy(config_.strategy, &asn_db_, category);
+  proto::PeerConfig peer_config = config_.peer_config;
+  peer_config.behind_nat = rng.chance(workload::nat_probability(access));
+  const auto& scenario = config_.channels[channel_idx].scenario;
+  auto peer = std::make_unique<proto::Peer>(
+      simulator_, network_, identity, scenario.channel, bootstrap_->ip(),
+      rng.fork(1), peer_config, std::move(policy));
+  proto::Peer* raw = peer.get();
+  peers_.push_back(std::move(peer));
+  SessionRecord record;
+  record.channel = scenario.channel.id;
+  record.category = category;
+  record.behind_nat = peer_config.behind_nat;
+  record.joined = simulator_.now();
+  const std::size_t session_idx = sessions_.size();
+  sessions_.push_back(record);
+  session_peers_.push_back(raw);
+  raw->join();
+
+  // Departure + stationary replacement (possibly on another channel).
+  simulator_.schedule(session, [this, raw, session_idx, channel_idx] {
+    if (!raw->alive()) return;
+    raw->leave();
+    sessions_[session_idx].left = simulator_.now();
+    sessions_[session_idx].completed = true;
+    on_departure(channel_idx);
+  });
+}
+
+void Runner::schedule_audience() {
+  for (std::size_t c = 0; c < config_.channels.size(); ++c) {
+    sim::Rng rng = master_rng_.fork(
+        c == 0 ? 0x617564 : sim::hash_combine(0x617564, c));
+    const auto& sc = config_.channels[c].scenario;
+    const double total_s = config_.duration.as_seconds();
+    for (int i = 0; i < sc.viewers; ++i) {
+      const net::IspCategory cat = sc.mix.sample(rng);
+      sim::Time when;
+      sim::Rng srng = rng.fork(static_cast<std::uint64_t>(i));
+      sim::Time session;
+      if (sc.curve == workload::AudienceCurve::kBroadcastEvent) {
+        // Flood in around the program start, trickle through the first
+        // half; most viewers stay until near the end.
+        const double arrive =
+            rng.chance(0.7) ? rng.uniform(0.0, 0.15 * total_s)
+                            : rng.uniform(0.15 * total_s, 0.6 * total_s);
+        when = sim::Time::from_seconds(arrive);
+        if (srng.chance(0.75)) {
+          // Watches to (roughly) the end of the broadcast.
+          session = sim::Time::from_seconds(
+              std::max(30.0, (total_s - arrive) * srng.uniform(0.85, 1.1)));
+        } else {
+          session = sample_session(c, srng);  // zapper
+        }
+      } else {
+        when = sim::Time::from_seconds(
+            rng.uniform(0.0, sc.arrival_ramp.as_seconds()));
+        session = sample_session(c, srng);
+      }
+      simulator_.schedule(when, [this, c, cat, session] {
+        spawn_viewer(c, cat, session);
+      });
+    }
+  }
+}
+
+void Runner::schedule_probes() {
+  sim::Rng rng = master_rng_.fork(0x70726F6265);
+  for (std::size_t c = 0; c < config_.channels.size(); ++c) {
+    for (const auto& spec : config_.channels[c].probes) {
+      sim::Rng prng = rng.fork(probes_.size());
+      auto identity = make_identity(spec.isp, spec.access, prng);
+      auto policy =
+          baseline::make_policy(config_.strategy, &asn_db_, spec.isp);
+      auto peer = std::make_unique<proto::Peer>(
+          simulator_, network_, identity,
+          config_.channels[c].scenario.channel, bootstrap_->ip(),
+          prng.fork(1), config_.peer_config, std::move(policy));
+      proto::Peer* raw = peer.get();
+      auto trace = capture::attach_sniffer(network_, identity.ip);
+      peers_.push_back(std::move(peer));
+      probes_.push_back(Probe{spec.label,
+                              config_.channels[c].scenario.channel.id, raw,
+                              std::move(trace)});
+      simulator_.schedule(config_.probe_join_at, [raw] { raw->join(); });
+    }
+  }
+}
+
+ExperimentResult Runner::run() {
+  if (config_.interconnects.has_value())
+    network_.set_interconnects(*config_.interconnects);
+  build_infrastructure();
+  schedule_audience();
+  schedule_probes();
+
+  simulator_.run_until(config_.duration);
+
+  ExperimentResult result;
+  result.traffic = traffic_;
+
+  for (const auto& probe : probes_) {
+    ProbeResult pr;
+    pr.label = probe.label;
+    pr.ip = probe.peer->ip();
+    pr.channel = probe.channel;
+    pr.category = probe.peer->identity().category;
+    pr.counters = probe.peer->counters();
+    pr.analysis = capture::analyze_trace(*probe.trace, asn_db_,
+                                         probe.peer->ip(), tracker_ips_);
+    if (config_.keep_traces) pr.trace = probe.trace;
+    result.probes.push_back(std::move(pr));
+  }
+
+  double continuity_acc = 0;
+  std::uint64_t viewers = 0;
+  for (const auto& peer : peers_) {
+    if (peer->counters().chunks_played + peer->counters().chunks_missed > 0) {
+      continuity_acc += peer->counters().continuity();
+      ++viewers;
+    }
+  }
+  result.swarm.peers_spawned = peers_.size();
+  result.swarm.departures = departures_;
+  result.swarm.avg_continuity =
+      viewers == 0 ? 0.0 : continuity_acc / static_cast<double>(viewers);
+  result.swarm.packets_delivered = network_.stats().packets_delivered;
+  result.swarm.packets_dropped =
+      network_.stats().uplink_drops + network_.stats().core_drops +
+      network_.stats().downlink_drops + network_.stats().dead_destination_drops;
+  result.swarm.events_executed = simulator_.events_executed();
+
+  for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    SessionRecord rec = sessions_[i];
+    if (!rec.completed) rec.left = simulator_.now();
+    const auto& c = session_peers_[i]->counters();
+    rec.bytes_downloaded = c.bytes_downloaded;
+    rec.bytes_uploaded = c.bytes_uploaded;
+    rec.continuity = c.continuity();
+    result.sessions.push_back(rec);
+  }
+  return result;
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  MultiChannelConfig multi;
+  multi.channels.push_back(ChannelPlan{config.scenario, config.probes});
+  multi.strategy = config.strategy;
+  multi.peer_config = config.peer_config;
+  multi.locality_aware_trackers = config.locality_aware_trackers;
+  multi.keep_traces = config.keep_traces;
+  multi.probe_join_at = config.probe_join_at;
+  multi.duration = config.scenario.duration;
+  multi.seed = config.scenario.seed;
+  multi.interconnects = config.interconnects;
+  Runner runner(multi);
+  return runner.run();
+}
+
+ExperimentResult run_multi_channel(const MultiChannelConfig& config) {
+  Runner runner(config);
+  return runner.run();
+}
+
+}  // namespace ppsim::core

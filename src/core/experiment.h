@@ -1,0 +1,153 @@
+#pragma once
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "baseline/policies.h"
+#include "capture/analyzer.h"
+#include "net/interconnect.h"
+#include "net/asn_db.h"
+#include "net/isp.h"
+#include "proto/counters.h"
+#include "proto/peer_config.h"
+#include "workload/scenario.h"
+
+namespace ppsim::core {
+
+/// A probe host: an instrumented client in a chosen ISP, equivalent to the
+/// paper's Wireshark-monitored deployments (2x TELE, 2x CNC, 2x CERNET in
+/// China; 2x university hosts in the USA).
+struct ProbeSpec {
+  net::IspCategory isp = net::IspCategory::kTele;
+  net::AccessClass access = net::AccessClass::kAdsl;
+  std::string label;
+};
+
+ProbeSpec tele_probe();
+ProbeSpec cnc_probe();
+ProbeSpec cer_probe();
+ProbeSpec mason_probe();  // US campus host ("Mason" in the paper)
+
+/// One channel of a multi-channel deployment: its audience scenario and
+/// the probes watching it.
+struct ChannelPlan {
+  workload::ScenarioSpec scenario;
+  std::vector<ProbeSpec> probes;
+};
+
+/// Configuration of a multi-channel world: shared bootstrap/trackers, one
+/// stream source per channel, independent audiences, optional
+/// channel-surfing on departure. PPLive served 150+ channels from shared
+/// infrastructure; this is the same shape at simulation scale.
+struct MultiChannelConfig {
+  std::vector<ChannelPlan> channels;
+  baseline::Strategy strategy = baseline::Strategy::kPplive;
+  proto::PeerConfig peer_config;
+  bool locality_aware_trackers = false;
+  bool keep_traces = false;
+  sim::Time probe_join_at = sim::Time::seconds(100);
+  /// Total simulated time (channels' scenario durations are ignored).
+  sim::Time duration = sim::Time::minutes(10);
+  std::uint64_t seed = 1;
+  /// Probability that a departing viewer immediately re-joins a *different*
+  /// channel (channel surfing) instead of being replaced on its own.
+  double surf_probability = 0.0;
+  /// Optional shared inter-ISP bottlenecks (see ExperimentConfig).
+  std::optional<net::InterconnectConfig> interconnects;
+};
+
+struct ExperimentConfig {
+  workload::ScenarioSpec scenario;
+  std::vector<ProbeSpec> probes;
+  /// Selection strategy applied to every client (probes included);
+  /// kPplive reproduces the measured system, the others are ablations.
+  baseline::Strategy strategy = baseline::Strategy::kPplive;
+  proto::PeerConfig peer_config;
+  /// Makes the trackers ISP-aware (same-ISP-first replies) — the
+  /// infrastructure-assisted design of the paper's related work, for
+  /// comparison against the emergent locality. Off in the reproduction.
+  bool locality_aware_trackers = false;
+  /// Retain each probe's raw packet trace in the result (for archival or
+  /// custom analysis); off by default to keep results lean.
+  bool keep_traces = false;
+  /// Probes join after the audience ramp so they measure a warm swarm.
+  sim::Time probe_join_at = sim::Time::seconds(100);
+  /// Optional shared inter-ISP bottlenecks (emergent cross-ISP congestion);
+  /// unset in the calibrated reproduction.
+  std::optional<net::InterconnectConfig> interconnects;
+};
+
+/// Swarm-wide ground truth gathered through the network's global tap —
+/// unavailable to a real measurement study, used here for validation and
+/// for the strategy ablation.
+struct TrafficMatrix {
+  // bytes[i][j]: DataReply payload bytes flowing from ISP i to ISP j.
+  std::array<std::array<std::uint64_t, net::kNumIspCategories>,
+             net::kNumIspCategories>
+      bytes{};
+
+  std::uint64_t total() const;
+  std::uint64_t intra_isp() const;
+  std::uint64_t cross_isp() const { return total() - intra_isp(); }
+  double locality() const;
+};
+
+struct ProbeResult {
+  std::string label;
+  net::IpAddress ip;
+  proto::ChannelId channel = 0;  // which channel this probe watched
+  net::IspCategory category = net::IspCategory::kTele;
+  capture::TraceAnalysis analysis;
+  proto::PeerCounters counters;
+  /// Raw capture, kept only when ExperimentConfig::keep_traces is set
+  /// (e.g. for archival via capture::write_trace_file).
+  std::shared_ptr<capture::PacketTrace> trace;
+};
+
+struct SwarmStats {
+  std::uint64_t peers_spawned = 0;
+  std::uint64_t departures = 0;
+  double avg_continuity = 0;  // mean playback continuity over all viewers
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t packets_dropped = 0;
+  std::uint64_t events_executed = 0;
+};
+
+/// One viewer's session, for churn/workload characterization (the paper
+/// positions its measurements as "a basis to generate practical P2P
+/// streaming workloads"; these records are that basis from the simulated
+/// side).
+struct SessionRecord {
+  proto::ChannelId channel = 0;
+  net::IspCategory category = net::IspCategory::kTele;
+  bool behind_nat = false;
+  sim::Time joined;
+  sim::Time left;            // == run end for sessions still active
+  bool completed = false;    // left before the run ended
+  std::uint64_t bytes_downloaded = 0;
+  std::uint64_t bytes_uploaded = 0;
+  double continuity = 0;
+
+  double duration_seconds() const { return (left - joined).as_seconds(); }
+};
+
+struct ExperimentResult {
+  std::vector<ProbeResult> probes;
+  TrafficMatrix traffic;  // data-plane ground truth
+  SwarmStats swarm;
+  std::vector<SessionRecord> sessions;  // one per audience viewer
+};
+
+/// Builds the topology, servers, audience, and probes; runs the simulation
+/// for scenario.duration; returns per-probe trace analyses plus swarm
+/// ground truth. Deterministic in scenario.seed.
+ExperimentResult run_experiment(const ExperimentConfig& config);
+
+/// Multi-channel variant: shared bootstrap/trackers, one source and one
+/// audience per channel, optional channel surfing. A single-channel
+/// MultiChannelConfig is bit-identical to run_experiment with the same
+/// seed. Deterministic in config.seed.
+ExperimentResult run_multi_channel(const MultiChannelConfig& config);
+
+}  // namespace ppsim::core

@@ -1,0 +1,172 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+
+namespace ppsim::core {
+
+namespace {
+
+void print_histogram_row(std::ostream& os, const capture::IspHistogram& h) {
+  for (auto c : net::kAllIspCategories) {
+    os << "  " << std::setw(8) << net::to_string(c) << ": " << std::setw(10)
+       << h.get(c) << "  (" << pct(h.share(c)) << ")\n";
+  }
+}
+
+}  // namespace
+
+std::string pct(double fraction) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%.1f%%", fraction * 100.0);
+  return buf;
+}
+
+void print_returned_addresses(std::ostream& os,
+                              const capture::TraceAnalysis& a) {
+  os << "Returned peer addresses by ISP (duplicates kept), total="
+     << a.returned_addresses.total() << ", unique=" << a.unique_listed_ips
+     << "\n";
+  print_histogram_row(os, a.returned_addresses);
+}
+
+void print_list_sources(std::ostream& os, const capture::TraceAnalysis& a) {
+  os << "Returned addresses by replier class (\"_p\" = normal peer, \"_s\" = "
+        "tracker server)\n";
+  // Deterministic row order: TELE_p, TELE_s, CNC_p, CNC_s, ...
+  auto rows = a.list_sources;
+  std::sort(rows.begin(), rows.end(), [](const auto& x, const auto& y) {
+    if (x.replier_category != y.replier_category)
+      return static_cast<int>(x.replier_category) <
+             static_cast<int>(y.replier_category);
+    return x.replier_is_tracker < y.replier_is_tracker;
+  });
+  for (const auto& row : rows) {
+    os << "  " << net::to_string(row.replier_category)
+       << (row.replier_is_tracker ? "_s" : "_p") << " (total "
+       << row.listed.total() << "):";
+    for (auto c : net::kAllIspCategories) {
+      os << "  " << net::to_string(c) << "=" << row.listed.get(c);
+    }
+    os << "\n";
+  }
+  os << "  peer-list replies from peers: " << a.lists_from_peers
+     << ", from trackers: " << a.lists_from_trackers << "\n";
+}
+
+void print_data_by_isp(std::ostream& os, const capture::TraceAnalysis& a) {
+  os << "Data transmissions by ISP, total=" << a.data_transmissions.total()
+     << "\n";
+  print_histogram_row(os, a.data_transmissions);
+  os << "Downloaded bytes by ISP, total=" << a.data_bytes.total() << "\n";
+  print_histogram_row(os, a.data_bytes);
+}
+
+void print_response_times(std::ostream& os, const capture::TraceAnalysis& a,
+                          bool data_requests) {
+  const auto& samples = data_requests ? a.data_responses : a.list_responses;
+  os << (data_requests ? "Data-request" : "Peer-list") << " response times\n";
+  constexpr net::ResponseGroup groups[] = {net::ResponseGroup::kTele,
+                                           net::ResponseGroup::kCnc,
+                                           net::ResponseGroup::kOther};
+  for (auto g : groups) {
+    const auto n = a.response_count(samples, g);
+    const double avg = data_requests ? a.avg_data_response(g)
+                                     : a.avg_list_response(g);
+    os << "  " << std::setw(6) << net::to_string(g) << ": n=" << std::setw(7)
+       << n << "  avg=" << std::fixed << std::setprecision(4) << avg
+       << " s\n";
+  }
+  if (!data_requests)
+    os << "  unanswered peer-list requests: " << a.list_requests_unanswered
+       << "\n";
+
+  // Coarse series: mean response in 10 time bins, per group, to compare the
+  // along-time shape with the paper's scatter plots.
+  if (samples.empty()) return;
+  const sim::Time t0 = samples.front().request_time;
+  const sim::Time t1 = samples.back().request_time;
+  const double span = std::max(1.0, (t1 - t0).as_seconds());
+  for (auto g : groups) {
+    double sums[10] = {};
+    std::uint64_t ns[10] = {};
+    for (const auto& s : samples) {
+      if (s.group != g) continue;
+      auto bin = static_cast<std::size_t>(
+          std::min(9.0, (s.request_time - t0).as_seconds() / span * 10.0));
+      sums[bin] += s.response_seconds;
+      ++ns[bin];
+    }
+    os << "  series " << net::to_string(g) << " (mean per decile):";
+    for (int b = 0; b < 10; ++b) {
+      if (ns[b] == 0)
+        os << "     -  ";
+      else
+        os << " " << std::fixed << std::setprecision(3)
+           << sums[b] / static_cast<double>(ns[b]);
+    }
+    os << "\n";
+  }
+}
+
+void print_contributions(std::ostream& os, const capture::TraceAnalysis& a) {
+  os << "Unique peers connected for data transfer: "
+     << a.unique_data_peers.total() << " (of " << a.unique_listed_ips
+     << " unique listed IPs => "
+     << pct(a.unique_listed_ips == 0
+                ? 0.0
+                : static_cast<double>(a.unique_data_peers.total()) /
+                      static_cast<double>(a.unique_listed_ips))
+     << " used)\n";
+  print_histogram_row(os, a.unique_data_peers);
+
+  const auto se = a.request_se_fit();
+  const auto zipf = a.request_zipf_fit();
+  os << "Request rank distribution fits:\n";
+  os << "  stretched-exponential: c=" << std::fixed << std::setprecision(2)
+     << se.c << "  a=" << std::setprecision(3) << se.a << "  b=" << se.b
+     << "  R2=" << std::setprecision(6) << se.r2 << "\n";
+  os << "  zipf (log-log line):   alpha=" << std::setprecision(3)
+     << zipf.alpha << "  R2=" << std::setprecision(6) << zipf.r2 << "\n";
+  os << "Concentration: top 10% of peers get "
+     << pct(a.top_request_share(0.10)) << " of data requests and contribute "
+     << pct(a.top_contribution_share(0.10)) << " of downloaded bytes\n";
+}
+
+void print_rtt_rank(std::ostream& os, const capture::TraceAnalysis& a) {
+  os << "log(#requests) vs log(RTT) correlation coefficient: " << std::fixed
+     << std::setprecision(3) << a.rtt_request_correlation() << "\n";
+  os << "  rank |  requests |  RTT-estimate(s)\n";
+  const std::size_t n = a.peers.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    // Print the head, a middle sample, and the tail of the ranked table.
+    if (i >= 5 && i < n - 5 && i % std::max<std::size_t>(1, n / 10) != 0)
+      continue;
+    const auto& p = a.peers[i];
+    os << "  " << std::setw(4) << (i + 1) << " | " << std::setw(9)
+       << p.data_requests_matched << " | " << std::setprecision(4)
+       << p.min_response_seconds << "\n";
+  }
+}
+
+void print_traffic_matrix(std::ostream& os, const TrafficMatrix& m) {
+  os << "Swarm data-traffic matrix (bytes, rows=serving ISP, cols=receiving "
+        "ISP)\n        ";
+  for (auto c : net::kAllIspCategories)
+    os << std::setw(12) << net::to_string(c);
+  os << "\n";
+  for (auto from : net::kAllIspCategories) {
+    os << std::setw(8) << net::to_string(from);
+    for (auto to : net::kAllIspCategories) {
+      os << std::setw(12)
+         << m.bytes[static_cast<std::size_t>(from)]
+                   [static_cast<std::size_t>(to)];
+    }
+    os << "\n";
+  }
+  os << "  intra-ISP share of data bytes: " << pct(m.locality()) << "\n";
+}
+
+}  // namespace ppsim::core

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "capture/analyzer.h"
+#include "core/experiment.h"
+
+namespace ppsim::core {
+
+/// Text renderers for the paper's figures and tables. Each prints the same
+/// rows/series the corresponding figure plots, so a bench binary's output
+/// can be compared against the paper side by side.
+
+/// Figure (a) panels: returned addresses by ISP (duplicates kept).
+void print_returned_addresses(std::ostream& os,
+                              const capture::TraceAnalysis& a);
+
+/// Figure (b) panels: returned addresses split by replier class
+/// ("CNC_p", "CNC_s", ...), each row broken down by listed-address ISP.
+void print_list_sources(std::ostream& os, const capture::TraceAnalysis& a);
+
+/// Figure (c) panels: data transmissions (up) and bytes (down) by ISP.
+void print_data_by_isp(std::ostream& os, const capture::TraceAnalysis& a);
+
+/// Figures 7-10: response-time summary per responder group (count, mean),
+/// plus a coarse time-binned series of means for shape comparison.
+void print_response_times(std::ostream& os, const capture::TraceAnalysis& a,
+                          bool data_requests);
+
+/// Figures 11-14: unique connected peers by ISP, SE vs Zipf fit of the
+/// request rank distribution, and contribution concentration.
+void print_contributions(std::ostream& os, const capture::TraceAnalysis& a);
+
+/// Figures 15-18: request-count vs RTT correlation and the top/bottom of
+/// the ranked table.
+void print_rtt_rank(std::ostream& os, const capture::TraceAnalysis& a);
+
+/// Strategy-ablation summary row.
+void print_traffic_matrix(std::ostream& os, const TrafficMatrix& m);
+
+/// Percentage with one decimal, e.g. "87.3%".
+std::string pct(double fraction);
+
+}  // namespace ppsim::core

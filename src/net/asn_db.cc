@@ -1,0 +1,63 @@
+#include "net/asn_db.h"
+
+#include <cassert>
+
+namespace ppsim::net {
+
+struct AsnDatabase::Node {
+  std::unique_ptr<Node> child[2];
+  std::unique_ptr<AsnRecord> record;  // set iff a prefix terminates here
+};
+
+AsnDatabase::AsnDatabase() : root_(std::make_unique<Node>()) {}
+AsnDatabase::~AsnDatabase() = default;
+AsnDatabase::AsnDatabase(AsnDatabase&&) noexcept = default;
+AsnDatabase& AsnDatabase::operator=(AsnDatabase&&) noexcept = default;
+
+namespace {
+// Extracts bit `i` (0 = most significant) of an address.
+int bit_at(std::uint32_t v, int i) { return (v >> (31 - i)) & 1; }
+}  // namespace
+
+void AsnDatabase::insert(Prefix prefix, std::uint32_t asn, std::string as_name,
+                         IspCategory category) {
+  Node* node = root_.get();
+  std::uint32_t addr = prefix.network().value();
+  for (int i = 0; i < prefix.length(); ++i) {
+    int b = bit_at(addr, i);
+    if (!node->child[b]) node->child[b] = std::make_unique<Node>();
+    node = node->child[b].get();
+  }
+  if (!node->record) ++prefix_count_;
+  node->record = std::make_unique<AsnRecord>(
+      AsnRecord{asn, std::move(as_name), category, prefix});
+}
+
+std::optional<AsnRecord> AsnDatabase::lookup(IpAddress ip) const {
+  const Node* node = root_.get();
+  const AsnRecord* best = node->record.get();
+  std::uint32_t addr = ip.value();
+  for (int i = 0; i < 32 && node; ++i) {
+    node = node->child[bit_at(addr, i)].get();
+    if (node && node->record) best = node->record.get();
+  }
+  if (!best) return std::nullopt;
+  return *best;
+}
+
+IspCategory AsnDatabase::category_or_foreign(IpAddress ip) const {
+  auto rec = lookup(ip);
+  return rec ? rec->category : IspCategory::kForeign;
+}
+
+AsnDatabase AsnDatabase::from_registry(const IspRegistry& registry) {
+  AsnDatabase db;
+  for (const auto& isp : registry.all()) {
+    for (const auto& prefix : isp.prefixes) {
+      db.insert(prefix, isp.asn, isp.as_name, isp.category);
+    }
+  }
+  return db;
+}
+
+}  // namespace ppsim::net

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/ip.h"
+#include "net/isp.h"
+
+namespace ppsim::net {
+
+/// Result of an IP-to-ASN lookup, mirroring what the Team Cymru whois
+/// service returns: the origin ASN, its name, and (our addition) the
+/// reporting category the analysis maps it to.
+struct AsnRecord {
+  std::uint32_t asn = 0;
+  std::string as_name;
+  IspCategory category = IspCategory::kForeign;
+  Prefix matched_prefix;
+};
+
+/// Longest-prefix-match IP-to-ASN database.
+///
+/// This stands in for the Team Cymru IP→ASN mapping service the paper uses
+/// to attribute every observed peer IP to an ISP. Implemented as a binary
+/// (per-bit) trie: insert is O(prefix length), lookup walks at most 32 nodes
+/// and remembers the deepest node carrying a record.
+class AsnDatabase {
+ public:
+  AsnDatabase();
+  ~AsnDatabase();
+  AsnDatabase(AsnDatabase&&) noexcept;
+  AsnDatabase& operator=(AsnDatabase&&) noexcept;
+  AsnDatabase(const AsnDatabase&) = delete;
+  AsnDatabase& operator=(const AsnDatabase&) = delete;
+
+  /// Registers a prefix as originated by the given AS. More-specific
+  /// prefixes shadow less-specific ones, as in BGP.
+  void insert(Prefix prefix, std::uint32_t asn, std::string as_name,
+              IspCategory category);
+
+  /// Longest-prefix match; nullopt when no covering prefix exists
+  /// (the paper's equivalent of an unmapped IP).
+  std::optional<AsnRecord> lookup(IpAddress ip) const;
+
+  /// Convenience: category lookup with FOREIGN as the unmapped fallback,
+  /// matching how the paper buckets unknown addresses.
+  IspCategory category_or_foreign(IpAddress ip) const;
+
+  std::size_t prefix_count() const { return prefix_count_; }
+
+  /// Builds a database covering every prefix in the registry.
+  static AsnDatabase from_registry(const IspRegistry& registry);
+
+ private:
+  struct Node;
+  std::unique_ptr<Node> root_;
+  std::size_t prefix_count_ = 0;
+};
+
+}  // namespace ppsim::net

@@ -1,0 +1,41 @@
+#include "net/bandwidth.h"
+
+#include <algorithm>
+
+namespace ppsim::net {
+
+AccessProfile AccessProfile::sample(AccessClass cls, sim::Rng& rng) {
+  switch (cls) {
+    case AccessClass::kAdsl:
+      return AccessProfile{rng.uniform(1e6, 8e6), rng.uniform(384e3, 768e3)};
+    case AccessClass::kCable:
+      return AccessProfile{rng.uniform(4e6, 16e6), rng.uniform(512e3, 2e6)};
+    case AccessClass::kCampus:
+      return AccessProfile{rng.uniform(10e6, 100e6), rng.uniform(10e6, 100e6)};
+    case AccessClass::kDatacenter:
+      return AccessProfile{1e9, 1e9};
+    case AccessClass::kFiber:
+      return AccessProfile{rng.uniform(10e6, 20e6), rng.uniform(2e6, 6e6)};
+  }
+  return {};
+}
+
+LinkQueue::Admission LinkQueue::enqueue(sim::Time now, std::uint64_t bytes) {
+  const sim::Time wait = backlog(now);
+  if (wait > max_backlog_) {
+    ++drops_;
+    return {};
+  }
+  const double seconds = static_cast<double>(bytes) * 8.0 / bps_;
+  const sim::Time serialization = sim::Time::from_seconds(seconds);
+  const sim::Time start = std::max(now, busy_until_);
+  busy_until_ = start + serialization;
+  bytes_sent_ += bytes;
+  return {true, busy_until_};
+}
+
+sim::Time LinkQueue::backlog(sim::Time now) const {
+  return busy_until_ > now ? busy_until_ - now : sim::Time::zero();
+}
+
+}  // namespace ppsim::net

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace ppsim::net {
+
+/// Access technology classes seen in the paper's deployment: residential
+/// ADSL in China (the TELE probe used ADSL), campus Ethernet (CERNET and
+/// Mason hosts), cable for foreign residential users, and datacenter links
+/// for PPLive's bootstrap/tracker servers and channel sources.
+enum class AccessClass : std::uint8_t {
+  kAdsl = 0,
+  kCable = 1,
+  kCampus = 2,
+  kDatacenter = 3,
+  /// Business fiber / internet-café uplinks (2008 China): fast LAN behind a
+  /// shared multi-megabit uplink — strong servers, but not bottomless.
+  kFiber = 4,
+};
+
+/// Up/down capacities of one host's access link.
+struct AccessProfile {
+  double down_bps = 4e6;
+  double up_bps = 512e3;
+
+  /// Samples a concrete profile for the class, with realistic spread
+  /// (e.g. ADSL 1-8 Mbps down / 384-768 kbps up).
+  static AccessProfile sample(AccessClass cls, sim::Rng& rng);
+};
+
+/// FIFO serialization queue for one direction of an access link.
+///
+/// This is where load-dependent delay comes from: a peer uploading to many
+/// neighbors serializes replies one after another, so its response time
+/// grows with load — the effect behind the popular-channel latency inflation
+/// in Figure 7(a) and Table 1. Packets that would wait longer than
+/// `max_backlog` are tail-dropped.
+class LinkQueue {
+ public:
+  LinkQueue() = default;
+  LinkQueue(double bps, sim::Time max_backlog)
+      : bps_(bps), max_backlog_(max_backlog) {}
+
+  /// Attempts to enqueue `bytes` at time `now`. On success returns the time
+  /// the last bit leaves the link; on overflow returns an unset optional
+  /// (packet dropped).
+  struct Admission {
+    bool admitted = false;
+    sim::Time departure;  // valid iff admitted
+  };
+  Admission enqueue(sim::Time now, std::uint64_t bytes);
+
+  /// Current backlog if a packet were enqueued at `now`.
+  sim::Time backlog(sim::Time now) const;
+
+  double bps() const { return bps_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t drops() const { return drops_; }
+
+ private:
+  double bps_ = 1e6;
+  sim::Time max_backlog_ = sim::Time::seconds(2);
+  sim::Time busy_until_;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t drops_ = 0;
+};
+
+/// Both directions of a host's access link.
+class AccessLink {
+ public:
+  AccessLink() = default;
+  AccessLink(const AccessProfile& profile, sim::Time max_backlog)
+      : up_(profile.up_bps, max_backlog),
+        down_(profile.down_bps, max_backlog) {}
+
+  LinkQueue& up() { return up_; }
+  LinkQueue& down() { return down_; }
+  const LinkQueue& up() const { return up_; }
+  const LinkQueue& down() const { return down_; }
+
+ private:
+  LinkQueue up_;
+  LinkQueue down_;
+};
+
+}  // namespace ppsim::net

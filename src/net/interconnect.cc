@@ -1,0 +1,50 @@
+#include "net/interconnect.h"
+
+#include <algorithm>
+
+namespace ppsim::net {
+
+std::size_t InterconnectFabric::pair_index(IspCategory a, IspCategory b) {
+  auto x = static_cast<std::size_t>(a);
+  auto y = static_cast<std::size_t>(b);
+  if (x > y) std::swap(x, y);
+  return x * kNumIspCategories + y;
+}
+
+InterconnectFabric::InterconnectFabric(const InterconnectConfig& config) {
+  auto rate_for = [&](IspCategory a, IspCategory b) {
+    for (const auto& o : config.overrides) {
+      if ((o.a == a && o.b == b) || (o.a == b && o.b == a)) return o.bps;
+    }
+    return config.default_bps;
+  };
+  for (auto a : kAllIspCategories) {
+    for (auto b : kAllIspCategories) {
+      if (static_cast<int>(a) >= static_cast<int>(b)) continue;
+      const double bps = rate_for(a, b);
+      if (bps > 0) {
+        pipes_[pair_index(a, b)].emplace(bps, config.max_backlog);
+      }
+    }
+  }
+}
+
+LinkQueue::Admission InterconnectFabric::cross(IspCategory a, IspCategory b,
+                                               sim::Time at,
+                                               std::uint64_t bytes) {
+  if (a == b) return {true, at};
+  auto& pipe = pipes_[pair_index(a, b)];
+  if (!pipe.has_value()) return {true, at};
+  ++crossings_;
+  auto admission = pipe->enqueue(at, bytes);
+  if (!admission.admitted) ++drops_;
+  return admission;
+}
+
+std::uint64_t InterconnectFabric::pair_bytes(IspCategory a,
+                                             IspCategory b) const {
+  const auto& pipe = pipes_[pair_index(a, b)];
+  return pipe.has_value() ? pipe->bytes_sent() : 0;
+}
+
+}  // namespace ppsim::net

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/bandwidth.h"
+#include "net/isp.h"
+#include "sim/time.h"
+
+namespace ppsim::net {
+
+/// Configuration of inter-ISP bottleneck links.
+///
+/// The base latency model *parameterizes* cross-ISP slowness (fixed RTT
+/// penalties). This fabric makes it *emergent* instead: all traffic
+/// crossing a category boundary shares a finite interconnect pipe per
+/// category pair, so cross-ISP delay and loss grow with cross-ISP load —
+/// the dynamic that made 2008 TELE<->CNC paths collapse at peak hours.
+/// Disabled by default (default_bps = 0 means unlimited) so the calibrated
+/// reproduction is unaffected; the interconnect ablation bench turns it on.
+struct InterconnectConfig {
+  /// Capacity of each cross-category pipe; 0 = unlimited (disabled).
+  double default_bps = 0;
+  /// Packets that would wait longer than this are dropped at the pipe.
+  sim::Time max_backlog = sim::Time::millis(800);
+
+  struct PairRate {
+    IspCategory a;
+    IspCategory b;
+    double bps;
+  };
+  /// Per-pair capacity overrides (order of a/b irrelevant).
+  std::vector<PairRate> overrides;
+};
+
+/// The set of inter-category bottleneck queues. One queue per unordered
+/// category pair, shared by every flow crossing that boundary.
+class InterconnectFabric {
+ public:
+  explicit InterconnectFabric(const InterconnectConfig& config);
+
+  /// Passes `bytes` through the a<->b pipe at time `at`. For same-category
+  /// or unlimited pairs, admits instantly with departure == at.
+  LinkQueue::Admission cross(IspCategory a, IspCategory b, sim::Time at,
+                             std::uint64_t bytes);
+
+  std::uint64_t drops() const { return drops_; }
+  std::uint64_t crossings() const { return crossings_; }
+
+  /// Bytes currently admitted through the a<->b pipe.
+  std::uint64_t pair_bytes(IspCategory a, IspCategory b) const;
+
+ private:
+  static std::size_t pair_index(IspCategory a, IspCategory b);
+
+  // kNumIspCategories^2 slots; only the upper triangle is used.
+  std::array<std::optional<LinkQueue>,
+             kNumIspCategories * kNumIspCategories>
+      pipes_;
+  std::uint64_t drops_ = 0;
+  std::uint64_t crossings_ = 0;
+};
+
+}  // namespace ppsim::net

@@ -1,0 +1,28 @@
+#include "net/ip.h"
+
+#include <cstdio>
+
+namespace ppsim::net {
+
+std::string IpAddress::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (v_ >> 24) & 0xFF,
+                (v_ >> 16) & 0xFF, (v_ >> 8) & 0xFF, v_ & 0xFF);
+  return buf;
+}
+
+std::optional<IpAddress> IpAddress::parse(const std::string& s) {
+  unsigned a, b, c, d;
+  char trailing;
+  int n = std::sscanf(s.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &trailing);
+  if (n != 4) return std::nullopt;
+  if (a > 255 || b > 255 || c > 255 || d > 255) return std::nullopt;
+  return IpAddress(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b),
+                   static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(d));
+}
+
+std::string Prefix::to_string() const {
+  return network_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace ppsim::net

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <functional>
+#include <optional>
+#include <string>
+
+namespace ppsim::net {
+
+/// IPv4 address as a host-order 32-bit integer with dotted-quad I/O.
+class IpAddress {
+ public:
+  constexpr IpAddress() = default;
+  constexpr explicit IpAddress(std::uint32_t v) : v_(v) {}
+  constexpr IpAddress(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                      std::uint8_t d)
+      : v_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+           (std::uint32_t{c} << 8) | d) {}
+
+  constexpr std::uint32_t value() const { return v_; }
+  constexpr bool is_unspecified() const { return v_ == 0; }
+
+  constexpr auto operator<=>(const IpAddress&) const = default;
+
+  std::string to_string() const;
+
+  /// Parses "a.b.c.d"; returns nullopt on malformed input.
+  static std::optional<IpAddress> parse(const std::string& s);
+
+ private:
+  std::uint32_t v_ = 0;
+};
+
+/// CIDR prefix, e.g. 61.128.0.0/10.
+class Prefix {
+ public:
+  constexpr Prefix() = default;
+  /// The network address is masked down to the prefix length.
+  constexpr Prefix(IpAddress network, int length)
+      : network_(IpAddress(length == 0 ? 0 : (network.value() & mask(length)))),
+        length_(length) {}
+
+  constexpr IpAddress network() const { return network_; }
+  constexpr int length() const { return length_; }
+
+  constexpr bool contains(IpAddress ip) const {
+    if (length_ == 0) return true;
+    return (ip.value() & mask(length_)) == network_.value();
+  }
+
+  /// Number of addresses covered (2^(32-len)); capped for len 0.
+  constexpr std::uint64_t size() const {
+    return std::uint64_t{1} << (32 - length_);
+  }
+
+  constexpr auto operator<=>(const Prefix&) const = default;
+
+  std::string to_string() const;
+
+  static constexpr std::uint32_t mask(int length) {
+    return length == 0 ? 0u : ~std::uint32_t{0} << (32 - length);
+  }
+
+ private:
+  IpAddress network_;
+  int length_ = 0;
+};
+
+}  // namespace ppsim::net
+
+template <>
+struct std::hash<ppsim::net::IpAddress> {
+  std::size_t operator()(const ppsim::net::IpAddress& ip) const noexcept {
+    // Finalizing mix keeps sequentially-allocated addresses well spread.
+    std::uint64_t x = ip.value();
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDULL;
+    x ^= x >> 33;
+    return static_cast<std::size_t>(x);
+  }
+};

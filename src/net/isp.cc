@@ -1,0 +1,111 @@
+#include "net/isp.h"
+
+#include <cassert>
+
+namespace ppsim::net {
+
+std::string_view to_string(IspCategory c) {
+  switch (c) {
+    case IspCategory::kTele:
+      return "TELE";
+    case IspCategory::kCnc:
+      return "CNC";
+    case IspCategory::kCer:
+      return "CER";
+    case IspCategory::kOtherCn:
+      return "OtherCN";
+    case IspCategory::kForeign:
+      return "Foreign";
+  }
+  return "?";
+}
+
+std::string_view to_string(ResponseGroup g) {
+  switch (g) {
+    case ResponseGroup::kTele:
+      return "TELE";
+    case ResponseGroup::kCnc:
+      return "CNC";
+    case ResponseGroup::kOther:
+      return "OTHER";
+  }
+  return "?";
+}
+
+ResponseGroup response_group(IspCategory c) {
+  switch (c) {
+    case IspCategory::kTele:
+      return ResponseGroup::kTele;
+    case IspCategory::kCnc:
+      return ResponseGroup::kCnc;
+    default:
+      return ResponseGroup::kOther;
+  }
+}
+
+IspId IspRegistry::add(std::string as_name, std::uint32_t asn,
+                       IspCategory category) {
+  IspId id{static_cast<std::uint32_t>(isps_.size())};
+  isps_.push_back(IspInfo{id, asn, std::move(as_name), category, {}});
+  return id;
+}
+
+void IspRegistry::add_prefix(IspId id, Prefix p) {
+  assert(id.index < isps_.size());
+  isps_[id.index].prefixes.push_back(p);
+}
+
+const IspInfo& IspRegistry::info(IspId id) const {
+  assert(id.index < isps_.size());
+  return isps_[id.index];
+}
+
+std::vector<IspId> IspRegistry::in_category(IspCategory c) const {
+  std::vector<IspId> out;
+  for (const auto& isp : isps_)
+    if (isp.category == c) out.push_back(isp.id);
+  return out;
+}
+
+IspRegistry IspRegistry::standard_topology() {
+  IspRegistry reg;
+
+  // Backbone ASes for the three ISPs the paper instruments. ASNs and address
+  // blocks are synthetic but shaped like the real allocations (ChinaTelecom
+  // AS4134, ChinaNetcom AS4837, CERNET AS4538).
+  IspId tele = reg.add("CHINANET-BACKBONE", 4134, IspCategory::kTele);
+  reg.add_prefix(tele, Prefix(IpAddress(61, 128, 0, 0), 10));
+  reg.add_prefix(tele, Prefix(IpAddress(116, 0, 0, 0), 10));
+  reg.add_prefix(tele, Prefix(IpAddress(218, 0, 0, 0), 11));
+
+  IspId cnc = reg.add("CNCGROUP-BACKBONE", 4837, IspCategory::kCnc);
+  reg.add_prefix(cnc, Prefix(IpAddress(60, 0, 0, 0), 11));
+  reg.add_prefix(cnc, Prefix(IpAddress(221, 192, 0, 0), 11));
+
+  IspId cer = reg.add("CERNET-BACKBONE", 4538, IspCategory::kCer);
+  reg.add_prefix(cer, Prefix(IpAddress(166, 111, 0, 0), 16));
+  reg.add_prefix(cer, Prefix(IpAddress(202, 112, 0, 0), 13));
+
+  // Smaller Chinese ISPs, reported as OtherCN.
+  IspId unicom = reg.add("UNICOM-CN", 9800, IspCategory::kOtherCn);
+  reg.add_prefix(unicom, Prefix(IpAddress(210, 13, 0, 0), 16));
+  IspId crnet = reg.add("CRNET-CN", 9394, IspCategory::kOtherCn);
+  reg.add_prefix(crnet, Prefix(IpAddress(218, 224, 0, 0), 13));
+  IspId mobile = reg.add("CMNET-CN", 9808, IspCategory::kOtherCn);
+  reg.add_prefix(mobile, Prefix(IpAddress(120, 192, 0, 0), 10));
+
+  // Foreign ISPs across several regions; the Mason probe host lives in one
+  // of these (a US university network).
+  IspId mason = reg.add("US-UNIVERSITY-NET", 1747, IspCategory::kForeign);
+  reg.add_prefix(mason, Prefix(IpAddress(129, 174, 0, 0), 16));
+  IspId us_res = reg.add("US-RESIDENTIAL-NET", 7922, IspCategory::kForeign);
+  reg.add_prefix(us_res, Prefix(IpAddress(24, 0, 0, 0), 12));
+  IspId eu = reg.add("EU-BROADBAND-NET", 3320, IspCategory::kForeign);
+  reg.add_prefix(eu, Prefix(IpAddress(84, 128, 0, 0), 10));
+  IspId asia = reg.add("ASIA-PACIFIC-NET", 4713, IspCategory::kForeign);
+  reg.add_prefix(asia, Prefix(IpAddress(219, 96, 0, 0), 11));
+
+  return reg;
+}
+
+}  // namespace ppsim::net

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/ip.h"
+
+namespace ppsim::net {
+
+/// Reporting buckets used throughout the paper's figures.
+///
+/// TELE = ChinaTelecom, CNC = ChinaNetcom, CER = CERNET, OTHER_CN = smaller
+/// Chinese ISPs (China Unicom, China Railway Internet, ...), FOREIGN = ISPs
+/// outside China. Figures 7-10 and Table 1 additionally collapse
+/// {CER, OTHER_CN, FOREIGN} into a single OTHER group.
+enum class IspCategory : std::uint8_t {
+  kTele = 0,
+  kCnc = 1,
+  kCer = 2,
+  kOtherCn = 3,
+  kForeign = 4,
+};
+
+inline constexpr std::size_t kNumIspCategories = 5;
+inline constexpr std::array<IspCategory, kNumIspCategories> kAllIspCategories =
+    {IspCategory::kTele, IspCategory::kCnc, IspCategory::kCer,
+     IspCategory::kOtherCn, IspCategory::kForeign};
+
+std::string_view to_string(IspCategory c);
+
+/// Three-way grouping relative to an observer, as used in the response-time
+/// analysis (Figures 7-10, Table 1): TELE peers, CNC peers, everyone else.
+enum class ResponseGroup : std::uint8_t { kTele = 0, kCnc = 1, kOther = 2 };
+inline constexpr std::size_t kNumResponseGroups = 3;
+
+std::string_view to_string(ResponseGroup g);
+
+ResponseGroup response_group(IspCategory c);
+
+/// Identifier of a concrete autonomous system / ISP in the simulated
+/// topology. Several ASes can map to the same reporting category (e.g. many
+/// distinct foreign ISPs are all reported as FOREIGN).
+struct IspId {
+  std::uint32_t index = 0;
+  constexpr auto operator<=>(const IspId&) const = default;
+};
+
+/// Static description of one simulated ISP.
+struct IspInfo {
+  IspId id;
+  std::uint32_t asn = 0;          // autonomous system number
+  std::string as_name;            // e.g. "CHINANET-BACKBONE"
+  IspCategory category = IspCategory::kOtherCn;
+  std::vector<Prefix> prefixes;   // address space owned by this ISP
+};
+
+/// Registry of all ISPs in a simulated topology. Owns the static metadata;
+/// address allocation and ASN lookup are layered on top (PrefixAllocator,
+/// AsnDatabase).
+class IspRegistry {
+ public:
+  /// Adds an ISP; prefixes may be attached later via add_prefix.
+  IspId add(std::string as_name, std::uint32_t asn, IspCategory category);
+
+  void add_prefix(IspId id, Prefix p);
+
+  const IspInfo& info(IspId id) const;
+  std::size_t size() const { return isps_.size(); }
+  const std::vector<IspInfo>& all() const { return isps_; }
+
+  /// All ISPs in a given reporting category.
+  std::vector<IspId> in_category(IspCategory c) const;
+
+  /// Builds the default topology used by the experiments: one backbone AS
+  /// for each of TELE / CNC / CER, a handful of smaller Chinese ISPs
+  /// (OTHER_CN), and a set of foreign ISPs (FOREIGN) spanning several
+  /// continents. Address space is carved from disjoint /8-/12 blocks.
+  static IspRegistry standard_topology();
+
+ private:
+  std::vector<IspInfo> isps_;
+};
+
+}  // namespace ppsim::net

@@ -1,0 +1,76 @@
+#include "net/latency.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ppsim::net {
+
+namespace {
+
+bool is_china(IspCategory c) {
+  return c == IspCategory::kTele || c == IspCategory::kCnc ||
+         c == IspCategory::kCer || c == IspCategory::kOtherCn;
+}
+
+}  // namespace
+
+LatencyModel::LatencyModel(LatencyConfig config) : config_(config) {}
+
+sim::Time LatencyModel::base_rtt(const Endpoint& a, const Endpoint& b) const {
+  if (a.isp == b.isp) return config_.intra_isp_rtt;
+  if (a.category == b.category) {
+    // Two ASes in the same reporting bucket; for FOREIGN this still means
+    // different countries much of the time, so use the cross rate.
+    if (a.category == IspCategory::kForeign) return config_.foreign_cross_rtt;
+    return config_.intra_category_rtt;
+  }
+  const bool a_cn = is_china(a.category);
+  const bool b_cn = is_china(b.category);
+  if (a_cn != b_cn) return config_.transoceanic_rtt;
+  if (!a_cn) return config_.foreign_cross_rtt;
+  // Both in China, different buckets. CERNET peers with both commercial
+  // backbones at academic exchange points; TELE<->CNC crosses the congested
+  // national interconnect.
+  if (a.category == IspCategory::kCer || b.category == IspCategory::kCer)
+    return config_.cer_cross_rtt;
+  return config_.china_cross_isp_rtt;
+}
+
+double LatencyModel::pair_factor(IpAddress a, IpAddress b) const {
+  // Symmetric stable hash of the unordered pair.
+  std::uint64_t lo = std::min(a.value(), b.value());
+  std::uint64_t hi = std::max(a.value(), b.value());
+  std::uint64_t h = sim::hash_combine(config_.pair_salt,
+                                      sim::hash_combine(lo, hi));
+  // Map hash to N(0,1) via two uniform halves (Box-Muller on fixed bits).
+  double u1 = static_cast<double>((h >> 11) | 1) * 0x1.0p-53;
+  double u2 = static_cast<double>((sim::mix64(h) >> 11) | 1) * 0x1.0p-53;
+  double z = std::sqrt(-2.0 * std::log(u1)) *
+             std::cos(6.28318530717958647692 * u2);
+  return std::exp(config_.pair_sigma * z);
+}
+
+sim::Time LatencyModel::pair_rtt(const Endpoint& a, const Endpoint& b) const {
+  return sim::scale(base_rtt(a, b), pair_factor(a.ip, b.ip));
+}
+
+sim::Time LatencyModel::sample_one_way(const Endpoint& a, const Endpoint& b,
+                                       sim::Rng& rng) const {
+  sim::Time half = pair_rtt(a, b) / 2;
+  double jitter = rng.lognormal_median(1.0, config_.packet_sigma);
+  sim::Time d = sim::scale(half, jitter);
+  // Never less than a LAN-scale floor.
+  return std::max(d, sim::Time::micros(200));
+}
+
+double LatencyModel::loss_probability(const Endpoint& a,
+                                      const Endpoint& b) const {
+  if (a.isp == b.isp) return config_.intra_isp_loss;
+  const bool a_cn = is_china(a.category);
+  const bool b_cn = is_china(b.category);
+  if (a_cn != b_cn) return config_.transoceanic_loss;
+  if (!a_cn) return config_.foreign_cross_loss;
+  return config_.china_cross_loss;
+}
+
+}  // namespace ppsim::net

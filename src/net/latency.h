@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+
+#include "net/ip.h"
+#include "net/isp.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace ppsim::net {
+
+/// What the latency model needs to know about a packet endpoint.
+struct Endpoint {
+  IpAddress ip;
+  IspId isp;
+  IspCategory category = IspCategory::kForeign;
+};
+
+/// Tunable parameters for path latency and loss. All RTTs are medians of
+/// the propagation component; per-pair and per-packet jitter is layered on
+/// top. Defaults are calibrated so the *orderings* the paper measures hold:
+/// intra-ISP < China cross-ISP < transoceanic, with magnitudes shaped like
+/// 2008-era paths (TELE<->CNC interconnects were notoriously congested).
+struct LatencyConfig {
+  sim::Time intra_isp_rtt = sim::Time::millis(18);
+  sim::Time intra_category_rtt = sim::Time::millis(35);   // same bucket, other AS
+  /// TELE <-> CNC crossed the congested national interconnect; 2008-era
+  /// measurements put it well above 100 ms at peak.
+  sim::Time china_cross_isp_rtt = sim::Time::millis(140);
+  /// CERNET's links to the commercial backbones were even worse (academic
+  /// network, thin commercial peering).
+  sim::Time cer_cross_rtt = sim::Time::millis(160);
+  sim::Time transoceanic_rtt = sim::Time::millis(330);    // China <-> Foreign (2008 peak-hour international transit)
+  sim::Time foreign_cross_rtt = sim::Time::millis(75);    // Foreign <-> Foreign
+
+  /// Log-space sigma of the stable per-pair multiplier (path diversity).
+  double pair_sigma = 0.25;
+  /// Log-space sigma of the per-packet multiplier (queueing noise in the
+  /// core; access-link queueing is modeled separately by AccessLink).
+  double packet_sigma = 0.08;
+
+  double intra_isp_loss = 0.001;
+  double china_cross_loss = 0.006;
+  double transoceanic_loss = 0.02;
+  double foreign_cross_loss = 0.008;
+
+  /// Salt folded into the per-pair hash so distinct runs can re-roll path
+  /// multipliers while staying deterministic for a given seed.
+  std::uint64_t pair_salt = 0x70706C6976ULL;  // "ppliv"
+};
+
+/// Computes propagation delay and loss probability between endpoints.
+///
+/// The per-pair multiplier is derived from a hash of the two IPs, so the
+/// same pair always sees the same path quality regardless of packet order —
+/// this is what makes "the RTT to that peer" a stable, measurable property
+/// (Figures 15-18 correlate request counts against exactly this quantity).
+class LatencyModel {
+ public:
+  explicit LatencyModel(LatencyConfig config = {});
+
+  const LatencyConfig& config() const { return config_; }
+
+  /// Median round-trip propagation between the two endpoint classes,
+  /// before pair/packet jitter.
+  sim::Time base_rtt(const Endpoint& a, const Endpoint& b) const;
+
+  /// Stable per-pair multiplier in (0, inf), median 1. Symmetric in (a, b).
+  double pair_factor(IpAddress a, IpAddress b) const;
+
+  /// Ground-truth round-trip propagation for a pair including the stable
+  /// pair factor (no per-packet noise). Used by tests and by the analysis
+  /// section when validating measured-RTT estimates.
+  sim::Time pair_rtt(const Endpoint& a, const Endpoint& b) const;
+
+  /// One direction of a single packet: pair_rtt/2 times per-packet jitter.
+  sim::Time sample_one_way(const Endpoint& a, const Endpoint& b,
+                           sim::Rng& rng) const;
+
+  /// Probability this packet is dropped in the core.
+  double loss_probability(const Endpoint& a, const Endpoint& b) const;
+
+ private:
+  LatencyConfig config_;
+};
+
+}  // namespace ppsim::net

@@ -1,0 +1,61 @@
+#include "net/prefix_alloc.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ppsim::net {
+
+namespace {
+// Stride through the host space so consecutive allocations spread across
+// /24s: advance by 256 + 1 addresses each time, wrapping within the prefix.
+constexpr std::uint64_t kStride = 257;
+}  // namespace
+
+PrefixAllocator::PrefixAllocator(const IspRegistry& registry) {
+  states_.resize(registry.size());
+  for (const auto& isp : registry.all()) {
+    states_[isp.id.index].prefixes = isp.prefixes;
+  }
+}
+
+IpAddress PrefixAllocator::next_candidate(IspState& st) {
+  assert(!st.prefixes.empty());
+  const Prefix& p = st.prefixes[st.prefix_idx];
+  const std::uint64_t space = p.size();
+  IpAddress ip(p.network().value() +
+               static_cast<std::uint32_t>(st.offset % space));
+  // Round-robin across the ISP's prefixes, striding within each.
+  st.prefix_idx = (st.prefix_idx + 1) % st.prefixes.size();
+  if (st.prefix_idx == 0) st.offset += kStride;
+  return ip;
+}
+
+IpAddress PrefixAllocator::allocate(IspId isp) {
+  assert(isp.index < states_.size());
+  IspState& st = states_[isp.index];
+  if (st.prefixes.empty())
+    throw std::runtime_error("ISP has no prefixes to allocate from");
+
+  // Uniqueness is guaranteed per prefix for one full stride cycle, so the
+  // safe capacity is bounded by the smallest prefix (round-robin gives each
+  // prefix an equal share of allocations).
+  std::uint64_t min_size = st.prefixes.front().size();
+  for (const auto& p : st.prefixes) min_size = std::min(min_size, p.size());
+  if (st.count >= min_size * st.prefixes.size() / 2)
+    throw std::runtime_error("ISP address space exhausted");
+
+  for (;;) {
+    IpAddress ip = next_candidate(st);
+    const std::uint8_t last = static_cast<std::uint8_t>(ip.value() & 0xFF);
+    if (last == 0 || last == 255) continue;  // skip network/broadcast-alikes
+    ++st.count;
+    return ip;
+  }
+}
+
+std::uint64_t PrefixAllocator::allocated(IspId isp) const {
+  assert(isp.index < states_.size());
+  return states_[isp.index].count;
+}
+
+}  // namespace ppsim::net

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ip.h"
+#include "net/isp.h"
+
+namespace ppsim::net {
+
+/// Hands out host addresses from each ISP's prefixes.
+///
+/// Addresses within a prefix are allocated with a stride so consecutive
+/// peers of the same ISP land in different /24s (as real subscribers do),
+/// while remaining deterministic. Network (.0) and broadcast (.255) style
+/// endings are skipped for cosmetic realism.
+class PrefixAllocator {
+ public:
+  explicit PrefixAllocator(const IspRegistry& registry);
+
+  /// Allocates the next free address for the ISP. Throws std::runtime_error
+  /// when the ISP's address space is exhausted (does not happen at
+  /// simulation scales, but the invariant is enforced).
+  IpAddress allocate(IspId isp);
+
+  std::uint64_t allocated(IspId isp) const;
+
+ private:
+  struct IspState {
+    std::vector<Prefix> prefixes;
+    std::size_t prefix_idx = 0;
+    std::uint64_t offset = 0;  // per-prefix rotating offset
+    std::uint64_t count = 0;
+  };
+
+  IpAddress next_candidate(IspState& st);
+
+  std::vector<IspState> states_;
+};
+
+}  // namespace ppsim::net

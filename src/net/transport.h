@@ -1,0 +1,268 @@
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "net/bandwidth.h"
+#include "net/interconnect.h"
+#include "net/ip.h"
+#include "net/isp.h"
+#include "net/latency.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace ppsim::net {
+
+enum class Direction : std::uint8_t { kOutgoing = 0, kIncoming = 1 };
+
+/// UDP-like datagram network over the simulator.
+///
+/// Templated on the payload type so the substrate stays independent of the
+/// protocol living on top (the protocol library instantiates it with its
+/// message variant). Each attached host has an IP, an ISP, and an access
+/// link; a datagram experiences
+///
+///   uplink serialization+queueing -> core propagation (LatencyModel, may
+///   drop) -> downlink serialization+queueing (may tail-drop)
+///
+/// and is then delivered to the destination's handler — unless the
+/// destination detached in the meantime (peer churn), in which case the
+/// packet is silently lost, exactly like real UDP.
+///
+/// A per-host *tap* observes every sent and received datagram; the capture
+/// library uses it to record Wireshark-style traces at probe hosts.
+template <typename Payload>
+class Network {
+ public:
+  /// Delivered datagram as seen by the receiving host.
+  struct Delivery {
+    IpAddress from;
+    IpAddress to;
+    Payload payload;
+    std::uint64_t wire_bytes = 0;
+    sim::Time sent_at;  // when the sender handed it to its uplink
+  };
+
+  using Handler = std::function<void(const Delivery&)>;
+  /// (direction, local endpoint, remote endpoint, payload, bytes)
+  using Tap = std::function<void(Direction, IpAddress local, IpAddress remote,
+                                 const Payload&, std::uint64_t)>;
+  /// Network-wide observer invoked once per *delivered* datagram. Used by
+  /// the experiment harness for swarm-level traffic accounting (something a
+  /// real measurement study cannot have — we use it only for ground-truth
+  /// validation and the strategy-ablation bench, never in the reproduction
+  /// of the paper's probe-side figures).
+  using GlobalTap = std::function<void(const Endpoint& from, const Endpoint& to,
+                                       const Payload&, std::uint64_t)>;
+
+  Network(sim::Simulator& simulator, LatencyModel latency, sim::Rng rng,
+          sim::Time max_backlog = sim::Time::seconds(2))
+      : simulator_(simulator),
+        latency_(std::move(latency)),
+        rng_(rng),
+        max_backlog_(max_backlog) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Current simulated time (convenience for taps and tests).
+  sim::Time now() const { return simulator_.now(); }
+
+  /// Attaches a host. The handler is invoked for every delivered datagram.
+  void attach(IpAddress ip, IspId isp, IspCategory category,
+              const AccessProfile& profile, Handler handler) {
+    assert(!ip.is_unspecified());
+    auto [it, inserted] = hosts_.try_emplace(ip);
+    assert(inserted && "IP already attached");
+    Host& h = it->second;
+    h.endpoint = Endpoint{ip, isp, category};
+    h.link = AccessLink(profile, max_backlog_);
+    h.handler = std::move(handler);
+    h.epoch = ++epoch_counter_;
+  }
+
+  /// Detaches a host (peer leaves). In-flight packets to it are dropped on
+  /// arrival; a later re-attach of the same IP is a distinct host (packets
+  /// addressed to the old incarnation are not delivered to the new one).
+  void detach(IpAddress ip) { hosts_.erase(ip); }
+
+  bool attached(IpAddress ip) const { return hosts_.contains(ip); }
+
+  std::size_t host_count() const { return hosts_.size(); }
+
+  void set_global_tap(GlobalTap tap) { global_tap_ = std::move(tap); }
+
+  /// Installs shared inter-ISP bottleneck pipes (see InterconnectConfig).
+  /// Packets crossing a category boundary then queue at the corresponding
+  /// pipe between uplink and core propagation, and may be tail-dropped.
+  void set_interconnects(const InterconnectConfig& config) {
+    interconnects_.emplace(config);
+  }
+
+  const InterconnectFabric* interconnects() const {
+    return interconnects_.has_value() ? &*interconnects_ : nullptr;
+  }
+
+  /// Installs (or clears, with nullptr) the capture tap for a host.
+  void set_tap(IpAddress ip, Tap tap) {
+    auto it = hosts_.find(ip);
+    assert(it != hosts_.end());
+    it->second.tap = std::move(tap);
+  }
+
+  const Endpoint& endpoint(IpAddress ip) const {
+    auto it = hosts_.find(ip);
+    assert(it != hosts_.end());
+    return it->second.endpoint;
+  }
+
+  const AccessLink& link(IpAddress ip) const {
+    auto it = hosts_.find(ip);
+    assert(it != hosts_.end());
+    return it->second.link;
+  }
+
+  /// Ground-truth RTT between two attached hosts (for tests/validation).
+  sim::Time true_rtt(IpAddress a, IpAddress b) const {
+    return latency_.pair_rtt(endpoint(a), endpoint(b));
+  }
+
+  /// Sends a datagram. Returns false if it was dropped before entering the
+  /// core (unknown sender, sender uplink overflow); core and downlink drops
+  /// happen later and are reported via stats only — the sender cannot
+  /// observe them, as in real life.
+  bool send(IpAddress from, IpAddress to, Payload payload,
+            std::uint64_t wire_bytes) {
+    auto sit = hosts_.find(from);
+    if (sit == hosts_.end()) return false;
+    Host& sender = sit->second;
+    ++stats_.packets_sent;
+    stats_.bytes_sent += wire_bytes;
+    if (sender.tap)
+      sender.tap(Direction::kOutgoing, from, to, payload, wire_bytes);
+
+    auto admission = sender.link.up().enqueue(simulator_.now(), wire_bytes);
+    if (!admission.admitted) {
+      ++stats_.uplink_drops;
+      return false;
+    }
+
+    // Core propagation is computed against the destination's *current*
+    // endpoint; if the destination is gone we still charge the sender's
+    // uplink (already done) and drop.
+    auto dit = hosts_.find(to);
+    if (dit == hosts_.end()) {
+      ++stats_.dead_destination_drops;
+      return true;  // left the sender successfully
+    }
+    const Endpoint dst_ep = dit->second.endpoint;
+    const std::uint64_t dst_epoch = dit->second.epoch;
+
+    if (rng_.chance(latency_.loss_probability(sender.endpoint, dst_ep))) {
+      ++stats_.core_drops;
+      return true;
+    }
+
+    // Cross-ISP packets share the inter-category bottleneck, if modeled.
+    sim::Time core_entry = admission.departure;
+    if (interconnects_.has_value()) {
+      auto crossing = interconnects_->cross(sender.endpoint.category,
+                                            dst_ep.category, core_entry,
+                                            wire_bytes);
+      if (!crossing.admitted) {
+        ++stats_.core_drops;
+        return true;
+      }
+      core_entry = crossing.departure;
+    }
+
+    const sim::Time propagation =
+        latency_.sample_one_way(sender.endpoint, dst_ep, rng_);
+    const sim::Time core_arrival = core_entry + propagation;
+    const sim::Time sent_at = simulator_.now();
+
+    simulator_.schedule_at(
+        core_arrival, [this, from, to, dst_epoch, sent_at, wire_bytes,
+                       payload = std::move(payload)]() mutable {
+          deliver(from, to, dst_epoch, sent_at, wire_bytes,
+                  std::move(payload));
+        });
+    return true;
+  }
+
+  struct Stats {
+    std::uint64_t packets_sent = 0;
+    std::uint64_t packets_delivered = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t uplink_drops = 0;
+    std::uint64_t core_drops = 0;
+    std::uint64_t downlink_drops = 0;
+    std::uint64_t dead_destination_drops = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Host {
+    Endpoint endpoint;
+    AccessLink link;
+    Handler handler;
+    Tap tap;
+    std::uint64_t epoch = 0;
+  };
+
+  void deliver(IpAddress from, IpAddress to, std::uint64_t dst_epoch,
+               sim::Time sent_at, std::uint64_t wire_bytes, Payload payload) {
+    auto it = hosts_.find(to);
+    if (it == hosts_.end() || it->second.epoch != dst_epoch) {
+      ++stats_.dead_destination_drops;
+      return;
+    }
+    Host& host = it->second;
+    auto admission = host.link.down().enqueue(simulator_.now(), wire_bytes);
+    if (!admission.admitted) {
+      ++stats_.downlink_drops;
+      return;
+    }
+    simulator_.schedule_at(
+        admission.departure,
+        [this, from, to, dst_epoch, sent_at, wire_bytes,
+         payload = std::move(payload)]() mutable {
+          auto hit = hosts_.find(to);
+          if (hit == hosts_.end() || hit->second.epoch != dst_epoch) {
+            ++stats_.dead_destination_drops;
+            return;
+          }
+          Host& h = hit->second;
+          ++stats_.packets_delivered;
+          if (global_tap_) {
+            auto fit = hosts_.find(from);
+            // Sender may have churned out; use its endpoint if still known.
+            if (fit != hosts_.end())
+              global_tap_(fit->second.endpoint, h.endpoint, payload,
+                          wire_bytes);
+          }
+          if (h.tap)
+            h.tap(Direction::kIncoming, to, from, payload, wire_bytes);
+          if (h.handler)
+            h.handler(Delivery{from, to, std::move(payload), wire_bytes,
+                               sent_at});
+        });
+  }
+
+  sim::Simulator& simulator_;
+  LatencyModel latency_;
+  sim::Rng rng_;
+  sim::Time max_backlog_;
+  std::unordered_map<IpAddress, Host> hosts_;
+  std::uint64_t epoch_counter_ = 0;
+  Stats stats_;
+  GlobalTap global_tap_;
+  std::optional<InterconnectFabric> interconnects_;
+};
+
+}  // namespace ppsim::net

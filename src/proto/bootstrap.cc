@@ -1,0 +1,58 @@
+#include "proto/bootstrap.h"
+
+namespace ppsim::proto {
+
+BootstrapServer::BootstrapServer(sim::Simulator& simulator,
+                                 PeerNetwork& network,
+                                 const HostIdentity& identity,
+                                 sim::Time processing_delay)
+    : simulator_(simulator),
+      network_(network),
+      identity_(identity),
+      processing_delay_(processing_delay) {
+  network_.attach(identity_.ip, identity_.isp, identity_.category,
+                  identity_.profile,
+                  [this](const PeerNetwork::Delivery& d) { handle(d); });
+}
+
+BootstrapServer::~BootstrapServer() { network_.detach(identity_.ip); }
+
+void BootstrapServer::register_channel(ChannelEntry entry) {
+  channels_[entry.channel] = std::move(entry);
+}
+
+void BootstrapServer::reply(net::IpAddress to, Message m) {
+  const std::uint64_t bytes = wire_size(m);
+  simulator_.schedule(processing_delay_,
+                      [this, to, m = std::move(m), bytes]() mutable {
+                        network_.send(identity_.ip, to, std::move(m), bytes);
+                      });
+}
+
+void BootstrapServer::handle(const PeerNetwork::Delivery& delivery) {
+  if (std::holds_alternative<ChannelListQuery>(delivery.payload)) {
+    ChannelListReply r;
+    r.channels.reserve(channels_.size());
+    for (const auto& [id, entry] : channels_) r.channels.push_back(id);
+    reply(delivery.from, Message{std::move(r)});
+    return;
+  }
+  if (const auto* join = std::get_if<JoinQuery>(&delivery.payload)) {
+    auto it = channels_.find(join->channel);
+    if (it == channels_.end()) return;  // unknown channel: silently ignored
+    const ChannelEntry& entry = it->second;
+    JoinReply r;
+    r.channel = entry.channel;
+    r.source = entry.source;
+    // One tracker per group, rotated so server load spreads.
+    const std::uint64_t rot = rotation_++;
+    for (const auto& group : entry.tracker_groups) {
+      if (group.empty()) continue;
+      r.trackers.push_back(group[rot % group.size()]);
+    }
+    ++joins_served_;
+    reply(delivery.from, Message{std::move(r)});
+  }
+}
+
+}  // namespace ppsim::proto

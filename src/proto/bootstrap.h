@@ -1,0 +1,55 @@
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "net/ip.h"
+#include "proto/host.h"
+#include "proto/message.h"
+#include "proto/tracker.h"
+#include "sim/simulator.h"
+
+namespace ppsim::proto {
+
+/// The bootstrap / channel server (Figure 1, steps 1-4).
+///
+/// Serves the active channel list, and for a chosen channel returns the
+/// playlink (the channel's stream source address) and one tracker address
+/// per tracker group, exactly as the paper describes the join sequence.
+class BootstrapServer {
+ public:
+  struct ChannelEntry {
+    ChannelId channel = 0;
+    net::IpAddress source;
+    /// tracker_groups[g] lists the servers of group g; one per group is
+    /// returned to each client, rotated round-robin across requests.
+    std::vector<std::vector<net::IpAddress>> tracker_groups;
+  };
+
+  BootstrapServer(sim::Simulator& simulator, PeerNetwork& network,
+                  const HostIdentity& identity,
+                  sim::Time processing_delay = sim::Time::millis(3));
+  ~BootstrapServer();
+
+  BootstrapServer(const BootstrapServer&) = delete;
+  BootstrapServer& operator=(const BootstrapServer&) = delete;
+
+  void register_channel(ChannelEntry entry);
+
+  net::IpAddress ip() const { return identity_.ip; }
+  std::uint64_t joins_served() const { return joins_served_; }
+
+ private:
+  void handle(const PeerNetwork::Delivery& delivery);
+  void reply(net::IpAddress to, Message m);
+
+  sim::Simulator& simulator_;
+  PeerNetwork& network_;
+  HostIdentity identity_;
+  sim::Time processing_delay_;
+  std::unordered_map<ChannelId, ChannelEntry> channels_;
+  std::uint64_t rotation_ = 0;
+  std::uint64_t joins_served_ = 0;
+};
+
+}  // namespace ppsim::proto

@@ -1,0 +1,66 @@
+#include "proto/chunk_store.h"
+
+#include <algorithm>
+
+namespace ppsim::proto {
+
+bool ChunkStore::insert(ChunkSeq seq) {
+  if (empty_) {
+    base_ = seq;
+    bits_.assign(1, true);
+    highest_ = seq;
+    empty_ = false;
+    return true;
+  }
+  if (seq < base_) {
+    // A chunk below the current base: extend downward if it is still within
+    // the retention window (a joining peer fills its startup buffer behind
+    // the first chunk it happened to receive), otherwise it was evicted.
+    if (highest_ >= retention_ && seq <= highest_ - retention_) return false;
+    const ChunkSeq grow = base_ - seq;
+    bits_.insert(bits_.begin(), static_cast<std::size_t>(grow), false);
+    base_ = seq;
+  }
+  const ChunkSeq off = seq - base_;
+  if (off < bits_.size() && bits_[off]) return false;  // duplicate
+  if (off >= bits_.size()) bits_.resize(off + 1, false);
+  bits_[off] = true;
+  highest_ = std::max(highest_, seq);
+  if (highest_ >= retention_ && base_ < highest_ - retention_ + 1)
+    evict_below(highest_ - retention_ + 1);
+  return true;
+}
+
+void ChunkStore::evict_below(ChunkSeq new_base) {
+  while (base_ < new_base && !bits_.empty()) {
+    bits_.pop_front();
+    ++base_;
+  }
+  if (bits_.empty()) base_ = new_base;
+}
+
+bool ChunkStore::has(ChunkSeq seq) const {
+  if (empty_ || seq < base_) return false;
+  const ChunkSeq off = seq - base_;
+  return off < bits_.size() && bits_[off];
+}
+
+std::uint64_t ChunkStore::chunks_held() const {
+  return static_cast<std::uint64_t>(
+      std::count(bits_.begin(), bits_.end(), true));
+}
+
+BufferMap ChunkStore::snapshot(ChunkSeq from) const {
+  BufferMap map;
+  if (empty_) return map;
+  map.base = std::max(from, base_);
+  if (map.base > highest_) {
+    map.base = highest_;
+  }
+  const std::size_t len = static_cast<std::size_t>(highest_ - map.base) + 1;
+  map.have.resize(len, false);
+  for (std::size_t i = 0; i < len; ++i) map.have[i] = has(map.base + i);
+  return map;
+}
+
+}  // namespace ppsim::proto

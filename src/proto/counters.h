@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+
+namespace ppsim::proto {
+
+/// Per-client protocol counters, used by tests and by the protocol
+/// ablation bench to check claims like "tracker queries decay to once per
+/// five minutes" without parsing traces.
+struct PeerCounters {
+  // membership
+  std::uint64_t tracker_queries_sent = 0;
+  std::uint64_t tracker_replies = 0;
+  std::uint64_t gossip_queries_sent = 0;
+  std::uint64_t gossip_replies_received = 0;
+  std::uint64_t gossip_queries_answered = 0;
+  std::uint64_t ips_learned_from_trackers = 0;
+  std::uint64_t ips_learned_from_peers = 0;
+
+  // neighborhood
+  std::uint64_t connects_attempted = 0;
+  std::uint64_t connects_accepted = 0;
+  std::uint64_t connects_rejected = 0;
+  std::uint64_t connects_timed_out = 0;
+  /// Handshakes that completed after all slots were taken by faster
+  /// responders (the connect-on-arrival race).
+  std::uint64_t connects_lost_race = 0;
+  std::uint64_t inbound_accepted = 0;
+  std::uint64_t inbound_rejected = 0;
+  std::uint64_t neighbors_dropped_idle = 0;
+  std::uint64_t neighbors_dropped_optimized = 0;
+
+  // data plane
+  std::uint64_t data_requests_sent = 0;
+  std::uint64_t data_replies_received = 0;
+  std::uint64_t data_requests_served = 0;
+  std::uint64_t data_requests_unserveable = 0;
+  std::uint64_t duplicate_chunks = 0;
+  std::uint64_t request_timeouts = 0;
+  std::uint64_t bytes_downloaded = 0;
+  std::uint64_t bytes_uploaded = 0;
+
+  // playback
+  std::uint64_t chunks_played = 0;
+  std::uint64_t chunks_missed = 0;
+
+  double continuity() const {
+    const std::uint64_t total = chunks_played + chunks_missed;
+    return total == 0 ? 1.0
+                      : static_cast<double>(chunks_played) /
+                            static_cast<double>(total);
+  }
+};
+
+}  // namespace ppsim::proto

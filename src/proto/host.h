@@ -1,0 +1,22 @@
+#pragma once
+
+#include "net/bandwidth.h"
+#include "net/ip.h"
+#include "net/isp.h"
+#include "net/transport.h"
+#include "proto/message.h"
+
+namespace ppsim::proto {
+
+/// The datagram network all protocol entities speak over.
+using PeerNetwork = net::Network<Message>;
+
+/// Everything a protocol entity needs to attach itself to the network.
+struct HostIdentity {
+  net::IpAddress ip;
+  net::IspId isp;
+  net::IspCategory category = net::IspCategory::kForeign;
+  net::AccessProfile profile;
+};
+
+}  // namespace ppsim::proto

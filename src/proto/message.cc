@@ -1,0 +1,90 @@
+#include "proto/message.h"
+
+namespace ppsim::proto {
+
+namespace {
+
+constexpr std::uint64_t kIpUdpHeader = 28;
+
+struct SizeVisitor {
+  std::uint64_t operator()(const ChannelListQuery&) const { return 8; }
+  std::uint64_t operator()(const ChannelListReply& m) const {
+    return 8 + 4 * m.channels.size();
+  }
+  std::uint64_t operator()(const JoinQuery&) const { return 12; }
+  std::uint64_t operator()(const JoinReply& m) const {
+    return 16 + 6 * m.trackers.size();
+  }
+  std::uint64_t operator()(const TrackerQuery&) const { return 16; }
+  std::uint64_t operator()(const TrackerReply& m) const {
+    return 12 + 6 * m.peers.size();
+  }
+  std::uint64_t operator()(const PeerListQuery& m) const {
+    return 12 + 6 * m.my_peers.size();
+  }
+  std::uint64_t operator()(const PeerListReply& m) const {
+    return 12 + 6 * m.peers.size();
+  }
+  std::uint64_t operator()(const ConnectQuery&) const { return 16; }
+  std::uint64_t operator()(const ConnectReply& m) const {
+    return 20 + (m.map.have.size() + 7) / 8;
+  }
+  std::uint64_t operator()(const BufferMapAnnounce& m) const {
+    return 20 + (m.map.have.size() + 7) / 8;
+  }
+  std::uint64_t operator()(const DataQuery&) const { return 20; }
+  std::uint64_t operator()(const DataReply& m) const {
+    // One header per sub-piece packet the chunk is carried in.
+    return m.payload_bytes + 12 + kIpUdpHeader * (m.subpieces > 0
+                                                      ? m.subpieces - 1
+                                                      : 0);
+  }
+  std::uint64_t operator()(const Goodbye&) const { return 12; }
+};
+
+struct NameVisitor {
+  std::string_view operator()(const ChannelListQuery&) const {
+    return "ChannelListQuery";
+  }
+  std::string_view operator()(const ChannelListReply&) const {
+    return "ChannelListReply";
+  }
+  std::string_view operator()(const JoinQuery&) const { return "JoinQuery"; }
+  std::string_view operator()(const JoinReply&) const { return "JoinReply"; }
+  std::string_view operator()(const TrackerQuery&) const {
+    return "TrackerQuery";
+  }
+  std::string_view operator()(const TrackerReply&) const {
+    return "TrackerReply";
+  }
+  std::string_view operator()(const PeerListQuery&) const {
+    return "PeerListQuery";
+  }
+  std::string_view operator()(const PeerListReply&) const {
+    return "PeerListReply";
+  }
+  std::string_view operator()(const ConnectQuery&) const {
+    return "ConnectQuery";
+  }
+  std::string_view operator()(const ConnectReply&) const {
+    return "ConnectReply";
+  }
+  std::string_view operator()(const BufferMapAnnounce&) const {
+    return "BufferMapAnnounce";
+  }
+  std::string_view operator()(const DataQuery&) const { return "DataQuery"; }
+  std::string_view operator()(const DataReply&) const { return "DataReply"; }
+  std::string_view operator()(const Goodbye&) const { return "Goodbye"; }
+};
+
+}  // namespace
+
+std::uint64_t wire_size(const Message& m) {
+  return kIpUdpHeader + std::visit(SizeVisitor{}, m);
+}
+
+std::string_view message_name(const Message& m) {
+  return std::visit(NameVisitor{}, m);
+}
+
+}  // namespace ppsim::proto

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "net/ip.h"
+#include "proto/channel.h"
+#include "proto/chunk_store.h"
+
+namespace ppsim::proto {
+
+/// Wire messages of the simulated protocol, modeled after the PPLive 1.9
+/// exchanges the paper reverse-engineers (Figure 1, steps 1-8):
+/// bootstrap/channel discovery, tracker membership, neighbor-referral
+/// peer-list gossip, connection handshake, buffer maps, and chunk data.
+
+/// Step (1): client asks the bootstrap/channel server for active channels.
+struct ChannelListQuery {};
+
+/// Step (2): the channel list.
+struct ChannelListReply {
+  std::vector<ChannelId> channels;
+};
+
+/// Step (3): client asks for a channel's playlink + tracker set.
+struct JoinQuery {
+  ChannelId channel = 0;
+};
+
+/// Step (4): playlink (stream source) and one tracker per tracker group.
+struct JoinReply {
+  ChannelId channel = 0;
+  net::IpAddress source;
+  std::vector<net::IpAddress> trackers;
+};
+
+/// Client -> tracker: request active peers; also (re)announces the sender
+/// as an active member of the channel.
+struct TrackerQuery {
+  ChannelId channel = 0;
+};
+
+/// Tracker -> client: random sample of active members (no locality logic;
+/// the paper finds trackers act as plain databases of active peers).
+struct TrackerReply {
+  ChannelId channel = 0;
+  std::vector<net::IpAddress> peers;
+};
+
+/// Steps (5)/(7): gossip query to a connected neighbor. The requester
+/// encloses its own peer list, as observed in PPLive.
+struct PeerListQuery {
+  ChannelId channel = 0;
+  std::vector<net::IpAddress> my_peers;
+};
+
+/// Steps (6)/(8): up to 60 of the replier's recently-connected neighbors.
+struct PeerListReply {
+  ChannelId channel = 0;
+  std::vector<net::IpAddress> peers;
+};
+
+/// Connection handshake.
+struct ConnectQuery {
+  ChannelId channel = 0;
+};
+
+struct ConnectReply {
+  ChannelId channel = 0;
+  bool accepted = false;
+  BufferMap map;  // replier's availability, so data can flow immediately
+};
+
+/// Periodic availability announcement to connected neighbors.
+struct BufferMapAnnounce {
+  ChannelId channel = 0;
+  BufferMap map;
+};
+
+/// Request for one chunk (carried on the wire as subpieces_per_chunk
+/// sub-piece requests; accounted as one transmission).
+struct DataQuery {
+  ChannelId channel = 0;
+  ChunkSeq chunk = 0;
+};
+
+struct DataReply {
+  ChannelId channel = 0;
+  ChunkSeq chunk = 0;
+  std::uint32_t subpieces = 0;
+  std::uint32_t payload_bytes = 0;
+};
+
+/// Graceful departure notice to neighbors.
+struct Goodbye {
+  ChannelId channel = 0;
+};
+
+using Message =
+    std::variant<ChannelListQuery, ChannelListReply, JoinQuery, JoinReply,
+                 TrackerQuery, TrackerReply, PeerListQuery, PeerListReply,
+                 ConnectQuery, ConnectReply, BufferMapAnnounce, DataQuery,
+                 DataReply, Goodbye>;
+
+/// Bytes this message occupies on the wire (IP+UDP header plus a
+/// protocol-shaped payload estimate). Drives access-link serialization.
+std::uint64_t wire_size(const Message& m);
+
+/// Short name for traces and debugging, e.g. "DataQuery".
+std::string_view message_name(const Message& m);
+
+}  // namespace ppsim::proto

@@ -1,0 +1,664 @@
+#include "proto/peer.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ppsim::proto {
+
+namespace {
+constexpr double kEwmaAlpha = 0.25;  // weight of the newest latency sample
+}
+
+Peer::Peer(sim::Simulator& simulator, PeerNetwork& network,
+           const HostIdentity& identity, ChannelSpec channel,
+           net::IpAddress bootstrap, sim::Rng rng, PeerConfig config,
+           std::unique_ptr<SelectionPolicy> policy)
+    : simulator_(simulator),
+      network_(network),
+      identity_(identity),
+      channel_(std::move(channel)),
+      bootstrap_(bootstrap),
+      rng_(rng),
+      config_(config),
+      policy_(policy ? std::move(policy) : make_default_policy()),
+      store_(config.chunk_retention) {
+  network_.attach(identity_.ip, identity_.isp, identity_.category,
+                  identity_.profile,
+                  [this](const PeerNetwork::Delivery& d) { handle(d); });
+  alive_ = true;
+}
+
+Peer::~Peer() { leave(); }
+
+void Peer::leave() {
+  if (!alive_) return;
+  for (const auto& [ip, nb] : neighbors_) {
+    send(ip, Message{Goodbye{channel_.id}}, /*with_processing_delay=*/false);
+  }
+  alive_ = false;
+  // Detach after the goodbyes were handed to the uplink; the network keeps
+  // per-packet state, so detaching now still lets them out.
+  network_.detach(identity_.ip);
+}
+
+void Peer::join() {
+  if (!alive_ || joined_) return;
+  joined_ = true;
+  // DNS resolution of the bootstrap/channel server names.
+  const sim::Time dns = sim::Time::micros(rng_.uniform_int(
+      config_.dns_delay_min.as_micros(), config_.dns_delay_max.as_micros()));
+  simulator_.schedule(dns, [this] { contact_bootstrap(); });
+}
+
+void Peer::contact_bootstrap() {
+  if (!alive_) return;
+  send(bootstrap_, Message{JoinQuery{channel_.id}});
+  // Retry until the join reply arrives (UDP may drop it).
+  simulator_.schedule(sim::Time::seconds(3), [this] {
+    if (alive_ && trackers_.empty()) contact_bootstrap();
+  });
+}
+
+void Peer::on_join_reply(const JoinReply& r) {
+  if (!trackers_.empty()) return;  // duplicate reply (retry raced)
+  source_ = r.source;
+  trackers_ = r.trackers;
+
+  // The source is a first-class candidate: new joiners may pull from it
+  // until real neighbors are found.
+  learn_candidates({source_}, /*from_tracker=*/false);
+
+  query_trackers(/*all=*/true);
+  schedule_tracker_round();
+
+  // Steady-state machinery.
+  schedule_periodic(simulator_, config_.gossip_period, [this] {
+    if (!alive_) return false;
+    gossip_round();
+    return true;
+  });
+  schedule_periodic(simulator_, config_.topup_period, [this] {
+    if (!alive_) return false;
+    topup_connections();
+    return true;
+  });
+  schedule_periodic(simulator_, config_.request_tick, [this] {
+    if (!alive_) return false;
+    request_tick();
+    return true;
+  });
+  schedule_periodic(simulator_, config_.buffermap_period, [this] {
+    if (!alive_) return false;
+    announce_buffer_maps();
+    return true;
+  });
+  schedule_periodic(simulator_, sim::Time::seconds(1), [this] {
+    if (!alive_) return false;
+    sweep_timeouts();
+    return true;
+  });
+  schedule_periodic(simulator_, config_.optimize_period, [this] {
+    if (!alive_) return false;
+    optimize_neighborhood();
+    return true;
+  });
+}
+
+void Peer::optimize_neighborhood() {
+  if (neighbors_.size() <= static_cast<std::size_t>(config_.min_neighbors))
+    return;
+  const sim::Time now = simulator_.now();
+  // First trim any overflow above max_neighbors (inbound slack), slowest
+  // first and regardless of grace, so headroom for new inbound handshakes
+  // keeps regenerating and late joiners are not locked out of a saturated
+  // swarm.
+  while (neighbors_.size() > static_cast<std::size_t>(config_.max_neighbors)) {
+    net::IpAddress overflow_victim;
+    double overflow_worst = -1;
+    for (const auto& [ip, nb] : neighbors_) {
+      if (nb.rtt_s > overflow_worst) {
+        overflow_worst = nb.rtt_s;
+        overflow_victim = ip;
+      }
+    }
+    ++counters_.neighbors_dropped_optimized;
+    drop_neighbor(overflow_victim, /*notify=*/true);
+  }
+  if (neighbors_.size() <= static_cast<std::size_t>(config_.min_neighbors))
+    return;
+  net::IpAddress victim;
+  if (policy_->latency_optimize()) {
+    // Drop the slowest mature neighbor; its slot is refilled from referred
+    // candidates on the next list arrival / top-up tick.
+    double worst_latency = -1;
+    for (const auto& [ip, nb] : neighbors_) {
+      if (now - nb.connected_at < config_.optimize_grace) continue;
+      if (nb.rtt_s > worst_latency) {
+        worst_latency = nb.rtt_s;
+        victim = ip;
+      }
+    }
+    if (worst_latency < 0) return;
+  } else {
+    // Distance-blind turnover (BitTorrent's optimistic-unchoke analog):
+    // rotate a random mature neighbor.
+    std::vector<net::IpAddress> mature;
+    for (const auto& [ip, nb] : neighbors_) {
+      if (now - nb.connected_at >= config_.optimize_grace) mature.push_back(ip);
+    }
+    if (mature.empty()) return;
+    victim = mature[static_cast<std::size_t>(rng_.next_below(mature.size()))];
+  }
+  ++counters_.neighbors_dropped_optimized;
+  drop_neighbor(victim, /*notify=*/true);
+}
+
+void Peer::schedule_tracker_round() {
+  const bool healthy =
+      neighbors_.size() >= static_cast<std::size_t>(config_.healthy_neighbors);
+  const sim::Time period = healthy ? config_.tracker_period_steady
+                                   : config_.tracker_period_initial;
+  simulator_.schedule(period, [this] {
+    if (!alive_) return;
+    const bool now_healthy = neighbors_.size() >=
+                             static_cast<std::size_t>(config_.healthy_neighbors);
+    // Unhealthy peers sweep every tracker group; healthy ones ping a single
+    // tracker to stay registered (and discoverable).
+    query_trackers(/*all=*/!now_healthy);
+    schedule_tracker_round();
+  });
+}
+
+void Peer::query_trackers(bool all) {
+  if (trackers_.empty()) return;
+  if (all) {
+    for (const auto& t : trackers_) {
+      send(t, Message{TrackerQuery{channel_.id}});
+      ++counters_.tracker_queries_sent;
+    }
+  } else {
+    const auto& t =
+        trackers_[static_cast<std::size_t>(rng_.next_below(trackers_.size()))];
+    send(t, Message{TrackerQuery{channel_.id}});
+    ++counters_.tracker_queries_sent;
+  }
+}
+
+void Peer::learn_candidates(const std::vector<net::IpAddress>& ips,
+                            bool from_tracker) {
+  for (const auto& ip : ips) {
+    if (ip == identity_.ip || ip.is_unspecified()) continue;
+    if (from_tracker)
+      ++counters_.ips_learned_from_trackers;
+    else
+      ++counters_.ips_learned_from_peers;
+    if (pool_set_.insert(ip).second) {
+      pool_fifo_.push_back(ip);
+      while (pool_fifo_.size() >
+             static_cast<std::size_t>(config_.candidate_pool_limit)) {
+        pool_set_.erase(pool_fifo_.front());
+        pool_fifo_.pop_front();
+      }
+    }
+  }
+}
+
+std::unordered_set<net::IpAddress> Peer::excluded_targets() const {
+  std::unordered_set<net::IpAddress> excluded;
+  excluded.insert(identity_.ip);
+  excluded.insert(bootstrap_);
+  for (const auto& t : trackers_) excluded.insert(t);
+  for (const auto& [ip, nb] : neighbors_) excluded.insert(ip);
+  for (const auto& [ip, t] : pending_connects_) excluded.insert(ip);
+  return excluded;
+}
+
+void Peer::attempt_connections(const std::vector<net::IpAddress>& fresh) {
+  if (!policy_->connect_on_arrival()) return;
+  // Handshakes are raced: attempts are budgeted against *established*
+  // neighbors only, so overlapping batches compete for the remaining slots
+  // and the fastest responders win them. This is the mechanism the paper
+  // infers: "a peer always tries to connect to the listed peers as soon as
+  // the list is received", and same-ISP peers answer first.
+  const std::size_t have = neighbors_.size();
+  if (have >= static_cast<std::size_t>(config_.max_neighbors)) return;
+  // Deliberately attempt a full batch even when only one slot is free: the
+  // surplus handshakes ARE the race, and the late completions are turned
+  // away (connects_lost_race) once the fastest responders took the slots.
+  const std::size_t want = static_cast<std::size_t>(config_.connect_batch);
+  std::vector<net::IpAddress> pool(pool_fifo_.begin(), pool_fifo_.end());
+  try_connect(
+      policy_->choose(fresh, pool, excluded_targets(), want, rng_));
+}
+
+void Peer::topup_connections() {
+  const std::size_t have = neighbors_.size() + pending_connects_.size();
+  if (have >= static_cast<std::size_t>(config_.min_neighbors)) return;
+  const std::size_t want =
+      static_cast<std::size_t>(config_.min_neighbors) - have;
+  std::vector<net::IpAddress> pool(pool_fifo_.begin(), pool_fifo_.end());
+  try_connect(policy_->choose({}, pool, excluded_targets(),
+                              std::min<std::size_t>(want, 4), rng_));
+}
+
+void Peer::try_connect(const std::vector<net::IpAddress>& targets) {
+  for (const auto& ip : targets) {
+    if (neighbors_.contains(ip) || pending_connects_.contains(ip)) continue;
+    pending_connects_[ip] = simulator_.now();
+    ++counters_.connects_attempted;
+    send(ip, Message{ConnectQuery{channel_.id}});
+  }
+}
+
+std::vector<net::IpAddress> Peer::my_peer_list() const {
+  // "Recently connected peers": current neighbors first, then peers that
+  // recently left the neighborhood, capped at the protocol's 60.
+  std::vector<net::IpAddress> list;
+  list.reserve(neighbors_.size());
+  for (const auto& [ip, nb] : neighbors_) list.push_back(ip);
+  for (const auto& ip : recent_neighbors_) {
+    if (list.size() >= static_cast<std::size_t>(config_.max_list_size)) break;
+    if (std::find(list.begin(), list.end(), ip) == list.end())
+      list.push_back(ip);
+  }
+  if (list.size() > static_cast<std::size_t>(config_.max_list_size))
+    list.resize(static_cast<std::size_t>(config_.max_list_size));
+  return list;
+}
+
+void Peer::gossip_round() {
+  if (!policy_->use_neighbor_referral()) return;
+  if (neighbors_.empty()) return;
+  std::vector<net::IpAddress> ips;
+  ips.reserve(neighbors_.size());
+  for (const auto& [ip, nb] : neighbors_) ips.push_back(ip);
+  auto picked = rng_.sample(
+      ips, static_cast<std::size_t>(std::max(config_.gossip_fanout, 1)));
+  PeerListQuery q{channel_.id, my_peer_list()};
+  for (const auto& ip : picked) {
+    ++counters_.gossip_queries_sent;
+    pending_list_[ip] = simulator_.now();
+    send(ip, Message{q});
+  }
+}
+
+void Peer::sweep_timeouts() {
+  const sim::Time now = simulator_.now();
+
+  // Handshakes that never completed.
+  for (auto it = pending_connects_.begin(); it != pending_connects_.end();) {
+    if (now - it->second > config_.connect_timeout) {
+      ++counters_.connects_timed_out;
+      it = pending_connects_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Data requests that never came back: free the slot so the chunk can be
+  // rescheduled to another neighbor on the next tick.
+  for (auto it = pending_data_.begin(); it != pending_data_.end();) {
+    if (now - it->second.sent_at > config_.request_timeout) {
+      auto nb = neighbors_.find(it->second.target);
+      if (nb != neighbors_.end()) {
+        nb->second.in_flight = std::max(0, nb->second.in_flight - 1);
+        // Penalize the estimate so the scheduler shies away from it.
+        nb->second.service_s = std::min(5.0, nb->second.service_s * 1.5);
+      }
+      ++counters_.request_timeouts;
+      it = pending_data_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Idle neighbors.
+  std::vector<net::IpAddress> idle;
+  for (const auto& [ip, nb] : neighbors_) {
+    if (now - nb.last_seen > config_.neighbor_idle_timeout) idle.push_back(ip);
+  }
+  for (const auto& ip : idle) {
+    ++counters_.neighbors_dropped_idle;
+    drop_neighbor(ip, /*notify=*/true);
+  }
+}
+
+void Peer::update_live_edge() {
+  ChunkSeq edge = store_.highest();
+  for (const auto& [ip, nb] : neighbors_) {
+    edge = std::max(edge, nb.map.highest());
+  }
+  live_edge_ = std::max(live_edge_, edge);
+}
+
+void Peer::maybe_start_playback() {
+  if (playback_started_ || live_edge_ == 0) return;
+  if (channel_.mode == StreamMode::kVod) {
+    // On demand: always from the beginning of the program.
+    playback_next_ = 1;
+  } else {
+    const std::uint64_t buffer_chunks = static_cast<std::uint64_t>(
+        config_.startup_buffer.as_seconds() /
+        channel_.chunk_duration().as_seconds());
+    // Begin behind the live edge by the startup buffer (or at chunk 1
+    // early in the broadcast when less history exists).
+    playback_next_ =
+        live_edge_ > buffer_chunks ? live_edge_ - buffer_chunks : 1;
+  }
+  playback_started_ = true;
+  schedule_periodic(simulator_, channel_.chunk_duration(), [this] {
+    if (!alive_) return false;
+    playback_tick();
+    return true;
+  });
+}
+
+void Peer::playback_tick() {
+  if (playback_next_ == 0) playback_next_ = 1;
+  // A VoD viewing ends at the last chunk of the program.
+  if (channel_.mode == StreamMode::kVod &&
+      playback_next_ > channel_.vod_chunks)
+    return;
+  // Never play past the live edge; if we catch up (edge stalled), wait.
+  if (playback_next_ > live_edge_) return;
+  if (store_.has(playback_next_))
+    ++counters_.chunks_played;
+  else
+    ++counters_.chunks_missed;
+  ++playback_next_;
+}
+
+void Peer::request_tick() {
+  update_live_edge();
+  maybe_start_playback();
+  if (!playback_started_) return;
+
+  const ChunkSeq from = playback_next_ == 0 ? 1 : playback_next_;
+  const ChunkSeq to = std::min(
+      live_edge_, from + static_cast<ChunkSeq>(config_.window_chunks));
+
+  int issued = 0;
+  const int kMaxPerTick = 10;
+  for (ChunkSeq seq = from; seq <= to && issued < kMaxPerTick; ++seq) {
+    if (store_.has(seq) || pending_data_.contains(seq)) continue;
+
+    // Neighbors that advertise the chunk and still have pipeline room.
+    std::vector<net::IpAddress> holders;
+    std::vector<double> weights;
+    for (auto& [ip, nb] : neighbors_) {
+      if (nb.in_flight >= config_.pipeline_per_neighbor) continue;
+      if (!nb.map.has(seq)) continue;
+      holders.push_back(ip);
+      // Latency-based preference: the fastest neighbors get most requests.
+      // Dividing by outstanding requests keeps the pipeline balanced so a
+      // single fast neighbor cannot absorb the whole stream.
+      const double lat = std::max(nb.service_s, 1e-3);
+      weights.push_back(std::pow(1.0 / lat, config_.latency_selectivity) /
+                        (1.0 + nb.in_flight));
+    }
+    if (holders.empty()) continue;
+    const std::size_t pick = rng_.weighted_index(weights);
+    const net::IpAddress target = holders[pick];
+
+    Neighbor& nb = neighbors_.at(target);
+    ++nb.in_flight;
+    ++nb.requests_to;
+    pending_data_[seq] = PendingData{target, simulator_.now()};
+    ++counters_.data_requests_sent;
+    ++issued;
+    send(target, Message{DataQuery{channel_.id, seq}},
+         /*with_processing_delay=*/false);
+  }
+}
+
+void Peer::announce_buffer_maps() {
+  if (store_.empty() || neighbors_.empty()) return;
+  // Live viewers advertise a recent window; VoD viewers advertise their
+  // whole retained range (positions differ wildly across the audience).
+  const ChunkSeq base = channel_.mode == StreamMode::kVod
+                            ? store_.base()
+                            : (store_.highest() > 64 ? store_.highest() - 64
+                                                     : store_.base());
+  BufferMapAnnounce ann{channel_.id, store_.snapshot(base)};
+  for (const auto& [ip, nb] : neighbors_) {
+    send(ip, Message{ann}, /*with_processing_delay=*/false);
+  }
+}
+
+void Peer::send(net::IpAddress to, Message m, bool with_processing_delay) {
+  const std::uint64_t bytes = wire_size(m);
+  if (!with_processing_delay) {
+    network_.send(identity_.ip, to, std::move(m), bytes);
+    return;
+  }
+  // Application-layer processing before the packet reaches the socket.
+  const sim::Time proc = sim::Time::micros(rng_.uniform_int(500, 3000));
+  simulator_.schedule(proc, [this, to, m = std::move(m), bytes]() mutable {
+    if (!alive_) return;
+    network_.send(identity_.ip, to, std::move(m), bytes);
+  });
+}
+
+void Peer::add_neighbor(net::IpAddress ip, double initial_latency_s,
+                        BufferMap map) {
+  Neighbor nb;
+  nb.connected_at = simulator_.now();
+  nb.last_seen = simulator_.now();
+  nb.rtt_s = std::max(initial_latency_s, 1e-3);
+  // Until measured, assume service latency tracks proximity.
+  nb.service_s = nb.rtt_s + 0.05;
+  nb.map = std::move(map);
+  neighbors_[ip] = std::move(nb);
+}
+
+void Peer::drop_neighbor(net::IpAddress ip, bool notify) {
+  auto it = neighbors_.find(ip);
+  if (it == neighbors_.end()) return;
+  if (notify) send(ip, Message{Goodbye{channel_.id}});
+  neighbors_.erase(it);
+  recent_neighbors_.push_front(ip);
+  while (recent_neighbors_.size() > 32) recent_neighbors_.pop_back();
+  // Outstanding requests to a dropped neighbor will never be answered.
+  pending_list_.erase(ip);
+  std::erase_if(pending_data_, [ip](const auto& kv) {
+    return kv.second.target == ip;
+  });
+}
+
+std::vector<net::IpAddress> Peer::neighbor_ips() const {
+  std::vector<net::IpAddress> out;
+  out.reserve(neighbors_.size());
+  for (const auto& [ip, nb] : neighbors_) out.push_back(ip);
+  return out;
+}
+
+std::vector<Peer::NeighborSnapshot> Peer::neighbor_snapshots() const {
+  std::vector<NeighborSnapshot> out;
+  out.reserve(neighbors_.size());
+  for (const auto& [ip, nb] : neighbors_) {
+    out.push_back(NeighborSnapshot{ip, nb.rtt_s, nb.service_s, nb.bytes_from,
+                                   nb.requests_to, nb.connected_at});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const NeighborSnapshot& a, const NeighborSnapshot& b) {
+              return a.bytes_from > b.bytes_from;
+            });
+  return out;
+}
+
+double Peer::neighbor_latency_estimate(net::IpAddress ip) const {
+  auto it = neighbors_.find(ip);
+  return it == neighbors_.end() ? -1.0 : it->second.rtt_s;
+}
+
+void Peer::handle(const PeerNetwork::Delivery& delivery) {
+  if (!alive_) return;
+  const net::IpAddress from = delivery.from;
+
+  if (const auto* jr = std::get_if<JoinReply>(&delivery.payload)) {
+    if (jr->channel == channel_.id) on_join_reply(*jr);
+    return;
+  }
+
+  if (const auto* tr = std::get_if<TrackerReply>(&delivery.payload)) {
+    if (tr->channel != channel_.id) return;
+    ++counters_.tracker_replies;
+    learn_candidates(tr->peers, /*from_tracker=*/true);
+    attempt_connections(tr->peers);
+    return;
+  }
+
+  if (const auto* cq = std::get_if<ConnectQuery>(&delivery.payload)) {
+    if (cq->channel != channel_.id) return;
+    // NATed clients never see unsolicited connection attempts; the
+    // initiator's handshake times out, exactly like a 2008 home router
+    // dropping unsolicited UDP.
+    if (config_.behind_nat && !neighbors_.contains(from)) return;
+    // Accept with some slack over max_neighbors so handshakes stay roughly
+    // symmetric; beyond that, reject.
+    const bool accept =
+        neighbors_.contains(from) ||
+        neighbors_.size() <
+            static_cast<std::size_t>(config_.max_neighbors) + 4;
+    if (accept) {
+      if (!neighbors_.contains(from)) {
+        add_neighbor(from, /*initial_latency_s=*/0.6, BufferMap{});
+        ++counters_.inbound_accepted;
+      }
+    } else {
+      ++counters_.inbound_rejected;
+    }
+    ConnectReply r;
+    r.channel = channel_.id;
+    r.accepted = accept;
+    if (accept && !store_.empty()) {
+      const ChunkSeq base = channel_.mode == StreamMode::kVod
+                                ? store_.base()
+                                : (store_.highest() > 64
+                                       ? store_.highest() - 64
+                                       : store_.base());
+      r.map = store_.snapshot(base);
+    }
+    send(from, Message{std::move(r)});
+    return;
+  }
+
+  if (const auto* cr = std::get_if<ConnectReply>(&delivery.payload)) {
+    if (cr->channel != channel_.id) return;
+    auto pending = pending_connects_.find(from);
+    if (pending == pending_connects_.end()) return;  // late or unsolicited
+    const double handshake_s =
+        (simulator_.now() - pending->second).as_seconds();
+    pending_connects_.erase(pending);
+    if (!cr->accepted) {
+      ++counters_.connects_rejected;
+      return;
+    }
+    if (neighbors_.size() >= static_cast<std::size_t>(config_.max_neighbors)) {
+      // Lost the race: faster responders already filled the slots.
+      ++counters_.connects_lost_race;
+      send(from, Message{Goodbye{channel_.id}});
+      return;
+    }
+    ++counters_.connects_accepted;
+    add_neighbor(from, handshake_s, cr->map);
+    update_live_edge();
+    // Paper: upon establishing a connection, first ask the new neighbor for
+    // its peer list, then request data (data flows on the next tick).
+    if (policy_->use_neighbor_referral()) {
+      ++counters_.gossip_queries_sent;
+      pending_list_[from] = simulator_.now();
+      send(from, Message{PeerListQuery{channel_.id, my_peer_list()}});
+    }
+    return;
+  }
+
+  if (const auto* plq = std::get_if<PeerListQuery>(&delivery.payload)) {
+    if (plq->channel != channel_.id) return;
+    ++counters_.gossip_queries_answered;
+    // The requester encloses its own list; both sides learn.
+    learn_candidates(plq->my_peers, /*from_tracker=*/false);
+    if (auto it = neighbors_.find(from); it != neighbors_.end())
+      it->second.last_seen = simulator_.now();
+    PeerListReply r{channel_.id, my_peer_list()};
+    send(from, Message{std::move(r)});
+    return;
+  }
+
+  if (const auto* plr = std::get_if<PeerListReply>(&delivery.payload)) {
+    if (plr->channel != channel_.id) return;
+    ++counters_.gossip_replies_received;
+    if (auto it = neighbors_.find(from); it != neighbors_.end()) {
+      it->second.last_seen = simulator_.now();
+      if (auto pend = pending_list_.find(from); pend != pending_list_.end()) {
+        const double sample = (simulator_.now() - pend->second).as_seconds();
+        it->second.rtt_s = (1 - kEwmaAlpha) * it->second.rtt_s +
+                           kEwmaAlpha * sample;
+        pending_list_.erase(pend);
+      }
+    }
+    learn_candidates(plr->peers, /*from_tracker=*/false);
+    // The observed PPLive behaviour: connect to listed peers immediately.
+    attempt_connections(plr->peers);
+    return;
+  }
+
+  if (const auto* ann = std::get_if<BufferMapAnnounce>(&delivery.payload)) {
+    if (ann->channel != channel_.id) return;
+    auto it = neighbors_.find(from);
+    if (it == neighbors_.end()) return;
+    it->second.map = ann->map;
+    it->second.last_seen = simulator_.now();
+    update_live_edge();
+    return;
+  }
+
+  if (const auto* dq = std::get_if<DataQuery>(&delivery.payload)) {
+    if (dq->channel != channel_.id) return;
+    if (auto it = neighbors_.find(from); it != neighbors_.end())
+      it->second.last_seen = simulator_.now();
+    if (!store_.has(dq->chunk)) {
+      ++counters_.data_requests_unserveable;
+      return;
+    }
+    ++counters_.data_requests_served;
+    counters_.bytes_uploaded += channel_.chunk_bytes();
+    DataReply r{channel_.id, dq->chunk, channel_.subpieces_per_chunk,
+                channel_.chunk_bytes()};
+    send(from, Message{r});
+    return;
+  }
+
+  if (const auto* dr = std::get_if<DataReply>(&delivery.payload)) {
+    if (dr->channel != channel_.id) return;
+    auto pending = pending_data_.find(dr->chunk);
+    auto nb = neighbors_.find(from);
+    if (pending != pending_data_.end() && pending->second.target == from) {
+      if (nb != neighbors_.end()) {
+        Neighbor& n = nb->second;
+        n.in_flight = std::max(0, n.in_flight - 1);
+        const double lat = (simulator_.now() - pending->second.sent_at)
+                               .as_seconds();
+        n.service_s = (1 - kEwmaAlpha) * n.service_s + kEwmaAlpha * lat;
+        n.last_seen = simulator_.now();
+        n.bytes_from += dr->payload_bytes;
+      }
+      pending_data_.erase(pending);
+    }
+    ++counters_.data_replies_received;
+    if (store_.insert(dr->chunk)) {
+      counters_.bytes_downloaded += dr->payload_bytes;
+      live_edge_ = std::max(live_edge_, dr->chunk);
+    } else {
+      ++counters_.duplicate_chunks;
+    }
+    return;
+  }
+
+  if (std::holds_alternative<Goodbye>(delivery.payload)) {
+    drop_neighbor(from, /*notify=*/false);
+    return;
+  }
+}
+
+}  // namespace ppsim::proto

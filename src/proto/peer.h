@@ -1,0 +1,188 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/ip.h"
+#include "proto/channel.h"
+#include "proto/chunk_store.h"
+#include "proto/counters.h"
+#include "proto/host.h"
+#include "proto/message.h"
+#include "proto/peer_config.h"
+#include "proto/selection.h"
+#include "proto/tracker.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace ppsim::proto {
+
+/// A PPLive-style live streaming client.
+///
+/// Implements the join sequence and steady-state behaviour the paper
+/// reverse-engineers (Section 2):
+///
+///  1. DNS + bootstrap: learn the channel's playlink (stream source) and
+///     one tracker per tracker group.
+///  2. Query trackers for initial peer lists; *connect to listed peers the
+///     moment a list arrives*.
+///  3. On each established connection, immediately ask the new neighbor for
+///     its peer list, then start requesting data.
+///  4. Gossip: every 20 s, probe neighbors for their peer lists (enclosing
+///     our own); reply to such probes with up to 60 recently connected
+///     neighbors.
+///  5. Once playback is healthy, tracker queries decay to once per 5 min —
+///     membership knowledge then flows almost entirely through neighbors.
+///
+/// No topology information is used anywhere. The ISP-level traffic locality
+/// the paper measures *emerges* from (2)+(3): same-ISP peers answer faster,
+/// first responders win the neighbor slots, and referral then compounds the
+/// bias ("triangle construction").
+///
+/// Lifetime: a Peer attaches to the network in its constructor and detaches
+/// in leave() / destructor. Timer callbacks hold `this`, so a Peer must
+/// outlive the simulator run (or be leave()d first and destroyed only after
+/// the run completes — leave() makes all callbacks inert).
+class Peer {
+ public:
+  Peer(sim::Simulator& simulator, PeerNetwork& network,
+       const HostIdentity& identity, ChannelSpec channel,
+       net::IpAddress bootstrap, sim::Rng rng, PeerConfig config = {},
+       std::unique_ptr<SelectionPolicy> policy = nullptr);
+  ~Peer();
+
+  Peer(const Peer&) = delete;
+  Peer& operator=(const Peer&) = delete;
+
+  /// Starts the join sequence (DNS lookup, bootstrap contact, ...).
+  void join();
+
+  /// Leaves the swarm: notifies neighbors, detaches from the network, and
+  /// neutralizes all pending timers. Idempotent.
+  void leave();
+
+  bool alive() const { return alive_; }
+  net::IpAddress ip() const { return identity_.ip; }
+  const HostIdentity& identity() const { return identity_; }
+  const PeerCounters& counters() const { return counters_; }
+  const PeerConfig& config() const { return config_; }
+
+  std::size_t neighbor_count() const { return neighbors_.size(); }
+  std::vector<net::IpAddress> neighbor_ips() const;
+  std::size_t candidate_pool_size() const { return pool_set_.size(); }
+  bool playback_started() const { return playback_started_; }
+  ChunkSeq playback_position() const { return playback_next_; }
+  ChunkSeq live_edge_estimate() const { return live_edge_; }
+  const ChunkStore& store() const { return store_; }
+
+  /// Measured latency estimate this client holds for a neighbor (EWMA of
+  /// request->reply times), or a negative value if unknown.
+  double neighbor_latency_estimate(net::IpAddress ip) const;
+
+  /// Introspection snapshot of one neighbor's client-side state.
+  struct NeighborSnapshot {
+    net::IpAddress ip;
+    double rtt_s = 0;      // control-RTT estimate (drives membership)
+    double service_s = 0;  // data service latency (drives scheduling)
+    std::uint64_t bytes_from = 0;
+    std::uint64_t requests_to = 0;
+    sim::Time connected_at;
+  };
+  std::vector<NeighborSnapshot> neighbor_snapshots() const;
+
+ private:
+  struct Neighbor {
+    sim::Time connected_at;
+    sim::Time last_seen;
+    /// Control-message round trip (handshake, peer-list replies): a clean
+    /// proximity signal, used for neighborhood optimization — this is the
+    /// "latency based" selection the paper infers.
+    double rtt_s = 0.6;
+    /// Data-request service latency (includes the remote's uplink
+    /// serialization and queueing): used for request scheduling, so load
+    /// and capacity steer the data plane.
+    double service_s = 0.6;
+    int in_flight = 0;
+    BufferMap map;
+    std::uint64_t bytes_from = 0;
+    std::uint64_t requests_to = 0;
+  };
+
+  struct PendingData {
+    net::IpAddress target;
+    sim::Time sent_at;
+  };
+
+  // --- join sequence ---
+  void contact_bootstrap();
+  void on_join_reply(const JoinReply& r);
+  void schedule_tracker_round();
+  void query_trackers(bool all);
+
+  // --- membership ---
+  void learn_candidates(const std::vector<net::IpAddress>& ips,
+                        bool from_tracker);
+  void attempt_connections(const std::vector<net::IpAddress>& fresh);
+  void topup_connections();
+  void try_connect(const std::vector<net::IpAddress>& targets);
+  void gossip_round();
+  std::vector<net::IpAddress> my_peer_list() const;
+  std::unordered_set<net::IpAddress> excluded_targets() const;
+  void sweep_timeouts();
+  void optimize_neighborhood();
+
+  // --- data plane ---
+  void request_tick();
+  void playback_tick();
+  void announce_buffer_maps();
+  void update_live_edge();
+  void maybe_start_playback();
+
+  // --- plumbing ---
+  void handle(const PeerNetwork::Delivery& delivery);
+  void send(net::IpAddress to, Message m, bool with_processing_delay = true);
+  void add_neighbor(net::IpAddress ip, double initial_latency_s,
+                    BufferMap map);
+  void drop_neighbor(net::IpAddress ip, bool notify);
+
+  sim::Simulator& simulator_;
+  PeerNetwork& network_;
+  HostIdentity identity_;
+  ChannelSpec channel_;
+  net::IpAddress bootstrap_;
+  sim::Rng rng_;
+  PeerConfig config_;
+  std::unique_ptr<SelectionPolicy> policy_;
+
+  bool alive_ = false;
+  bool joined_ = false;
+
+  net::IpAddress source_;
+  std::vector<net::IpAddress> trackers_;
+
+  // Candidate pool with FIFO eviction (set for dedupe, deque for order).
+  std::unordered_set<net::IpAddress> pool_set_;
+  std::deque<net::IpAddress> pool_fifo_;
+
+  std::unordered_map<net::IpAddress, Neighbor> neighbors_;
+  std::unordered_map<net::IpAddress, sim::Time> pending_connects_;
+  std::unordered_map<ChunkSeq, PendingData> pending_data_;
+  // Latest outstanding peer-list request per neighbor, for RTT sampling.
+  std::unordered_map<net::IpAddress, sim::Time> pending_list_;
+  // Recently departed neighbors, still eligible for referral for a while
+  // ("recently connected peers").
+  std::deque<net::IpAddress> recent_neighbors_;
+
+  ChunkStore store_;
+  ChunkSeq live_edge_ = 0;
+  ChunkSeq playback_next_ = 0;
+  bool playback_started_ = false;
+
+  PeerCounters counters_;
+};
+
+}  // namespace ppsim::proto

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace ppsim::proto {
+
+/// All protocol knobs of a client, defaulted to the values the paper
+/// reverse-engineered from PPLive 1.9 (gossip every 20 s, peer lists of at
+/// most 60 addresses, tracker queries decaying to once per 5 minutes once
+/// playback is healthy) plus standard mesh-pull parameters.
+struct PeerConfig {
+  // --- membership / gossip ---
+  sim::Time gossip_period = sim::Time::seconds(20);  // paper Section 2
+  int gossip_fanout = 2;           // neighbors probed per gossip round
+  int max_list_size = 60;          // paper: "no more than 60 IP addresses"
+  int candidate_pool_limit = 600;  // learned-but-unconnected peers kept
+
+  // --- tracker interaction ---
+  sim::Time tracker_period_initial = sim::Time::seconds(30);
+  sim::Time tracker_period_steady = sim::Time::minutes(5);  // paper Section 2
+  /// Neighbor count above which playback is considered "satisfactory" and
+  /// tracker querying drops to the steady (5-minute) period.
+  int healthy_neighbors = 8;
+
+  // --- neighborhood ---
+  int max_neighbors = 28;
+  int min_neighbors = 12;       // top-up target
+  int connect_batch = 5;        // attempts per arriving list (paper: "a number")
+  sim::Time connect_timeout = sim::Time::seconds(3);
+  sim::Time neighbor_idle_timeout = sim::Time::seconds(75);
+  sim::Time topup_period = sim::Time::seconds(10);
+  /// Neighborhood turnover: every period, the slowest neighbor (by EWMA
+  /// latency) above the min_neighbors floor is dropped and its slot refilled
+  /// from referred candidates. This is what lets response-time differences
+  /// reshape *membership* (not just request routing) and drives the paper's
+  /// "triangle construction" clustering.
+  sim::Time optimize_period = sim::Time::seconds(15);
+  /// Newly connected neighbors are exempt from optimization this long.
+  sim::Time optimize_grace = sim::Time::seconds(20);
+
+  // --- data plane ---
+  sim::Time request_tick = sim::Time::millis(200);
+  sim::Time request_timeout = sim::Time::millis(2500);
+  int pipeline_per_neighbor = 6;   // in-flight chunk requests per neighbor
+  int window_chunks = 40;          // scheduling window past the playback point
+  sim::Time startup_buffer = sim::Time::seconds(8);  // playback lag vs live edge
+  /// Weight of a neighbor in scheduling is (1s / ewma_latency)^selectivity:
+  /// higher selectivity concentrates requests on the fastest neighbors.
+  double latency_selectivity = 3.0;
+  sim::Time buffermap_period = sim::Time::seconds(2);
+  std::uint32_t chunk_retention = 256;  // chunks kept & advertised
+
+  // --- connectivity ---
+  /// Client sits behind a NAT/firewall without traversal: it can initiate
+  /// connections but silently ignores ConnectQuery from strangers (2008
+  /// residential reality for most ADSL/cable subscribers). Established
+  /// connections work both ways (the pinhole is open).
+  bool behind_nat = false;
+
+  // --- misc ---
+  sim::Time dns_delay_min = sim::Time::millis(30);
+  sim::Time dns_delay_max = sim::Time::millis(150);
+};
+
+}  // namespace ppsim::proto

@@ -1,0 +1,154 @@
+#include "proto/source.h"
+
+#include <algorithm>
+
+namespace ppsim::proto {
+
+StreamSource::StreamSource(sim::Simulator& simulator, PeerNetwork& network,
+                           const HostIdentity& identity, ChannelSpec channel,
+                           std::vector<net::IpAddress> trackers, sim::Rng rng,
+                           Config config)
+    : simulator_(simulator),
+      network_(network),
+      identity_(identity),
+      channel_(std::move(channel)),
+      trackers_(std::move(trackers)),
+      rng_(rng),
+      config_(config),
+      store_(channel_.mode == StreamMode::kVod &&
+                     channel_.vod_chunks > config.chunk_retention
+                 ? static_cast<std::uint32_t>(channel_.vod_chunks)
+                 : config.chunk_retention) {
+  network_.attach(identity_.ip, identity_.isp, identity_.category,
+                  identity_.profile,
+                  [this](const PeerNetwork::Delivery& d) { handle(d); });
+}
+
+StreamSource::~StreamSource() { network_.detach(identity_.ip); }
+
+void StreamSource::start() {
+  if (running_) return;
+  running_ = true;
+  if (channel_.mode == StreamMode::kVod) {
+    // The whole program exists up front; no real-time production.
+    for (ChunkSeq seq = 1; seq <= channel_.vod_chunks; ++seq) {
+      ++chunks_produced_;
+      store_.insert(seq);
+    }
+  } else {
+    produce_chunk();  // chunk 1 exists immediately; 0 is reserved as "none"
+  }
+  schedule_periodic(simulator_, config_.announce_period, [this] {
+    if (running_) announce_maps();
+    return running_;
+  });
+  refresh_trackers();
+  schedule_periodic(simulator_, config_.tracker_refresh, [this] {
+    if (running_) refresh_trackers();
+    return running_;
+  });
+}
+
+void StreamSource::stop() { running_ = false; }
+
+void StreamSource::send(net::IpAddress to, Message m, sim::Time extra_delay) {
+  const std::uint64_t bytes = wire_size(m);
+  simulator_.schedule(config_.processing_delay + extra_delay,
+                      [this, to, m = std::move(m), bytes]() mutable {
+                        network_.send(identity_.ip, to, std::move(m), bytes);
+                      });
+}
+
+void StreamSource::produce_chunk() {
+  if (!running_) return;
+  ++chunks_produced_;
+  store_.insert(chunks_produced_);
+  simulator_.schedule(channel_.chunk_duration(), [this] { produce_chunk(); });
+}
+
+void StreamSource::announce_maps() {
+  // Drop neighbors that have gone quiet so the list reflects live peers.
+  const sim::Time cutoff = simulator_.now() - sim::Time::seconds(90);
+  std::erase_if(neighbors_,
+                [cutoff](const auto& kv) { return kv.second.last_seen < cutoff; });
+  if (store_.empty()) return;
+  // Live sources advertise a recent window; a VoD source holds (and
+  // advertises) the whole program.
+  const ChunkSeq from = channel_.mode == StreamMode::kVod
+                            ? store_.base()
+                            : (store_.highest() > 64 ? store_.highest() - 64
+                                                     : store_.base());
+  BufferMapAnnounce ann{channel_.id, store_.snapshot(from)};
+  for (const auto& [ip, nb] : neighbors_) {
+    send(ip, Message{ann}, sim::Time::zero());
+  }
+}
+
+void StreamSource::refresh_trackers() {
+  for (const auto& tracker : trackers_) {
+    send(tracker, Message{TrackerQuery{channel_.id}}, sim::Time::zero());
+  }
+}
+
+void StreamSource::touch_neighbor(net::IpAddress ip) {
+  auto it = neighbors_.find(ip);
+  if (it != neighbors_.end()) it->second.last_seen = simulator_.now();
+}
+
+void StreamSource::handle(const PeerNetwork::Delivery& delivery) {
+  const net::IpAddress from = delivery.from;
+
+  if (const auto* connect = std::get_if<ConnectQuery>(&delivery.payload)) {
+    if (connect->channel != channel_.id) return;
+    const bool accept =
+        neighbors_.contains(from) ||
+        neighbors_.size() < static_cast<std::size_t>(config_.max_neighbors);
+    if (accept) neighbors_[from] = Neighbor{simulator_.now()};
+    ConnectReply r;
+    r.channel = channel_.id;
+    r.accepted = accept;
+    if (accept && !store_.empty()) {
+      const ChunkSeq base = channel_.mode == StreamMode::kVod
+                                ? store_.base()
+                                : (store_.highest() > 64
+                                       ? store_.highest() - 64
+                                       : store_.base());
+      r.map = store_.snapshot(base);
+    }
+    send(from, Message{std::move(r)}, sim::Time::zero());
+    return;
+  }
+
+  if (const auto* q = std::get_if<PeerListQuery>(&delivery.payload)) {
+    if (q->channel != channel_.id) return;
+    touch_neighbor(from);
+    PeerListReply r;
+    r.channel = channel_.id;
+    for (const auto& [ip, nb] : neighbors_) {
+      if (ip == from) continue;
+      r.peers.push_back(ip);
+      if (r.peers.size() >= static_cast<std::size_t>(config_.max_list_size))
+        break;
+    }
+    send(from, Message{std::move(r)}, sim::Time::zero());
+    return;
+  }
+
+  if (const auto* dq = std::get_if<DataQuery>(&delivery.payload)) {
+    if (dq->channel != channel_.id) return;
+    touch_neighbor(from);
+    if (!store_.has(dq->chunk)) return;  // too old or not yet produced
+    ++requests_served_;
+    DataReply r{channel_.id, dq->chunk, channel_.subpieces_per_chunk,
+                channel_.chunk_bytes()};
+    send(from, Message{r}, sim::Time::zero());
+    return;
+  }
+
+  if (std::holds_alternative<Goodbye>(delivery.payload)) {
+    neighbors_.erase(from);
+    return;
+  }
+}
+
+}  // namespace ppsim::proto

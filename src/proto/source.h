@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ip.h"
+#include "proto/channel.h"
+#include "proto/chunk_store.h"
+#include "proto/host.h"
+#include "proto/message.h"
+#include "proto/tracker.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace ppsim::proto {
+
+/// The channel's origin ("playlink" target): produces one chunk per chunk
+/// duration, serves data requests, answers gossip queries with its
+/// connected peers, and keeps itself registered with the trackers so new
+/// joiners can always find at least one serving node.
+///
+/// Its upload link is deliberately modest relative to the swarm's demand —
+/// PPLive channels are overwhelmingly peer-served, which is precisely why
+/// *peer* selection determines the traffic matrix the paper measures.
+struct SourceConfig {
+  int max_neighbors = 48;
+  int max_list_size = 60;
+  sim::Time announce_period = sim::Time::seconds(5);
+  sim::Time tracker_refresh = sim::Time::seconds(60);
+  sim::Time processing_delay = sim::Time::millis(2);
+  std::uint32_t chunk_retention = 512;
+};
+
+class StreamSource {
+ public:
+  using Config = SourceConfig;
+
+  StreamSource(sim::Simulator& simulator, PeerNetwork& network,
+               const HostIdentity& identity, ChannelSpec channel,
+               std::vector<net::IpAddress> trackers, sim::Rng rng,
+               Config config = {});
+  ~StreamSource();
+
+  StreamSource(const StreamSource&) = delete;
+  StreamSource& operator=(const StreamSource&) = delete;
+
+  /// Starts chunk production and tracker registration.
+  void start();
+  /// Stops producing (the channel "ends"); the host stays attached.
+  void stop();
+
+  net::IpAddress ip() const { return identity_.ip; }
+  ChunkSeq live_edge() const { return store_.highest(); }
+  std::uint64_t chunks_produced() const { return chunks_produced_; }
+  std::uint64_t requests_served() const { return requests_served_; }
+  std::size_t neighbor_count() const { return neighbors_.size(); }
+
+ private:
+  void handle(const PeerNetwork::Delivery& delivery);
+  void produce_chunk();
+  void announce_maps();
+  void refresh_trackers();
+  void send(net::IpAddress to, Message m, sim::Time extra_delay);
+  void touch_neighbor(net::IpAddress ip);
+
+  sim::Simulator& simulator_;
+  PeerNetwork& network_;
+  HostIdentity identity_;
+  ChannelSpec channel_;
+  std::vector<net::IpAddress> trackers_;
+  sim::Rng rng_;
+  Config config_;
+
+  bool running_ = false;
+  ChunkStore store_;
+  std::uint64_t chunks_produced_ = 0;
+  std::uint64_t requests_served_ = 0;
+  // Peers that connected to the source (it serves them like any neighbor).
+  struct Neighbor {
+    sim::Time last_seen;
+  };
+  std::unordered_map<net::IpAddress, Neighbor> neighbors_;
+};
+
+}  // namespace ppsim::proto

@@ -1,0 +1,96 @@
+#include "proto/tracker.h"
+
+#include <algorithm>
+
+namespace ppsim::proto {
+
+TrackerServer::TrackerServer(sim::Simulator& simulator, PeerNetwork& network,
+                             const HostIdentity& identity, sim::Rng rng,
+                             Config config)
+    : simulator_(simulator),
+      network_(network),
+      identity_(identity),
+      rng_(rng),
+      config_(config) {
+  network_.attach(identity_.ip, identity_.isp, identity_.category,
+                  identity_.profile,
+                  [this](const PeerNetwork::Delivery& d) { handle(d); });
+}
+
+TrackerServer::~TrackerServer() { network_.detach(identity_.ip); }
+
+void TrackerServer::refresh(ChannelId channel, net::IpAddress member) {
+  auto& entries = members_[channel];
+  for (auto& e : entries) {
+    if (e.ip == member) {
+      e.last_seen = simulator_.now();
+      return;
+    }
+  }
+  entries.push_back(Entry{member, simulator_.now()});
+}
+
+void TrackerServer::expire(ChannelId channel) {
+  auto it = members_.find(channel);
+  if (it == members_.end()) return;
+  const sim::Time cutoff = simulator_.now() - config_.entry_ttl;
+  std::erase_if(it->second,
+                [cutoff](const Entry& e) { return e.last_seen < cutoff; });
+}
+
+std::size_t TrackerServer::member_count(ChannelId channel) {
+  expire(channel);
+  auto it = members_.find(channel);
+  return it == members_.end() ? 0 : it->second.size();
+}
+
+void TrackerServer::handle(const PeerNetwork::Delivery& delivery) {
+  const auto* query = std::get_if<TrackerQuery>(&delivery.payload);
+  if (query == nullptr) return;  // trackers speak only the tracker protocol
+
+  const ChannelId channel = query->channel;
+  expire(channel);
+
+  // Sample *before* registering the requester so a client is never told
+  // about itself; registration then keeps it discoverable by others.
+  TrackerReply reply;
+  reply.channel = channel;
+  auto it = members_.find(channel);
+  if (it != members_.end()) {
+    std::vector<net::IpAddress> candidates;
+    candidates.reserve(it->second.size());
+    for (const auto& e : it->second)
+      if (e.ip != delivery.from) candidates.push_back(e.ip);
+    const auto cap = static_cast<std::size_t>(config_.max_reply_peers);
+    if (config_.locality_db == nullptr) {
+      // The measured PPLive behaviour: a plain uniform sample.
+      reply.peers = rng_.sample(candidates, cap);
+    } else {
+      // ISP-aware variant: same-ISP members first, random within tiers.
+      const net::IspCategory own =
+          config_.locality_db->category_or_foreign(delivery.from);
+      std::vector<net::IpAddress> same, other;
+      for (const auto& ip : candidates) {
+        (config_.locality_db->category_or_foreign(ip) == own ? same : other)
+            .push_back(ip);
+      }
+      reply.peers = rng_.sample(same, cap);
+      if (reply.peers.size() < cap) {
+        auto fill = rng_.sample(other, cap - reply.peers.size());
+        reply.peers.insert(reply.peers.end(), fill.begin(), fill.end());
+      }
+    }
+  }
+  refresh(channel, delivery.from);
+  ++queries_served_;
+
+  const std::uint64_t bytes = wire_size(Message{reply});
+  simulator_.schedule(config_.processing_delay,
+                      [this, to = delivery.from, reply = std::move(reply),
+                       bytes]() mutable {
+                        network_.send(identity_.ip, to, Message{std::move(reply)},
+                                      bytes);
+                      });
+}
+
+}  // namespace ppsim::proto

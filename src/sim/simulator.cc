@@ -1,0 +1,82 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <cstdio>
+#include <memory>
+
+#include "sim/time.h"
+
+namespace ppsim::sim {
+
+TimerHandle Simulator::schedule_at(Time when, Callback cb) {
+  assert(cb);
+  if (when < now_) when = now_;
+  std::uint64_t seq = next_seq_++;
+  queue_.push(Event{when, seq, std::move(cb)});
+  ++live_events_;
+  return TimerHandle{seq};
+}
+
+bool Simulator::cancel(TimerHandle h) {
+  if (!h.valid()) return false;
+  // Only tombstone if the event is still plausibly pending.
+  if (h.seq_ >= next_seq_) return false;
+  return cancelled_.insert(h.seq_).second;
+}
+
+std::uint64_t Simulator::run_until(Time until) {
+  std::uint64_t ran = 0;
+  stop_requested_ = false;
+  while (!queue_.empty() && !stop_requested_) {
+    const Event& top = queue_.top();
+    if (top.when > until) break;
+    // Move the event out before popping so the callback may schedule/cancel.
+    Event ev{top.when, top.seq, std::move(const_cast<Event&>(top).cb)};
+    queue_.pop();
+    --live_events_;
+    if (!cancelled_.empty() && cancelled_.erase(ev.seq) > 0) continue;
+    now_ = ev.when;
+    ev.cb();
+    ++ran;
+    ++events_executed_;
+  }
+  if (queue_.empty()) {
+    // Advance the clock to the horizon so repeated run_until calls observe
+    // monotonically increasing time even across idle stretches. The
+    // drain-everything sentinel used by run() is excluded: after run() the
+    // clock rests at the last event's time.
+    if (until > now_ && until < Time::micros(INT64_MAX)) now_ = until;
+    cancelled_.clear();
+  }
+  return ran;
+}
+
+std::uint64_t Simulator::run() {
+  return run_until(Time::micros(INT64_MAX));
+}
+
+void schedule_periodic(Simulator& simulator, Time period,
+                       std::function<bool()> tick) {
+  assert(period > Time::zero());
+  // Self-rescheduling closure; stops when tick() returns false.
+  auto loop = std::make_shared<std::function<void()>>();
+  Simulator* simp = &simulator;
+  *loop = [simp, period, tick = std::move(tick), loop]() {
+    if (tick()) simp->schedule(period, *loop);
+  };
+  simulator.schedule(period, *loop);
+}
+
+std::string Time::to_string() const {
+  char buf[32];
+  if (us_ % 1'000'000 == 0) {
+    std::snprintf(buf, sizeof buf, "%llds", static_cast<long long>(us_ / 1'000'000));
+  } else if (us_ % 1000 == 0) {
+    std::snprintf(buf, sizeof buf, "%lldms", static_cast<long long>(us_ / 1000));
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldus", static_cast<long long>(us_));
+  }
+  return buf;
+}
+
+}  // namespace ppsim::sim

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace ppsim::sim {
+
+/// Opaque handle to a scheduled event; lets callers cancel pending timers.
+class TimerHandle {
+ public:
+  TimerHandle() = default;
+  bool valid() const { return seq_ != 0; }
+
+ private:
+  friend class Simulator;
+  explicit TimerHandle(std::uint64_t seq) : seq_(seq) {}
+  std::uint64_t seq_ = 0;
+};
+
+/// Single-threaded discrete-event simulator.
+///
+/// Events are callbacks ordered by (time, insertion sequence), giving a total
+/// deterministic order: two events at the same instant fire in the order they
+/// were scheduled. The simulator owns no domain state; protocol entities
+/// capture what they need in their callbacks.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Time now() const { return now_; }
+
+  /// Schedules `cb` to run `delay` after the current time. Negative delays
+  /// are clamped to zero (fire "now", after already-pending events at now).
+  TimerHandle schedule(Time delay, Callback cb) {
+    return schedule_at(delay.is_negative() ? now_ : now_ + delay,
+                       std::move(cb));
+  }
+
+  /// Schedules `cb` at an absolute time (clamped to `now()` if in the past).
+  TimerHandle schedule_at(Time when, Callback cb);
+
+  /// Cancels a pending event. Returns true if the event had not yet fired.
+  /// Cancellation is O(1): the event is tombstoned and skipped on pop.
+  bool cancel(TimerHandle h);
+
+  /// Runs events until the queue is empty or `until` is reached; events
+  /// scheduled exactly at `until` do fire. Returns the number of events run.
+  std::uint64_t run_until(Time until);
+
+  /// Runs until the queue drains completely.
+  std::uint64_t run();
+
+  /// Stops the current run_until()/run() loop after the current event.
+  void request_stop() { stop_requested_ = true; }
+
+  std::uint64_t events_executed() const { return events_executed_; }
+  std::size_t pending_events() const { return live_events_; }
+
+ private:
+  struct Event {
+    Time when;
+    std::uint64_t seq;
+    Callback cb;
+    bool operator>(const Event& o) const {
+      if (when != o.when) return when > o.when;
+      return seq > o.seq;
+    }
+  };
+
+  Time now_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t events_executed_ = 0;
+  std::size_t live_events_ = 0;
+  bool stop_requested_ = false;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::unordered_set<std::uint64_t> cancelled_;  // tombstones, consumed on pop
+};
+
+/// Convenience: reschedules itself with a fixed period until `cancel` or the
+/// owner drops the handle chain. Returns the handle of the *first* firing;
+/// periodic tasks that must be stoppable should instead keep their own flag.
+void schedule_periodic(Simulator& simulator, Time period,
+                       std::function<bool()> tick);
+
+}  // namespace ppsim::sim

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+namespace ppsim::sim {
+
+/// Simulated time, stored as integer microseconds since the start of the run.
+///
+/// A strong type (rather than a bare int64_t) so that times and durations
+/// cannot be accidentally mixed with counts or byte sizes. Arithmetic is
+/// closed over the type: Time +/- Time yields Time, which doubles as a
+/// duration. Microsecond resolution is fine-grained enough for network
+/// propagation delays (tens of microseconds) while allowing ~292k simulated
+/// years before overflow.
+class Time {
+ public:
+  constexpr Time() = default;
+
+  static constexpr Time zero() { return Time{0}; }
+  static constexpr Time micros(std::int64_t us) { return Time{us}; }
+  static constexpr Time millis(std::int64_t ms) { return Time{ms * 1000}; }
+  static constexpr Time seconds(std::int64_t s) { return Time{s * 1'000'000}; }
+  static constexpr Time minutes(std::int64_t m) {
+    return Time{m * 60'000'000};
+  }
+  static constexpr Time hours(std::int64_t h) {
+    return Time{h * 3'600'000'000LL};
+  }
+
+  /// Converts a floating-point second count; rounds toward zero.
+  static constexpr Time from_seconds(double s) {
+    return Time{static_cast<std::int64_t>(s * 1e6)};
+  }
+
+  constexpr std::int64_t as_micros() const { return us_; }
+  constexpr double as_millis() const { return static_cast<double>(us_) / 1e3; }
+  constexpr double as_seconds() const {
+    return static_cast<double>(us_) / 1e6;
+  }
+
+  constexpr bool is_zero() const { return us_ == 0; }
+  constexpr bool is_negative() const { return us_ < 0; }
+
+  constexpr Time operator+(Time o) const { return Time{us_ + o.us_}; }
+  constexpr Time operator-(Time o) const { return Time{us_ - o.us_}; }
+  constexpr Time operator*(std::int64_t k) const { return Time{us_ * k}; }
+  constexpr Time operator/(std::int64_t k) const { return Time{us_ / k}; }
+  constexpr Time& operator+=(Time o) {
+    us_ += o.us_;
+    return *this;
+  }
+  constexpr Time& operator-=(Time o) {
+    us_ -= o.us_;
+    return *this;
+  }
+
+  constexpr auto operator<=>(const Time&) const = default;
+
+  /// Human-readable rendering, e.g. "1.500s" or "250ms".
+  std::string to_string() const;
+
+ private:
+  constexpr explicit Time(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+/// Scales a duration by a floating-point factor (for jitter models).
+constexpr Time scale(Time t, double factor) {
+  return Time::micros(
+      static_cast<std::int64_t>(static_cast<double>(t.as_micros()) * factor));
+}
+
+}  // namespace ppsim::sim

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/scenario.h"
+
+namespace ppsim::workload {
+
+/// Day-to-day modulation of a channel's audience over a multi-day
+/// measurement campaign (paper Figure 6: 28 daily measurements).
+///
+/// Two effects drive the variance the paper observes:
+///  - the overall audience breathes (weekday/weekend, program schedule);
+///  - the *foreign* share of a Chinese channel swings wildly, because a
+///    program popular in China is not necessarily popular abroad — this is
+///    the paper's explanation for the Mason probe's unstable locality.
+struct CampaignConfig {
+  int days = 28;
+  /// Log-space sigma of the day's overall audience scale factor.
+  double audience_sigma = 0.18;
+  /// Log-space sigma of the day's foreign-share multiplier (large on
+  /// purpose; see above).
+  double foreign_sigma = 0.85;
+  /// Weekend audiences are this much larger (day 1 = Monday).
+  double weekend_boost = 1.25;
+  std::uint64_t seed = 42;
+};
+
+/// Derives the concrete scenario measured on `day` (1-based) from the base
+/// scenario. Deterministic in (config.seed, day).
+ScenarioSpec day_scenario(const ScenarioSpec& base,
+                          const CampaignConfig& config, int day);
+
+/// All 28 (or config.days) daily scenarios.
+std::vector<ScenarioSpec> campaign_scenarios(const ScenarioSpec& base,
+                                             const CampaignConfig& config);
+
+}  // namespace ppsim::workload

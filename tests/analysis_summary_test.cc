@@ -1,0 +1,48 @@
+#include "analysis/summary.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+namespace ppsim::analysis {
+namespace {
+
+TEST(SummaryTest, EmptySample) {
+  Summary s = describe({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(SummaryTest, KnownValues) {
+  std::vector<double> xs = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  Summary s = describe(xs);
+  EXPECT_EQ(s.n, 9u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 5.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.p25, 3.0);
+  EXPECT_DOUBLE_EQ(s.p75, 7.0);
+  EXPECT_NEAR(s.stddev, 2.7386, 1e-3);
+}
+
+TEST(SummaryTest, StringRendering) {
+  std::vector<double> xs = {2.0, 4.0};
+  Summary s = describe(xs);
+  const std::string text = to_string(s);
+  EXPECT_NE(text.find("n=2"), std::string::npos);
+  EXPECT_NE(text.find("mean=3"), std::string::npos);
+  std::ostringstream os;
+  os << s;
+  EXPECT_EQ(os.str(), text);
+}
+
+TEST(SummaryTest, OrderInvariant) {
+  std::vector<double> a = {5, 1, 3};
+  std::vector<double> b = {3, 5, 1};
+  EXPECT_EQ(to_string(describe(a)), to_string(describe(b)));
+}
+
+}  // namespace
+}  // namespace ppsim::analysis

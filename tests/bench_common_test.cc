@@ -1,0 +1,80 @@
+// Tests of the figure-bench harness helpers (flag parsing, the standard
+// workload configs, and the multi-day merge runner).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "../bench/figures_common.h"
+
+namespace ppsim::bench {
+namespace {
+
+Scale parse(std::initializer_list<const char*> args) {
+  std::vector<char*> argv = {const_cast<char*>("bench")};
+  for (const char* a : args) argv.push_back(const_cast<char*>(a));
+  return parse_flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(BenchFlagsTest, Defaults) {
+  Scale scale = parse({});
+  EXPECT_EQ(scale.popular_viewers, 300);
+  EXPECT_EQ(scale.minutes, 10);
+  EXPECT_GT(scale.unpopular_viewers, 30);
+}
+
+TEST(BenchFlagsTest, ViewersScalesUnpopularProportionally) {
+  Scale scale = parse({"--viewers", "600"});
+  EXPECT_EQ(scale.popular_viewers, 600);
+  EXPECT_EQ(scale.unpopular_viewers, 600 * 64 / 300);
+}
+
+TEST(BenchFlagsTest, MinutesAndSeed) {
+  Scale scale = parse({"--minutes", "25", "--seed", "777"});
+  EXPECT_EQ(scale.minutes, 25);
+  EXPECT_EQ(scale.seed, 777u);
+}
+
+TEST(BenchFlagsTest, UnknownFlagsIgnored) {
+  Scale scale = parse({"--bogus", "1", "--minutes", "7"});
+  EXPECT_EQ(scale.minutes, 7);
+}
+
+TEST(BenchConfigTest, PopularAndUnpopularDiffer) {
+  Scale scale;
+  scale.minutes = 4;
+  auto popular = popular_config(scale, {core::tele_probe()});
+  auto unpopular = unpopular_config(scale, {core::tele_probe()});
+  EXPECT_GT(popular.scenario.viewers, unpopular.scenario.viewers);
+  EXPECT_NE(popular.scenario.channel.id, unpopular.scenario.channel.id);
+  EXPECT_NE(popular.scenario.seed, unpopular.scenario.seed);
+  EXPECT_EQ(popular.scenario.duration, sim::Time::minutes(4));
+}
+
+TEST(BenchRunDaysTest, MergesAcrossDays) {
+  Scale scale;
+  scale.popular_viewers = 50;
+  scale.minutes = 3;
+  scale.seed = 4;
+  auto merged = run_days(scale, /*popular=*/true, {core::tele_probe()},
+                         /*days=*/2);
+  ASSERT_EQ(merged.probes.size(), 1u);
+
+  // The merged analysis covers both days: it has at least as many matched
+  // transmissions as a single day.
+  auto single = core::run_experiment(popular_config(scale, {core::tele_probe()}));
+  EXPECT_GT(merged.probes[0].analysis.data_transmissions.total(),
+            single.probes[0].analysis.data_transmissions.total());
+  EXPECT_GT(merged.traffic.total(), single.traffic.total());
+}
+
+TEST(BenchBannerTest, MentionsScale) {
+  Scale scale;
+  std::ostringstream os;
+  print_banner(os, "test banner", scale);
+  EXPECT_NE(os.str().find("test banner"), std::string::npos);
+  EXPECT_NE(os.str().find("viewers=300"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppsim::bench

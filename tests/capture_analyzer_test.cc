@@ -1,0 +1,250 @@
+#include "capture/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include "net/asn_db.h"
+
+namespace ppsim::capture {
+namespace {
+
+constexpr std::uint32_t kTeleBase = 0x0A000000;     // 10.0.0.0/8
+constexpr std::uint32_t kCncBase = 0x14000000;      // 20.0.0.0/8
+constexpr std::uint32_t kForeignBase = 0x1E000000;  // 30.0.0.0/8
+
+net::IpAddress tele(std::uint32_t i) { return net::IpAddress(kTeleBase + i); }
+net::IpAddress cnc(std::uint32_t i) { return net::IpAddress(kCncBase + i); }
+net::IpAddress foreign(std::uint32_t i) {
+  return net::IpAddress(kForeignBase + i);
+}
+
+class AnalyzerTest : public ::testing::Test {
+ protected:
+  AnalyzerTest() {
+    db_.insert(net::Prefix(net::IpAddress(10, 0, 0, 0), 8), 1, "TELE",
+               net::IspCategory::kTele);
+    db_.insert(net::Prefix(net::IpAddress(20, 0, 0, 0), 8), 2, "CNC",
+               net::IspCategory::kCnc);
+    db_.insert(net::Prefix(net::IpAddress(30, 0, 0, 0), 8), 3, "FOREIGN",
+               net::IspCategory::kForeign);
+    probe_ = tele(99);
+  }
+
+  void out(sim::Time t, net::IpAddress remote, proto::Message m) {
+    trace_.push_back(TraceRecord{t, net::Direction::kOutgoing, probe_, remote,
+                                 proto::wire_size(m), std::move(m)});
+  }
+  void in(sim::Time t, net::IpAddress remote, proto::Message m) {
+    trace_.push_back(TraceRecord{t, net::Direction::kIncoming, probe_, remote,
+                                 proto::wire_size(m), std::move(m)});
+  }
+
+  TraceAnalysis analyze() {
+    return analyze_trace(trace_, db_, probe_, trackers_);
+  }
+
+  net::AsnDatabase db_;
+  net::IpAddress probe_;
+  std::unordered_set<net::IpAddress> trackers_;
+  PacketTrace trace_;
+};
+
+TEST_F(AnalyzerTest, EmptyTrace) {
+  auto a = analyze();
+  EXPECT_EQ(a.returned_addresses.total(), 0u);
+  EXPECT_EQ(a.data_transmissions.total(), 0u);
+  EXPECT_TRUE(a.peers.empty());
+  EXPECT_DOUBLE_EQ(a.byte_locality(net::IspCategory::kTele), 0.0);
+}
+
+TEST_F(AnalyzerTest, ReturnedAddressesKeepDuplicates) {
+  // Two replies listing overlapping peers: duplicates count (Fig 2a), and
+  // the unique count is tracked separately.
+  in(sim::Time::seconds(1), tele(1),
+     proto::Message{proto::PeerListReply{1, {tele(2), tele(3), cnc(1)}}});
+  in(sim::Time::seconds(2), tele(1),
+     proto::Message{proto::PeerListReply{1, {tele(2), cnc(1)}}});
+  auto a = analyze();
+  EXPECT_EQ(a.returned_addresses.total(), 5u);
+  EXPECT_EQ(a.returned_addresses.get(net::IspCategory::kTele), 3u);
+  EXPECT_EQ(a.returned_addresses.get(net::IspCategory::kCnc), 2u);
+  EXPECT_EQ(a.unique_listed_ips, 3u);
+  EXPECT_EQ(a.lists_from_peers, 2u);
+}
+
+TEST_F(AnalyzerTest, TrackerAndPeerListsSeparated) {
+  trackers_.insert(cnc(50));
+  in(sim::Time::seconds(1), cnc(50),
+     proto::Message{proto::TrackerReply{1, {tele(1), cnc(1)}}});
+  in(sim::Time::seconds(2), tele(7),
+     proto::Message{proto::PeerListReply{1, {tele(2)}}});
+  auto a = analyze();
+  EXPECT_EQ(a.lists_from_trackers, 1u);
+  EXPECT_EQ(a.lists_from_peers, 1u);
+  // Rows: CNC tracker and TELE peer.
+  ASSERT_EQ(a.list_sources.size(), 2u);
+  bool saw_tracker_row = false, saw_peer_row = false;
+  for (const auto& row : a.list_sources) {
+    if (row.replier_is_tracker) {
+      saw_tracker_row = true;
+      EXPECT_EQ(row.replier_category, net::IspCategory::kCnc);
+      EXPECT_EQ(row.listed.total(), 2u);
+    } else {
+      saw_peer_row = true;
+      EXPECT_EQ(row.replier_category, net::IspCategory::kTele);
+      EXPECT_EQ(row.listed.total(), 1u);
+    }
+  }
+  EXPECT_TRUE(saw_tracker_row);
+  EXPECT_TRUE(saw_peer_row);
+}
+
+TEST_F(AnalyzerTest, DataMatchingByRemoteAndChunk) {
+  out(sim::Time::millis(1000), tele(1), proto::Message{proto::DataQuery{1, 5}});
+  out(sim::Time::millis(1100), cnc(1), proto::Message{proto::DataQuery{1, 6}});
+  in(sim::Time::millis(1200), tele(1),
+     proto::Message{proto::DataReply{1, 5, 8, 11040}});
+  // Reply from the wrong peer for chunk 6 is ignored.
+  in(sim::Time::millis(1300), tele(1),
+     proto::Message{proto::DataReply{1, 6, 8, 11040}});
+  auto a = analyze();
+  EXPECT_EQ(a.data_transmissions.total(), 1u);
+  EXPECT_EQ(a.data_transmissions.get(net::IspCategory::kTele), 1u);
+  EXPECT_EQ(a.data_bytes.get(net::IspCategory::kTele), 11040u);
+  ASSERT_EQ(a.data_responses.size(), 1u);
+  EXPECT_NEAR(a.data_responses[0].response_seconds, 0.2, 1e-9);
+}
+
+TEST_F(AnalyzerTest, ByteLocalityComputed) {
+  out(sim::Time::millis(0), tele(1), proto::Message{proto::DataQuery{1, 1}});
+  in(sim::Time::millis(10), tele(1),
+     proto::Message{proto::DataReply{1, 1, 8, 3000}});
+  out(sim::Time::millis(20), cnc(1), proto::Message{proto::DataQuery{1, 2}});
+  in(sim::Time::millis(30), cnc(1),
+     proto::Message{proto::DataReply{1, 2, 8, 1000}});
+  auto a = analyze();
+  EXPECT_DOUBLE_EQ(a.byte_locality(net::IspCategory::kTele), 0.75);
+  EXPECT_DOUBLE_EQ(a.transmission_locality(net::IspCategory::kTele), 0.5);
+}
+
+TEST_F(AnalyzerTest, PeerListResponseMatchedToLatestRequest) {
+  // Paper methodology: a reply matches the latest outstanding request to
+  // the same IP; the overwritten earlier request counts as unanswered.
+  out(sim::Time::seconds(1), tele(1), proto::Message{proto::PeerListQuery{1, {}}});
+  out(sim::Time::seconds(5), tele(1), proto::Message{proto::PeerListQuery{1, {}}});
+  in(sim::Time::seconds(6), tele(1),
+     proto::Message{proto::PeerListReply{1, {}}});
+  auto a = analyze();
+  ASSERT_EQ(a.list_responses.size(), 1u);
+  EXPECT_NEAR(a.list_responses[0].response_seconds, 1.0, 1e-9);
+  EXPECT_EQ(a.list_requests_unanswered, 1u);
+}
+
+TEST_F(AnalyzerTest, UnansweredOutstandingCounted) {
+  out(sim::Time::seconds(1), tele(1), proto::Message{proto::PeerListQuery{1, {}}});
+  out(sim::Time::seconds(1), cnc(1), proto::Message{proto::PeerListQuery{1, {}}});
+  in(sim::Time::seconds(2), tele(1),
+     proto::Message{proto::PeerListReply{1, {}}});
+  auto a = analyze();
+  EXPECT_EQ(a.list_requests_unanswered, 1u);
+}
+
+TEST_F(AnalyzerTest, ResponseGroupsUseThreeWaySplit) {
+  out(sim::Time::seconds(1), tele(1), proto::Message{proto::PeerListQuery{1, {}}});
+  in(sim::Time::seconds(2), tele(1), proto::Message{proto::PeerListReply{1, {}}});
+  out(sim::Time::seconds(3), cnc(1), proto::Message{proto::PeerListQuery{1, {}}});
+  in(sim::Time::seconds(4), cnc(1), proto::Message{proto::PeerListReply{1, {}}});
+  out(sim::Time::seconds(5), foreign(1),
+      proto::Message{proto::PeerListQuery{1, {}}});
+  in(sim::Time::seconds(7), foreign(1),
+     proto::Message{proto::PeerListReply{1, {}}});
+  auto a = analyze();
+  EXPECT_DOUBLE_EQ(a.avg_list_response(net::ResponseGroup::kTele), 1.0);
+  EXPECT_DOUBLE_EQ(a.avg_list_response(net::ResponseGroup::kCnc), 1.0);
+  EXPECT_DOUBLE_EQ(a.avg_list_response(net::ResponseGroup::kOther), 2.0);
+  EXPECT_EQ(a.response_count(a.list_responses, net::ResponseGroup::kTele), 1u);
+}
+
+TEST_F(AnalyzerTest, PeerActivityAggregates) {
+  for (int i = 0; i < 5; ++i) {
+    out(sim::Time::millis(i * 100), tele(1),
+        proto::Message{proto::DataQuery{1, static_cast<proto::ChunkSeq>(i)}});
+    in(sim::Time::millis(i * 100 + 50), tele(1),
+       proto::Message{
+           proto::DataReply{1, static_cast<proto::ChunkSeq>(i), 8, 1000}});
+  }
+  out(sim::Time::seconds(1), cnc(1), proto::Message{proto::DataQuery{1, 100}});
+  in(sim::Time::seconds(2), cnc(1),
+     proto::Message{proto::DataReply{1, 100, 8, 1000}});
+  auto a = analyze();
+  ASSERT_EQ(a.peers.size(), 2u);
+  // Sorted by matched requests, descending.
+  EXPECT_EQ(a.peers[0].ip, tele(1));
+  EXPECT_EQ(a.peers[0].data_requests_matched, 5u);
+  EXPECT_EQ(a.peers[0].bytes_contributed, 5000u);
+  EXPECT_NEAR(a.peers[0].min_response_seconds, 0.05, 1e-9);
+  EXPECT_EQ(a.peers[1].data_requests_matched, 1u);
+  EXPECT_EQ(a.unique_data_peers.total(), 2u);
+  EXPECT_EQ(a.unique_data_peers.get(net::IspCategory::kTele), 1u);
+}
+
+TEST_F(AnalyzerTest, RankSeriesAndShares) {
+  // Three peers: 8, 1, 1 matched transmissions.
+  auto feed = [&](net::IpAddress ip, int n, proto::ChunkSeq base) {
+    for (int i = 0; i < n; ++i) {
+      out(sim::Time::millis(base * 10 + i), ip,
+          proto::Message{proto::DataQuery{1, base + static_cast<proto::ChunkSeq>(i)}});
+      in(sim::Time::millis(base * 10 + i + 5), ip,
+         proto::Message{proto::DataReply{
+             1, base + static_cast<proto::ChunkSeq>(i), 8, 100}});
+    }
+  };
+  feed(tele(1), 8, 0);
+  feed(cnc(1), 1, 1000);
+  feed(foreign(1), 1, 2000);
+  auto a = analyze();
+  auto ranked = a.request_rank_series();
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_DOUBLE_EQ(ranked[0], 8.0);
+  EXPECT_DOUBLE_EQ(ranked[1], 1.0);
+  // Top 1/3 of peers (= the top peer, ceil(0.34*3)=2? no: 0.34*3=1.02 =>
+  // ceil=2)... use exact: top_share with fraction 1/3 picks ceil(1)=1 peer.
+  EXPECT_NEAR(a.top_request_share(1.0 / 3.0), 0.8, 1e-9);
+}
+
+TEST_F(AnalyzerTest, RttCorrelationNegativeWhenFastPeersGetMore) {
+  // Construct: peers with smaller response times receive more requests.
+  for (int p = 1; p <= 10; ++p) {
+    const auto ip = tele(static_cast<std::uint32_t>(p));
+    const int requests = 2 + (10 - p) * 5;  // p=1 fastest & most requested
+    for (int i = 0; i < requests; ++i) {
+      const auto chunk =
+          static_cast<proto::ChunkSeq>(p * 1000 + i);
+      const auto t0 = sim::Time::millis(p * 10000 + i * 10);
+      out(t0, ip, proto::Message{proto::DataQuery{1, chunk}});
+      in(t0 + sim::Time::millis(p * 5), ip,
+         proto::Message{proto::DataReply{1, chunk, 8, 100}});
+    }
+  }
+  auto a = analyze();
+  EXPECT_LT(a.rtt_request_correlation(), -0.7);
+}
+
+TEST_F(AnalyzerTest, UnknownIpFallsBackToForeign) {
+  const net::IpAddress unknown(0x7F000001);
+  in(sim::Time::seconds(1), tele(1),
+     proto::Message{proto::PeerListReply{1, {unknown}}});
+  auto a = analyze();
+  EXPECT_EQ(a.returned_addresses.get(net::IspCategory::kForeign), 1u);
+}
+
+TEST(IspHistogramTest, Shares) {
+  IspHistogram h;
+  h.add(net::IspCategory::kTele, 3);
+  h.add(net::IspCategory::kCnc);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.share(net::IspCategory::kTele), 0.75);
+  EXPECT_DOUBLE_EQ(h.share(net::IspCategory::kCer), 0.0);
+}
+
+}  // namespace
+}  // namespace ppsim::capture

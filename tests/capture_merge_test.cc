@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "capture/analyzer.h"
+
+namespace ppsim::capture {
+namespace {
+
+TraceAnalysis make_analysis(int scale) {
+  TraceAnalysis a;
+  a.returned_addresses.add(net::IspCategory::kTele,
+                           static_cast<std::uint64_t>(10 * scale));
+  a.unique_listed_ips = static_cast<std::uint64_t>(5 * scale);
+  a.lists_from_peers = static_cast<std::uint64_t>(scale);
+  a.lists_from_trackers = 1;
+  a.list_requests_unanswered = 2;
+
+  ListSourceRow row;
+  row.replier_category = net::IspCategory::kCnc;
+  row.replier_is_tracker = false;
+  row.listed.add(net::IspCategory::kCnc, static_cast<std::uint64_t>(scale));
+  a.list_sources.push_back(row);
+
+  a.data_transmissions.add(net::IspCategory::kTele,
+                           static_cast<std::uint64_t>(100 * scale));
+  a.data_bytes.add(net::IspCategory::kTele,
+                   static_cast<std::uint64_t>(1000 * scale));
+
+  ResponseSample s;
+  s.request_time = sim::Time::seconds(scale);
+  s.response_seconds = 0.5;
+  s.group = net::ResponseGroup::kTele;
+  a.list_responses.push_back(s);
+  a.data_responses.push_back(s);
+
+  PeerActivity p;
+  p.ip = net::IpAddress(static_cast<std::uint32_t>(scale));
+  p.category = net::IspCategory::kTele;
+  p.data_requests_matched = static_cast<std::uint64_t>(scale);
+  p.bytes_contributed = static_cast<std::uint64_t>(scale * 10);
+  p.min_response_seconds = 0.1;
+  a.peers.push_back(p);
+  a.unique_data_peers.add(p.category);
+  return a;
+}
+
+TEST(MergeTest, CountsAdd) {
+  TraceAnalysis dst = make_analysis(1);
+  merge_into(dst, make_analysis(3));
+  EXPECT_EQ(dst.returned_addresses.get(net::IspCategory::kTele), 40u);
+  EXPECT_EQ(dst.unique_listed_ips, 20u);
+  EXPECT_EQ(dst.lists_from_peers, 4u);
+  EXPECT_EQ(dst.lists_from_trackers, 2u);
+  EXPECT_EQ(dst.list_requests_unanswered, 4u);
+  EXPECT_EQ(dst.data_transmissions.get(net::IspCategory::kTele), 400u);
+  EXPECT_EQ(dst.data_bytes.get(net::IspCategory::kTele), 4000u);
+  EXPECT_EQ(dst.unique_data_peers.total(), 2u);
+}
+
+TEST(MergeTest, ListSourceRowsCombineByKey) {
+  TraceAnalysis dst = make_analysis(1);
+  merge_into(dst, make_analysis(2));
+  ASSERT_EQ(dst.list_sources.size(), 1u);
+  EXPECT_EQ(dst.list_sources[0].listed.get(net::IspCategory::kCnc), 3u);
+
+  // A row with a different key stays separate.
+  TraceAnalysis other = make_analysis(1);
+  other.list_sources[0].replier_is_tracker = true;
+  merge_into(dst, other);
+  EXPECT_EQ(dst.list_sources.size(), 2u);
+}
+
+TEST(MergeTest, SamplesConcatenateSorted) {
+  TraceAnalysis dst = make_analysis(5);
+  merge_into(dst, make_analysis(2));
+  ASSERT_EQ(dst.list_responses.size(), 2u);
+  EXPECT_LE(dst.list_responses[0].request_time,
+            dst.list_responses[1].request_time);
+  EXPECT_EQ(dst.list_responses[0].request_time, sim::Time::seconds(2));
+}
+
+TEST(MergeTest, PeersResortedByRequests) {
+  TraceAnalysis dst = make_analysis(2);
+  merge_into(dst, make_analysis(7));
+  ASSERT_EQ(dst.peers.size(), 2u);
+  EXPECT_EQ(dst.peers[0].data_requests_matched, 7u);
+  EXPECT_EQ(dst.peers[1].data_requests_matched, 2u);
+}
+
+TEST(MergeTest, MergeWithEmpty) {
+  TraceAnalysis dst = make_analysis(4);
+  merge_into(dst, TraceAnalysis{});
+  EXPECT_EQ(dst.returned_addresses.total(), 40u);
+  TraceAnalysis empty;
+  merge_into(empty, make_analysis(4));
+  EXPECT_EQ(empty.returned_addresses.total(), 40u);
+  EXPECT_EQ(empty.peers.size(), 1u);
+}
+
+TEST(MergeTest, LocalityStableUnderSelfMerge) {
+  TraceAnalysis dst = make_analysis(3);
+  const double before = dst.byte_locality(net::IspCategory::kTele);
+  merge_into(dst, make_analysis(3));
+  EXPECT_DOUBLE_EQ(dst.byte_locality(net::IspCategory::kTele), before);
+}
+
+}  // namespace
+}  // namespace ppsim::capture

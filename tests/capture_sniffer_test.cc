@@ -1,0 +1,75 @@
+#include "capture/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "proto_testutil.h"
+
+namespace ppsim::capture {
+namespace {
+
+using proto::testing::MiniWorld;
+
+TEST(SnifferTest, RecordsBothDirectionsWithTimestamps) {
+  MiniWorld world;
+  auto identity = world.identity(net::IspCategory::kTele);
+  world.network().attach(identity.ip, identity.isp, identity.category,
+                         identity.profile, nullptr);
+  auto trace = attach_sniffer(world.network(), identity.ip);
+
+  proto::Message query{proto::TrackerQuery{1}};
+  world.network().send(identity.ip, world.tracker().ip(), query,
+                       proto::wire_size(query));
+  world.simulator().run_until(sim::Time::seconds(1));
+
+  // Outgoing query + incoming reply, timestamps non-decreasing.
+  ASSERT_GE(trace->size(), 2u);
+  EXPECT_EQ((*trace)[0].direction, net::Direction::kOutgoing);
+  EXPECT_EQ((*trace)[0].remote, world.tracker().ip());
+  EXPECT_EQ(proto::message_name((*trace)[0].payload), "TrackerQuery");
+  bool saw_reply = false;
+  sim::Time last = sim::Time::zero();
+  for (const auto& rec : *trace) {
+    EXPECT_GE(rec.time, last);
+    last = rec.time;
+    EXPECT_EQ(rec.local, identity.ip);
+    if (rec.direction == net::Direction::kIncoming &&
+        proto::message_name(rec.payload) == "TrackerReply")
+      saw_reply = true;
+  }
+  EXPECT_TRUE(saw_reply);
+}
+
+TEST(SnifferTest, TraceSurvivesHostDetach) {
+  MiniWorld world;
+  auto identity = world.identity(net::IspCategory::kTele);
+  world.network().attach(identity.ip, identity.isp, identity.category,
+                         identity.profile, nullptr);
+  auto trace = attach_sniffer(world.network(), identity.ip);
+  proto::Message query{proto::TrackerQuery{1}};
+  world.network().send(identity.ip, world.tracker().ip(), query,
+                       proto::wire_size(query));
+  world.simulator().run_until(sim::Time::seconds(1));
+  const std::size_t count = trace->size();
+  ASSERT_GT(count, 0u);
+  world.network().detach(identity.ip);
+  // The shared_ptr keeps the records alive after the host is gone.
+  EXPECT_EQ(trace->size(), count);
+  EXPECT_EQ((*trace)[0].local, identity.ip);
+}
+
+TEST(SnifferTest, WireBytesMatchMessageSize) {
+  MiniWorld world;
+  auto identity = world.identity(net::IspCategory::kCnc);
+  world.network().attach(identity.ip, identity.isp, identity.category,
+                         identity.profile, nullptr);
+  auto trace = attach_sniffer(world.network(), identity.ip);
+  proto::Message query{proto::DataQuery{1, 42}};
+  const auto bytes = proto::wire_size(query);
+  world.network().send(identity.ip, world.source().ip(), query, bytes);
+  world.simulator().run_until(sim::Time::millis(100));
+  ASSERT_FALSE(trace->empty());
+  EXPECT_EQ(trace->front().wire_bytes, bytes);
+}
+
+}  // namespace
+}  // namespace ppsim::capture

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "capture/analyzer.h"
+
+namespace ppsim::capture {
+namespace {
+
+TraceAnalysis with_events(std::initializer_list<DataEvent> events) {
+  TraceAnalysis a;
+  a.data_events.assign(events);
+  return a;
+}
+
+DataEvent ev(std::int64_t ms, net::IspCategory c, std::uint32_t bytes) {
+  return DataEvent{sim::Time::millis(ms), c, bytes};
+}
+
+TEST(LocalityOverTimeTest, EmptyAnalysis) {
+  TraceAnalysis a;
+  EXPECT_TRUE(a.locality_over_time(net::IspCategory::kTele,
+                                   sim::Time::seconds(10))
+                  .empty());
+}
+
+TEST(LocalityOverTimeTest, SingleBin) {
+  auto a = with_events({ev(0, net::IspCategory::kTele, 300),
+                        ev(100, net::IspCategory::kCnc, 100)});
+  auto series =
+      a.locality_over_time(net::IspCategory::kTele, sim::Time::seconds(10));
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_DOUBLE_EQ(series[0].locality, 0.75);
+  EXPECT_EQ(series[0].bytes, 400u);
+}
+
+TEST(LocalityOverTimeTest, MultipleBinsWithGap) {
+  auto a = with_events({ev(0, net::IspCategory::kTele, 100),
+                        ev(500, net::IspCategory::kTele, 100),
+                        // bin 2 (1000-2000ms) empty
+                        ev(2500, net::IspCategory::kCnc, 100)});
+  auto series =
+      a.locality_over_time(net::IspCategory::kTele, sim::Time::seconds(1));
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_DOUBLE_EQ(series[0].locality, 1.0);
+  EXPECT_EQ(series[1].bytes, 0u);  // empty bin preserved
+  EXPECT_DOUBLE_EQ(series[2].locality, 0.0);
+  EXPECT_EQ(series[2].bin_start, series[0].bin_start + sim::Time::seconds(2));
+}
+
+TEST(LocalityOverTimeTest, BinBoundariesRelativeToFirstEvent) {
+  auto a = with_events({ev(5000, net::IspCategory::kTele, 100),
+                        ev(5999, net::IspCategory::kTele, 100),
+                        ev(6000, net::IspCategory::kCnc, 100)});
+  auto series =
+      a.locality_over_time(net::IspCategory::kTele, sim::Time::seconds(1));
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series[0].bytes, 200u);
+  EXPECT_EQ(series[1].bytes, 100u);
+}
+
+TEST(LocalityOverTimeTest, InvalidBinRejected) {
+  auto a = with_events({ev(0, net::IspCategory::kTele, 100)});
+  EXPECT_TRUE(
+      a.locality_over_time(net::IspCategory::kTele, sim::Time::zero())
+          .empty());
+}
+
+TEST(LocalityOverTimeTest, AnalyzerPopulatesEvents) {
+  // Matched request/reply pairs must surface as data events.
+  net::AsnDatabase db;
+  db.insert(net::Prefix(net::IpAddress(10, 0, 0, 0), 8), 1, "TELE",
+            net::IspCategory::kTele);
+  PacketTrace trace;
+  auto add = [&](sim::Time t, net::Direction dir, proto::Message m) {
+    trace.push_back(TraceRecord{t, dir, net::IpAddress(0x0A000001),
+                                net::IpAddress(0x0A000002),
+                                proto::wire_size(m), std::move(m)});
+  };
+  add(sim::Time::millis(100), net::Direction::kOutgoing,
+      proto::Message{proto::DataQuery{1, 7}});
+  add(sim::Time::millis(200), net::Direction::kIncoming,
+      proto::Message{proto::DataReply{1, 7, 4, 5520}});
+  auto analysis = analyze_trace(trace, db, net::IpAddress(0x0A000001), {});
+  ASSERT_EQ(analysis.data_events.size(), 1u);
+  EXPECT_EQ(analysis.data_events[0].request_time, sim::Time::millis(100));
+  EXPECT_EQ(analysis.data_events[0].server, net::IspCategory::kTele);
+  EXPECT_EQ(analysis.data_events[0].bytes, 5520u);
+}
+
+}  // namespace
+}  // namespace ppsim::capture

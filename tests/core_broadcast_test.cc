@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "workload/scenario.h"
+
+namespace ppsim::core {
+namespace {
+
+ExperimentConfig broadcast_config(std::uint64_t seed) {
+  ExperimentConfig config;
+  config.scenario = workload::popular_channel();
+  config.scenario.viewers = 80;
+  config.scenario.duration = sim::Time::minutes(10);
+  config.scenario.curve = workload::AudienceCurve::kBroadcastEvent;
+  config.scenario.seed = seed;
+  config.probes = {tele_probe()};
+  return config;
+}
+
+TEST(BroadcastEventTest, ArrivalsConcentrateEarly) {
+  auto result = run_experiment(broadcast_config(3));
+  const double total = 600.0;  // seconds
+  std::uint64_t early = 0;
+  for (const auto& s : result.sessions) {
+    if (s.joined.as_seconds() < 0.15 * total) ++early;
+    // Nobody arrives after 60% of the program.
+    EXPECT_LT(s.joined.as_seconds(), 0.61 * total);
+  }
+  EXPECT_GT(static_cast<double>(early) /
+                static_cast<double>(result.sessions.size()),
+            0.55);
+}
+
+TEST(BroadcastEventTest, AudienceDrains) {
+  // No replacements: total sessions equals the configured audience.
+  auto config = broadcast_config(5);
+  auto result = run_experiment(config);
+  EXPECT_EQ(result.sessions.size(),
+            static_cast<std::size_t>(config.scenario.viewers));
+}
+
+TEST(BroadcastEventTest, MostViewersStayLate) {
+  auto result = run_experiment(broadcast_config(7));
+  const double total = 600.0;
+  std::uint64_t stayed_late = 0;
+  for (const auto& s : result.sessions) {
+    if (s.left.as_seconds() > 0.8 * total) ++stayed_late;
+  }
+  EXPECT_GT(static_cast<double>(stayed_late) /
+                static_cast<double>(result.sessions.size()),
+            0.5);
+}
+
+TEST(BroadcastEventTest, ProbeStreamsThroughTheArc) {
+  auto result = run_experiment(broadcast_config(9));
+  const auto& probe = result.probes.front();
+  EXPECT_GT(probe.counters.continuity(), 0.7);
+  EXPECT_GT(probe.analysis.data_bytes.total(), 0u);
+}
+
+TEST(BroadcastEventTest, StationaryDefaultUnchanged) {
+  // Regression guard: default scenarios still replace departures.
+  ExperimentConfig config = broadcast_config(11);
+  config.scenario.curve = workload::AudienceCurve::kStationary;
+  config.scenario.mean_session = sim::Time::minutes(3);
+  auto result = run_experiment(config);
+  EXPECT_GT(result.sessions.size(),
+            static_cast<std::size_t>(config.scenario.viewers));
+}
+
+}  // namespace
+}  // namespace ppsim::core

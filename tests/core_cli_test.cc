@@ -1,0 +1,112 @@
+#include "core/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ppsim::core {
+namespace {
+
+CliParseResult parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"ppsim"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return parse_cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CliParseTest, Defaults) {
+  auto r = parse({});
+  ASSERT_FALSE(r.error.has_value());
+  EXPECT_EQ(r.options.channel, "popular");
+  EXPECT_EQ(r.options.minutes, 10);
+  EXPECT_EQ(r.options.probes, std::vector<std::string>{"tele"});
+  EXPECT_EQ(r.options.strategy, "pplive");
+  EXPECT_FALSE(r.options.smart_trackers);
+  EXPECT_EQ(r.options.reports, std::vector<std::string>{"data"});
+}
+
+TEST(CliParseTest, AllFlags) {
+  auto r = parse({"--channel", "unpopular", "--viewers", "120", "--minutes",
+                  "30", "--seed", "99", "--probe", "mason", "--probe", "cnc",
+                  "--strategy", "isp-biased", "--smart-trackers", "--report",
+                  "all", "--dump-trace", "/tmp/x"});
+  ASSERT_FALSE(r.error.has_value()) << *r.error;
+  EXPECT_EQ(r.options.channel, "unpopular");
+  EXPECT_EQ(r.options.viewers, 120);
+  EXPECT_EQ(r.options.minutes, 30);
+  EXPECT_EQ(r.options.seed, 99u);
+  EXPECT_EQ(r.options.probes,
+            (std::vector<std::string>{"mason", "cnc"}));
+  EXPECT_EQ(r.options.strategy, "isp-biased");
+  EXPECT_TRUE(r.options.smart_trackers);
+  EXPECT_EQ(r.options.reports, std::vector<std::string>{"all"});
+  EXPECT_EQ(r.options.dump_trace, "/tmp/x");
+}
+
+TEST(CliParseTest, RepeatedProbesReplaceDefault) {
+  auto r = parse({"--probe", "cer"});
+  ASSERT_FALSE(r.error.has_value());
+  EXPECT_EQ(r.options.probes, std::vector<std::string>{"cer"});
+}
+
+TEST(CliParseTest, Help) {
+  auto r = parse({"--help"});
+  ASSERT_FALSE(r.error.has_value());
+  EXPECT_TRUE(r.options.help);
+  EXPECT_FALSE(cli_usage().empty());
+}
+
+TEST(CliParseTest, UnknownOption) {
+  auto r = parse({"--bogus"});
+  ASSERT_TRUE(r.error.has_value());
+  EXPECT_NE(r.error->find("--bogus"), std::string::npos);
+}
+
+TEST(CliParseTest, MissingValue) {
+  EXPECT_TRUE(parse({"--viewers"}).error.has_value());
+  EXPECT_TRUE(parse({"--probe"}).error.has_value());
+}
+
+TEST(CliParseTest, RejectsBadValues) {
+  EXPECT_TRUE(parse({"--channel", "mid"}).error.has_value());
+  EXPECT_TRUE(parse({"--probe", "mars"}).error.has_value());
+  EXPECT_TRUE(parse({"--strategy", "magic"}).error.has_value());
+  EXPECT_TRUE(parse({"--report", "everything"}).error.has_value());
+  EXPECT_TRUE(parse({"--viewers", "-5"}).error.has_value());
+  EXPECT_TRUE(parse({"--minutes", "0"}).error.has_value());
+}
+
+TEST(CliBuildTest, BuildsExperimentConfig) {
+  auto r = parse({"--channel", "unpopular", "--viewers", "70", "--minutes",
+                  "7", "--seed", "5", "--probe", "mason", "--strategy",
+                  "tracker-only", "--smart-trackers"});
+  ASSERT_FALSE(r.error.has_value());
+  auto built = build_config(r.options);
+  ASSERT_FALSE(built.error.has_value());
+  EXPECT_EQ(built.config.scenario.viewers, 70);
+  EXPECT_EQ(built.config.scenario.duration, sim::Time::minutes(7));
+  EXPECT_EQ(built.config.scenario.seed, 5u);
+  ASSERT_EQ(built.config.probes.size(), 1u);
+  EXPECT_EQ(built.config.probes[0].isp, net::IspCategory::kForeign);
+  EXPECT_EQ(built.config.strategy, baseline::Strategy::kTrackerOnly);
+  EXPECT_TRUE(built.config.locality_aware_trackers);
+  EXPECT_FALSE(built.config.keep_traces);
+}
+
+TEST(CliBuildTest, DumpTraceEnablesKeepTraces) {
+  auto r = parse({"--dump-trace", "/tmp/t"});
+  ASSERT_FALSE(r.error.has_value());
+  auto built = build_config(r.options);
+  ASSERT_FALSE(built.error.has_value());
+  EXPECT_TRUE(built.config.keep_traces);
+}
+
+TEST(CliBuildTest, DefaultViewersComeFromScenario) {
+  auto r = parse({"--channel", "popular"});
+  auto built = build_config(r.options);
+  ASSERT_FALSE(built.error.has_value());
+  EXPECT_EQ(built.config.scenario.viewers,
+            workload::popular_channel().viewers);
+}
+
+}  // namespace
+}  // namespace ppsim::core

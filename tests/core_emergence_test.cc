@@ -1,0 +1,72 @@
+// End-to-end verification of the paper's central mechanism using only
+// public APIs: a probe's *neighborhood* (not just its traffic) becomes
+// same-ISP enriched relative to the audience mix, and the enrichment is
+// produced by the latency-driven machinery (disabling it removes the
+// effect). Seeds are averaged because single runs are day-samples.
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "net/asn_db.h"
+#include "workload/scenario.h"
+
+namespace ppsim::core {
+namespace {
+
+/// Returns the probe's same-ISP share of matched data *transmissions*
+/// (membership-weighted, less top-heavy than bytes).
+double transmission_locality(std::uint64_t seed, bool latency_mechanisms) {
+  ExperimentConfig config;
+  config.scenario = workload::popular_channel();
+  config.scenario.viewers = 90;
+  config.scenario.duration = sim::Time::minutes(6);
+  config.scenario.seed = seed;
+  config.probes = {tele_probe()};
+  if (!latency_mechanisms) {
+    config.peer_config.optimize_period = sim::Time::hours(10);
+    config.peer_config.latency_selectivity = 0.0;
+  }
+  auto result = run_experiment(config);
+  return result.probes[0].analysis.transmission_locality(
+      net::IspCategory::kTele);
+}
+
+TEST(EmergenceTest, LatencyMechanismsCreateTheEnrichment) {
+  double with = 0, without = 0;
+  for (std::uint64_t seed : {31u, 32u, 33u}) {
+    with += transmission_locality(seed, true);
+    without += transmission_locality(seed, false);
+  }
+  with /= 3;
+  without /= 3;
+  // With the mechanisms: clearly above the 56% audience mix. Without:
+  // near (or below) it. The gap is the paper's emergent locality.
+  EXPECT_GT(with, 0.6);
+  EXPECT_GT(with, without + 0.05);
+}
+
+TEST(EmergenceTest, UniqueDataPeersAreSameIspEnriched) {
+  // Figure 11(a)'s claim, at our scale: the set of peers actually used for
+  // data is more TELE-heavy than the audience. Aggregated over capture
+  // days (single days can concentrate on a handful of peers).
+  capture::IspHistogram unique;
+  double mix_share = 0;
+  for (std::uint64_t seed : {41u, 42u, 43u}) {
+    ExperimentConfig config;
+    config.scenario = workload::popular_channel();
+    config.scenario.viewers = 120;
+    config.scenario.duration = sim::Time::minutes(8);
+    config.scenario.seed = seed;
+    config.probes = {tele_probe()};
+    mix_share = config.scenario.mix[net::IspCategory::kTele];
+    auto result = run_experiment(config);
+    for (std::size_t i = 0; i < net::kNumIspCategories; ++i)
+      unique.counts[i] +=
+          result.probes[0].analysis.unique_data_peers.counts[i];
+  }
+  ASSERT_GT(unique.total(), 10u);
+  EXPECT_GT(unique.share(net::IspCategory::kTele), mix_share);
+}
+
+}  // namespace
+}  // namespace ppsim::core

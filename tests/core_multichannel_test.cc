@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "workload/scenario.h"
+
+namespace ppsim::core {
+namespace {
+
+MultiChannelConfig two_channel_config(std::uint64_t seed) {
+  MultiChannelConfig config;
+  auto popular = workload::popular_channel();
+  popular.viewers = 70;
+  auto unpopular = workload::unpopular_channel();
+  unpopular.viewers = 40;
+  config.channels.push_back(ChannelPlan{popular, {tele_probe()}});
+  config.channels.push_back(ChannelPlan{unpopular, {tele_probe()}});
+  config.duration = sim::Time::minutes(6);
+  config.seed = seed;
+  return config;
+}
+
+TEST(MultiChannelTest, BothChannelsServeTheirProbes) {
+  auto result = run_multi_channel(two_channel_config(5));
+  ASSERT_EQ(result.probes.size(), 2u);
+  EXPECT_EQ(result.probes[0].channel, workload::popular_channel().channel.id);
+  EXPECT_EQ(result.probes[1].channel,
+            workload::unpopular_channel().channel.id);
+  for (const auto& probe : result.probes) {
+    EXPECT_GT(probe.analysis.data_bytes.total(), 0u)
+        << "probe on channel " << probe.channel << " got no data";
+    EXPECT_GT(probe.counters.continuity(), 0.5);
+  }
+}
+
+TEST(MultiChannelTest, SessionsTaggedByChannel) {
+  auto result = run_multi_channel(two_channel_config(6));
+  std::uint64_t ch1 = 0, ch2 = 0;
+  for (const auto& s : result.sessions) {
+    if (s.channel == 1) ++ch1;
+    if (s.channel == 2) ++ch2;
+  }
+  EXPECT_GE(ch1, 70u);
+  EXPECT_GE(ch2, 40u);
+  EXPECT_EQ(ch1 + ch2, result.sessions.size());
+}
+
+TEST(MultiChannelTest, SingleChannelMatchesRunExperiment) {
+  // The multi-channel runner with one channel must be bit-identical to the
+  // single-channel entry point.
+  ExperimentConfig single;
+  single.scenario = workload::popular_channel();
+  single.scenario.viewers = 60;
+  single.scenario.duration = sim::Time::minutes(5);
+  single.scenario.seed = 11;
+  single.probes = {tele_probe()};
+
+  MultiChannelConfig multi;
+  multi.channels.push_back(ChannelPlan{single.scenario, single.probes});
+  multi.duration = single.scenario.duration;
+  multi.seed = single.scenario.seed;
+
+  auto a = run_experiment(single);
+  auto b = run_multi_channel(multi);
+  EXPECT_EQ(a.swarm.events_executed, b.swarm.events_executed);
+  EXPECT_EQ(a.traffic.total(), b.traffic.total());
+  EXPECT_EQ(a.probes[0].analysis.data_bytes.total(),
+            b.probes[0].analysis.data_bytes.total());
+  EXPECT_EQ(a.probes[0].ip, b.probes[0].ip);
+}
+
+TEST(MultiChannelTest, SurfingMovesViewersBetweenChannels) {
+  auto config = two_channel_config(7);
+  config.surf_probability = 1.0;  // every departure surfs
+  // Short sessions so surfing actually happens within the run.
+  for (auto& ch : config.channels)
+    ch.scenario.mean_session = sim::Time::minutes(2);
+  auto result = run_multi_channel(config);
+
+  // Replacement viewers spawned on the *other* channel: channel-2 sessions
+  // exceed its initial audience only if surfers arrived from channel 1.
+  std::uint64_t ch1_sessions = 0, ch2_sessions = 0;
+  for (const auto& s : result.sessions) {
+    if (s.channel == 1) ++ch1_sessions;
+    if (s.channel == 2) ++ch2_sessions;
+  }
+  EXPECT_GT(result.swarm.departures, 10u);
+  // With surf=1.0 and asymmetric audiences (70 vs 40), channel 2 gains
+  // far more arrivals than its own departures can explain.
+  EXPECT_GT(ch2_sessions, 45u);
+  (void)ch1_sessions;
+}
+
+TEST(MultiChannelTest, ChannelsShareTrackersWithoutCrosstalk) {
+  auto result = run_multi_channel(two_channel_config(9));
+  // The probe on the unpopular channel must have received only peers of
+  // its own (much smaller) swarm: its unique listed IPs are bounded by
+  // that channel's population, not the union.
+  const auto& unpopular_probe = result.probes[1];
+  EXPECT_LT(unpopular_probe.analysis.unique_listed_ips, 70u);
+  EXPECT_GT(unpopular_probe.analysis.unique_listed_ips, 5u);
+}
+
+TEST(MultiChannelTest, DeterministicForSeed) {
+  auto r1 = run_multi_channel(two_channel_config(42));
+  auto r2 = run_multi_channel(two_channel_config(42));
+  EXPECT_EQ(r1.swarm.events_executed, r2.swarm.events_executed);
+  EXPECT_EQ(r1.traffic.total(), r2.traffic.total());
+}
+
+}  // namespace
+}  // namespace ppsim::core

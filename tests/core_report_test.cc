@@ -1,0 +1,139 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ppsim::core {
+namespace {
+
+capture::TraceAnalysis sample_analysis() {
+  capture::TraceAnalysis a;
+  a.returned_addresses.add(net::IspCategory::kTele, 70);
+  a.returned_addresses.add(net::IspCategory::kCnc, 20);
+  a.returned_addresses.add(net::IspCategory::kForeign, 10);
+  a.unique_listed_ips = 42;
+  a.lists_from_peers = 9;
+  a.lists_from_trackers = 2;
+
+  capture::ListSourceRow row;
+  row.replier_category = net::IspCategory::kTele;
+  row.replier_is_tracker = false;
+  row.listed.add(net::IspCategory::kTele, 55);
+  row.listed.add(net::IspCategory::kCnc, 5);
+  a.list_sources.push_back(row);
+  row.replier_is_tracker = true;
+  a.list_sources.push_back(row);
+
+  a.data_transmissions.add(net::IspCategory::kTele, 850);
+  a.data_transmissions.add(net::IspCategory::kCnc, 150);
+  a.data_bytes.add(net::IspCategory::kTele, 850'000);
+  a.data_bytes.add(net::IspCategory::kCnc, 150'000);
+
+  for (int i = 0; i < 20; ++i) {
+    capture::ResponseSample s;
+    s.request_time = sim::Time::seconds(i);
+    s.response_seconds = 0.1 * (1 + i % 3);
+    s.group = i % 2 == 0 ? net::ResponseGroup::kTele : net::ResponseGroup::kCnc;
+    a.list_responses.push_back(s);
+    a.data_responses.push_back(s);
+  }
+
+  for (int i = 0; i < 10; ++i) {
+    capture::PeerActivity p;
+    p.ip = net::IpAddress(static_cast<std::uint32_t>(i + 1));
+    p.category = net::IspCategory::kTele;
+    p.data_requests_matched = static_cast<std::uint64_t>(100 / (i + 1));
+    p.bytes_contributed = p.data_requests_matched * 1000;
+    p.min_response_seconds = 0.01 * (i + 1);
+    a.peers.push_back(p);
+    a.unique_data_peers.add(p.category);
+  }
+  return a;
+}
+
+TEST(ReportTest, ReturnedAddressesMentionsSharesAndUnique) {
+  std::ostringstream os;
+  print_returned_addresses(os, sample_analysis());
+  const std::string out = os.str();
+  EXPECT_NE(out.find("total=100"), std::string::npos);
+  EXPECT_NE(out.find("unique=42"), std::string::npos);
+  EXPECT_NE(out.find("70.0%"), std::string::npos);
+  EXPECT_NE(out.find("TELE"), std::string::npos);
+}
+
+TEST(ReportTest, ListSourcesShowsPeerAndTrackerRows) {
+  std::ostringstream os;
+  print_list_sources(os, sample_analysis());
+  const std::string out = os.str();
+  EXPECT_NE(out.find("TELE_p"), std::string::npos);
+  EXPECT_NE(out.find("TELE_s"), std::string::npos);
+  EXPECT_NE(out.find("from peers: 9"), std::string::npos);
+  EXPECT_NE(out.find("from trackers: 2"), std::string::npos);
+}
+
+TEST(ReportTest, DataByIspShowsBothPanels) {
+  std::ostringstream os;
+  print_data_by_isp(os, sample_analysis());
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Data transmissions by ISP, total=1000"),
+            std::string::npos);
+  EXPECT_NE(out.find("Downloaded bytes by ISP, total=1000000"),
+            std::string::npos);
+  EXPECT_NE(out.find("85.0%"), std::string::npos);
+}
+
+TEST(ReportTest, ResponseTimesBothKinds) {
+  std::ostringstream os;
+  print_response_times(os, sample_analysis(), /*data_requests=*/false);
+  EXPECT_NE(os.str().find("Peer-list response times"), std::string::npos);
+  EXPECT_NE(os.str().find("unanswered"), std::string::npos);
+  std::ostringstream os2;
+  print_response_times(os2, sample_analysis(), /*data_requests=*/true);
+  EXPECT_NE(os2.str().find("Data-request response times"), std::string::npos);
+  EXPECT_NE(os2.str().find("series TELE"), std::string::npos);
+}
+
+TEST(ReportTest, ResponseTimesEmptyAnalysis) {
+  capture::TraceAnalysis empty;
+  std::ostringstream os;
+  print_response_times(os, empty, false);  // must not crash or divide by 0
+  EXPECT_FALSE(os.str().empty());
+}
+
+TEST(ReportTest, ContributionsShowsFitsAndShares) {
+  std::ostringstream os;
+  print_contributions(os, sample_analysis());
+  const std::string out = os.str();
+  EXPECT_NE(out.find("stretched-exponential"), std::string::npos);
+  EXPECT_NE(out.find("zipf"), std::string::npos);
+  EXPECT_NE(out.find("top 10%"), std::string::npos);
+  EXPECT_NE(out.find("Unique peers connected for data transfer: 10"),
+            std::string::npos);
+}
+
+TEST(ReportTest, RttRankShowsCorrelation) {
+  std::ostringstream os;
+  print_rtt_rank(os, sample_analysis());
+  const std::string out = os.str();
+  EXPECT_NE(out.find("correlation coefficient"), std::string::npos);
+  EXPECT_NE(out.find("rank |"), std::string::npos);
+  // Our synthetic peers: more requests <=> smaller RTT, exactly inverse in
+  // log space, so the printed coefficient is -1.000.
+  EXPECT_NE(out.find("coefficient: -1.000"), std::string::npos);
+}
+
+TEST(ReportTest, TrafficMatrixRowsAndShare) {
+  TrafficMatrix m;
+  m.bytes[0][0] = 800;
+  m.bytes[0][1] = 200;
+  std::ostringstream os;
+  print_traffic_matrix(os, m);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("80.0%"), std::string::npos);
+  EXPECT_NE(out.find("TELE"), std::string::npos);
+  EXPECT_NE(out.find("Foreign"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppsim::core

@@ -1,0 +1,68 @@
+// End-to-end coverage of the CLI driver's run path (tiny configurations so
+// the whole thing stays fast).
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "core/cli.h"
+
+namespace ppsim::core {
+namespace {
+
+CliOptions tiny_options() {
+  CliOptions options;
+  options.channel = "unpopular";
+  options.viewers = 40;
+  options.minutes = 3;
+  options.seed = 8;
+  options.probes = {"tele"};
+  options.reports = {"data"};
+  return options;
+}
+
+TEST(RunCliTest, HelpPrintsUsage) {
+  CliOptions options;
+  options.help = true;
+  std::ostringstream out;
+  EXPECT_EQ(run_cli(options, out), 0);
+  EXPECT_NE(out.str().find("usage: ppsim"), std::string::npos);
+}
+
+TEST(RunCliTest, DataReportEndToEnd) {
+  std::ostringstream out;
+  EXPECT_EQ(run_cli(tiny_options(), out), 0);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("channel=unpopular"), std::string::npos);
+  EXPECT_NE(text.find("== probe TELE"), std::string::npos);
+  EXPECT_NE(text.find("Downloaded bytes by ISP"), std::string::npos);
+  EXPECT_NE(text.find("locality:"), std::string::npos);
+}
+
+TEST(RunCliTest, AllSectionsPrint) {
+  auto options = tiny_options();
+  options.reports = {"all"};
+  std::ostringstream out;
+  EXPECT_EQ(run_cli(options, out), 0);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("Returned peer addresses"), std::string::npos);
+  EXPECT_NE(text.find("replier class"), std::string::npos);
+  EXPECT_NE(text.find("Peer-list response times"), std::string::npos);
+  EXPECT_NE(text.find("stretched-exponential"), std::string::npos);
+  EXPECT_NE(text.find("correlation coefficient"), std::string::npos);
+  EXPECT_NE(text.find("traffic matrix"), std::string::npos);
+}
+
+TEST(RunCliTest, DumpTraceWritesFile) {
+  auto options = tiny_options();
+  options.dump_trace = ::testing::TempDir() + "/ppsim_cli_test";
+  std::ostringstream out;
+  EXPECT_EQ(run_cli(options, out), 0);
+  EXPECT_NE(out.str().find("trace written:"), std::string::npos);
+  std::ifstream check(options.dump_trace + "-TELE.trace");
+  EXPECT_TRUE(check.good());
+}
+
+}  // namespace
+}  // namespace ppsim::core

@@ -1,0 +1,149 @@
+#include "net/asn_db.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace ppsim::net {
+namespace {
+
+TEST(AsnDatabaseTest, EmptyLookupIsNull) {
+  AsnDatabase db;
+  EXPECT_FALSE(db.lookup(IpAddress(1, 2, 3, 4)).has_value());
+  EXPECT_EQ(db.category_or_foreign(IpAddress(1, 2, 3, 4)),
+            IspCategory::kForeign);
+}
+
+TEST(AsnDatabaseTest, ExactPrefixMatch) {
+  AsnDatabase db;
+  db.insert(Prefix(IpAddress(61, 128, 0, 0), 10), 4134, "CHINANET",
+            IspCategory::kTele);
+  auto rec = db.lookup(IpAddress(61, 130, 5, 5));
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->asn, 4134u);
+  EXPECT_EQ(rec->as_name, "CHINANET");
+  EXPECT_EQ(rec->category, IspCategory::kTele);
+  EXPECT_FALSE(db.lookup(IpAddress(61, 192, 0, 0)).has_value());
+}
+
+TEST(AsnDatabaseTest, LongestPrefixWins) {
+  AsnDatabase db;
+  db.insert(Prefix(IpAddress(61, 0, 0, 0), 8), 100, "COARSE",
+            IspCategory::kOtherCn);
+  db.insert(Prefix(IpAddress(61, 128, 0, 0), 10), 200, "FINE",
+            IspCategory::kTele);
+  EXPECT_EQ(db.lookup(IpAddress(61, 128, 1, 1))->asn, 200u);
+  EXPECT_EQ(db.lookup(IpAddress(61, 1, 1, 1))->asn, 100u);
+}
+
+TEST(AsnDatabaseTest, NestedThreeLevels) {
+  AsnDatabase db;
+  db.insert(Prefix(IpAddress(10, 0, 0, 0), 8), 1, "L8", IspCategory::kTele);
+  db.insert(Prefix(IpAddress(10, 16, 0, 0), 12), 2, "L12", IspCategory::kCnc);
+  db.insert(Prefix(IpAddress(10, 16, 16, 0), 24), 3, "L24",
+            IspCategory::kCer);
+  EXPECT_EQ(db.lookup(IpAddress(10, 200, 0, 1))->asn, 1u);
+  EXPECT_EQ(db.lookup(IpAddress(10, 17, 0, 1))->asn, 2u);
+  EXPECT_EQ(db.lookup(IpAddress(10, 16, 16, 200))->asn, 3u);
+}
+
+TEST(AsnDatabaseTest, ReinsertOverwritesWithoutCountGrowth) {
+  AsnDatabase db;
+  db.insert(Prefix(IpAddress(10, 0, 0, 0), 8), 1, "A", IspCategory::kTele);
+  db.insert(Prefix(IpAddress(10, 0, 0, 0), 8), 2, "B", IspCategory::kCnc);
+  EXPECT_EQ(db.prefix_count(), 1u);
+  EXPECT_EQ(db.lookup(IpAddress(10, 1, 1, 1))->asn, 2u);
+}
+
+TEST(AsnDatabaseTest, HostRoute) {
+  AsnDatabase db;
+  db.insert(Prefix(IpAddress(9, 9, 9, 9), 32), 7, "HOST",
+            IspCategory::kForeign);
+  EXPECT_TRUE(db.lookup(IpAddress(9, 9, 9, 9)).has_value());
+  EXPECT_FALSE(db.lookup(IpAddress(9, 9, 9, 8)).has_value());
+}
+
+TEST(AsnDatabaseTest, DefaultRoute) {
+  AsnDatabase db;
+  db.insert(Prefix(IpAddress(0, 0, 0, 0), 0), 1, "DEFAULT",
+            IspCategory::kForeign);
+  db.insert(Prefix(IpAddress(61, 128, 0, 0), 10), 2, "SPECIFIC",
+            IspCategory::kTele);
+  EXPECT_EQ(db.lookup(IpAddress(200, 1, 1, 1))->asn, 1u);
+  EXPECT_EQ(db.lookup(IpAddress(61, 129, 1, 1))->asn, 2u);
+}
+
+TEST(AsnDatabaseTest, FromRegistryCoversAllPrefixes) {
+  IspRegistry reg = IspRegistry::standard_topology();
+  AsnDatabase db = AsnDatabase::from_registry(reg);
+  std::size_t expected = 0;
+  for (const auto& isp : reg.all()) expected += isp.prefixes.size();
+  EXPECT_EQ(db.prefix_count(), expected);
+  for (const auto& isp : reg.all()) {
+    for (const auto& p : isp.prefixes) {
+      auto rec = db.lookup(IpAddress(p.network().value() + 1));
+      ASSERT_TRUE(rec.has_value()) << p.to_string();
+      EXPECT_EQ(rec->asn, isp.asn);
+      EXPECT_EQ(rec->category, isp.category);
+    }
+  }
+}
+
+/// Property test: the trie agrees with a brute-force longest-prefix scan
+/// over randomly generated prefix tables and random query addresses.
+class AsnDbPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AsnDbPropertyTest, MatchesBruteForce) {
+  sim::Rng rng(GetParam());
+  struct Entry {
+    Prefix prefix;
+    std::uint32_t asn;
+  };
+  std::vector<Entry> entries;
+  AsnDatabase db;
+  for (int i = 0; i < 200; ++i) {
+    const int len = static_cast<int>(rng.uniform_int(4, 28));
+    const IpAddress net(static_cast<std::uint32_t>(rng.next_u64()));
+    const Prefix p(net, len);
+    const auto asn = static_cast<std::uint32_t>(i + 1);
+    // Skip duplicates of the same masked prefix to keep the oracle simple.
+    bool dup = false;
+    for (const auto& e : entries)
+      if (e.prefix == p) dup = true;
+    if (dup) continue;
+    entries.push_back({p, asn});
+    db.insert(p, asn, "X", IspCategory::kOtherCn);
+  }
+
+  auto brute = [&](IpAddress ip) -> std::optional<std::uint32_t> {
+    int best_len = -1;
+    std::uint32_t best_asn = 0;
+    for (const auto& e : entries) {
+      if (e.prefix.contains(ip) && e.prefix.length() > best_len) {
+        best_len = e.prefix.length();
+        best_asn = e.asn;
+      }
+    }
+    if (best_len < 0) return std::nullopt;
+    return best_asn;
+  };
+
+  for (int q = 0; q < 2000; ++q) {
+    const IpAddress ip(static_cast<std::uint32_t>(rng.next_u64()));
+    auto expected = brute(ip);
+    auto actual = db.lookup(ip);
+    ASSERT_EQ(actual.has_value(), expected.has_value()) << ip.to_string();
+    if (expected) {
+      EXPECT_EQ(actual->asn, *expected) << ip.to_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AsnDbPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace ppsim::net

@@ -1,0 +1,115 @@
+#include "net/bandwidth.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace ppsim::net {
+namespace {
+
+TEST(LinkQueueTest, SerializationDelay) {
+  LinkQueue q(8e6, sim::Time::seconds(2));  // 8 Mbps
+  auto adm = q.enqueue(sim::Time::zero(), 1000);  // 8000 bits => 1 ms
+  ASSERT_TRUE(adm.admitted);
+  EXPECT_EQ(adm.departure, sim::Time::millis(1));
+}
+
+TEST(LinkQueueTest, BackToBackPacketsQueue) {
+  LinkQueue q(8e6, sim::Time::seconds(2));
+  auto a = q.enqueue(sim::Time::zero(), 1000);
+  auto b = q.enqueue(sim::Time::zero(), 1000);
+  ASSERT_TRUE(a.admitted && b.admitted);
+  EXPECT_EQ(b.departure, sim::Time::millis(2));  // waits for the first
+}
+
+TEST(LinkQueueTest, IdleGapResetsQueue) {
+  LinkQueue q(8e6, sim::Time::seconds(2));
+  q.enqueue(sim::Time::zero(), 1000);
+  auto b = q.enqueue(sim::Time::seconds(10), 1000);
+  ASSERT_TRUE(b.admitted);
+  EXPECT_EQ(b.departure, sim::Time::seconds(10) + sim::Time::millis(1));
+}
+
+TEST(LinkQueueTest, BacklogReflectsPending) {
+  LinkQueue q(8e6, sim::Time::seconds(2));
+  EXPECT_EQ(q.backlog(sim::Time::zero()), sim::Time::zero());
+  q.enqueue(sim::Time::zero(), 10000);  // 10 ms
+  EXPECT_EQ(q.backlog(sim::Time::zero()), sim::Time::millis(10));
+  EXPECT_EQ(q.backlog(sim::Time::millis(4)), sim::Time::millis(6));
+  EXPECT_EQ(q.backlog(sim::Time::millis(100)), sim::Time::zero());
+}
+
+TEST(LinkQueueTest, OverflowDrops) {
+  LinkQueue q(8e3, sim::Time::millis(100));  // 1 byte/ms, tiny backlog cap
+  auto a = q.enqueue(sim::Time::zero(), 200);  // 200 ms > cap after adding
+  ASSERT_TRUE(a.admitted);                     // first packet always fits
+  auto b = q.enqueue(sim::Time::zero(), 10);
+  EXPECT_FALSE(b.admitted);  // would wait 200 ms > 100 ms cap
+  EXPECT_EQ(q.drops(), 1u);
+  EXPECT_EQ(q.bytes_sent(), 200u);
+}
+
+TEST(LinkQueueTest, LoadGrowsDelay) {
+  // The mechanism behind the paper's popular-channel latency inflation:
+  // more concurrent transfers => later departures.
+  LinkQueue q(1e6, sim::Time::seconds(10));
+  sim::Time last = sim::Time::zero();
+  for (int i = 0; i < 10; ++i) {
+    auto adm = q.enqueue(sim::Time::zero(), 1250);  // 10 ms each
+    ASSERT_TRUE(adm.admitted);
+    EXPECT_GT(adm.departure, last);
+    last = adm.departure;
+  }
+  EXPECT_EQ(last, sim::Time::millis(100));
+}
+
+class AccessProfileTest : public ::testing::TestWithParam<AccessClass> {};
+
+TEST_P(AccessProfileTest, SampledWithinClassBounds) {
+  sim::Rng rng(77);
+  for (int i = 0; i < 200; ++i) {
+    AccessProfile p = AccessProfile::sample(GetParam(), rng);
+    EXPECT_GT(p.down_bps, 0.0);
+    EXPECT_GT(p.up_bps, 0.0);
+    switch (GetParam()) {
+      case AccessClass::kAdsl:
+        EXPECT_LE(p.up_bps, 768e3);
+        EXPECT_LT(p.up_bps, p.down_bps);  // asymmetric
+        break;
+      case AccessClass::kCable:
+        EXPECT_LE(p.up_bps, 2e6);
+        break;
+      case AccessClass::kCampus:
+        EXPECT_GE(p.up_bps, 10e6);
+        break;
+      case AccessClass::kDatacenter:
+        EXPECT_GE(p.up_bps, 1e8);
+        break;
+      case AccessClass::kFiber:
+        EXPECT_GE(p.up_bps, 2e6);
+        EXPECT_LE(p.up_bps, 6e6);
+        break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Classes, AccessProfileTest,
+                         ::testing::Values(AccessClass::kAdsl,
+                                           AccessClass::kCable,
+                                           AccessClass::kCampus,
+                                           AccessClass::kDatacenter,
+                                           AccessClass::kFiber));
+
+TEST(AccessLinkTest, IndependentDirections) {
+  AccessProfile p{8e6, 1e6};
+  AccessLink link(p, sim::Time::seconds(2));
+  auto up = link.up().enqueue(sim::Time::zero(), 1000);    // 8 ms at 1 Mbps
+  auto down = link.down().enqueue(sim::Time::zero(), 1000);  // 1 ms at 8 Mbps
+  ASSERT_TRUE(up.admitted && down.admitted);
+  EXPECT_EQ(up.departure, sim::Time::millis(8));
+  EXPECT_EQ(down.departure, sim::Time::millis(1));
+}
+
+}  // namespace
+}  // namespace ppsim::net

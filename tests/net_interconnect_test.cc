@@ -1,0 +1,137 @@
+#include "net/interconnect.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/transport.h"
+#include "sim/simulator.h"
+
+namespace ppsim::net {
+namespace {
+
+TEST(InterconnectFabricTest, DisabledAdmitsInstantly) {
+  InterconnectFabric fabric(InterconnectConfig{});  // default_bps = 0
+  auto adm = fabric.cross(IspCategory::kTele, IspCategory::kCnc,
+                          sim::Time::seconds(3), 100000);
+  EXPECT_TRUE(adm.admitted);
+  EXPECT_EQ(adm.departure, sim::Time::seconds(3));
+  EXPECT_EQ(fabric.crossings(), 0u);
+}
+
+TEST(InterconnectFabricTest, SameCategoryNeverQueues) {
+  InterconnectConfig config;
+  config.default_bps = 1e3;  // tiny
+  InterconnectFabric fabric(config);
+  auto adm = fabric.cross(IspCategory::kTele, IspCategory::kTele,
+                          sim::Time::zero(), 1 << 20);
+  EXPECT_TRUE(adm.admitted);
+  EXPECT_EQ(adm.departure, sim::Time::zero());
+  EXPECT_EQ(fabric.crossings(), 0u);
+}
+
+TEST(InterconnectFabricTest, CrossTrafficSerializes) {
+  InterconnectConfig config;
+  config.default_bps = 8e6;  // 1 kB/ms
+  InterconnectFabric fabric(config);
+  auto a = fabric.cross(IspCategory::kTele, IspCategory::kCnc,
+                        sim::Time::zero(), 1000);
+  auto b = fabric.cross(IspCategory::kTele, IspCategory::kCnc,
+                        sim::Time::zero(), 1000);
+  ASSERT_TRUE(a.admitted && b.admitted);
+  EXPECT_EQ(a.departure, sim::Time::millis(1));
+  EXPECT_EQ(b.departure, sim::Time::millis(2));  // shared pipe
+  EXPECT_EQ(fabric.crossings(), 2u);
+  EXPECT_EQ(fabric.pair_bytes(IspCategory::kTele, IspCategory::kCnc), 2000u);
+}
+
+TEST(InterconnectFabricTest, PairsAreIndependent) {
+  InterconnectConfig config;
+  config.default_bps = 8e6;
+  InterconnectFabric fabric(config);
+  fabric.cross(IspCategory::kTele, IspCategory::kCnc, sim::Time::zero(),
+               100000);
+  auto other = fabric.cross(IspCategory::kTele, IspCategory::kForeign,
+                            sim::Time::zero(), 1000);
+  EXPECT_EQ(other.departure, sim::Time::millis(1));  // no crosstalk
+}
+
+TEST(InterconnectFabricTest, SymmetricPairKey) {
+  InterconnectConfig config;
+  config.default_bps = 8e6;
+  InterconnectFabric fabric(config);
+  fabric.cross(IspCategory::kTele, IspCategory::kCnc, sim::Time::zero(), 500);
+  fabric.cross(IspCategory::kCnc, IspCategory::kTele, sim::Time::zero(), 500);
+  // Both directions share the same pipe.
+  EXPECT_EQ(fabric.pair_bytes(IspCategory::kCnc, IspCategory::kTele), 1000u);
+}
+
+TEST(InterconnectFabricTest, OverridesApply) {
+  InterconnectConfig config;
+  config.default_bps = 8e6;
+  config.overrides.push_back({IspCategory::kTele, IspCategory::kCnc, 0});
+  InterconnectFabric fabric(config);
+  // The overridden pair is unlimited...
+  auto a = fabric.cross(IspCategory::kTele, IspCategory::kCnc,
+                        sim::Time::zero(), 1 << 20);
+  EXPECT_EQ(a.departure, sim::Time::zero());
+  // ...but other pairs still queue.
+  fabric.cross(IspCategory::kTele, IspCategory::kForeign, sim::Time::zero(),
+               100000);
+  auto b = fabric.cross(IspCategory::kTele, IspCategory::kForeign,
+                        sim::Time::zero(), 1000);
+  EXPECT_GT(b.departure, sim::Time::millis(99));
+}
+
+TEST(InterconnectFabricTest, OverflowDrops) {
+  InterconnectConfig config;
+  config.default_bps = 8e3;
+  config.max_backlog = sim::Time::millis(50);
+  InterconnectFabric fabric(config);
+  EXPECT_TRUE(fabric
+                  .cross(IspCategory::kTele, IspCategory::kCnc,
+                         sim::Time::zero(), 1000)  // 1 s of backlog
+                  .admitted);
+  auto b = fabric.cross(IspCategory::kTele, IspCategory::kCnc,
+                        sim::Time::zero(), 10);
+  EXPECT_FALSE(b.admitted);
+  EXPECT_EQ(fabric.drops(), 1u);
+}
+
+TEST(InterconnectTransportTest, CrossTrafficDelayedIntraUnaffected) {
+  sim::Simulator simulator;
+  LatencyConfig lc;
+  lc.packet_sigma = 0;
+  lc.pair_sigma = 0;
+  lc.intra_isp_loss = 0;
+  lc.china_cross_loss = 0;
+  Network<std::string> network(simulator, LatencyModel(lc), sim::Rng(1));
+  InterconnectConfig ic;
+  ic.default_bps = 80e3;  // 10 bytes/ms: 1000-byte packet = 100 ms
+  network.set_interconnects(ic);
+
+  network.attach(IpAddress(1), IspId{0}, IspCategory::kTele,
+                 AccessProfile{1e9, 1e9}, nullptr);
+  sim::Time cross_arrival, intra_arrival;
+  network.attach(IpAddress(2), IspId{1}, IspCategory::kCnc,
+                 AccessProfile{1e9, 1e9},
+                 [&](const Network<std::string>::Delivery&) {
+                   cross_arrival = simulator.now();
+                 });
+  network.attach(IpAddress(3), IspId{0}, IspCategory::kTele,
+                 AccessProfile{1e9, 1e9},
+                 [&](const Network<std::string>::Delivery&) {
+                   intra_arrival = simulator.now();
+                 });
+  network.send(IpAddress(1), IpAddress(2), "cross", 1000);
+  network.send(IpAddress(1), IpAddress(3), "intra", 1000);
+  simulator.run();
+  // Cross: 100 ms pipe + 70 ms propagation (140/2); intra: 9 ms + tiny.
+  EXPECT_GT(cross_arrival, sim::Time::millis(165));
+  EXPECT_LT(intra_arrival, sim::Time::millis(15));
+  ASSERT_NE(network.interconnects(), nullptr);
+  EXPECT_EQ(network.interconnects()->crossings(), 1u);
+}
+
+}  // namespace
+}  // namespace ppsim::net

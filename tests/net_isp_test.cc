@@ -1,0 +1,95 @@
+#include "net/isp.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ppsim::net {
+namespace {
+
+TEST(IspCategoryTest, Names) {
+  EXPECT_EQ(to_string(IspCategory::kTele), "TELE");
+  EXPECT_EQ(to_string(IspCategory::kCnc), "CNC");
+  EXPECT_EQ(to_string(IspCategory::kCer), "CER");
+  EXPECT_EQ(to_string(IspCategory::kOtherCn), "OtherCN");
+  EXPECT_EQ(to_string(IspCategory::kForeign), "Foreign");
+}
+
+TEST(ResponseGroupTest, PaperGrouping) {
+  // Figures 7-10 collapse CER/OtherCN/Foreign into OTHER.
+  EXPECT_EQ(response_group(IspCategory::kTele), ResponseGroup::kTele);
+  EXPECT_EQ(response_group(IspCategory::kCnc), ResponseGroup::kCnc);
+  EXPECT_EQ(response_group(IspCategory::kCer), ResponseGroup::kOther);
+  EXPECT_EQ(response_group(IspCategory::kOtherCn), ResponseGroup::kOther);
+  EXPECT_EQ(response_group(IspCategory::kForeign), ResponseGroup::kOther);
+}
+
+TEST(IspRegistryTest, AddAndLookup) {
+  IspRegistry reg;
+  IspId id = reg.add("TEST-AS", 65000, IspCategory::kCnc);
+  reg.add_prefix(id, Prefix(IpAddress(10, 0, 0, 0), 8));
+  const IspInfo& info = reg.info(id);
+  EXPECT_EQ(info.as_name, "TEST-AS");
+  EXPECT_EQ(info.asn, 65000u);
+  EXPECT_EQ(info.category, IspCategory::kCnc);
+  ASSERT_EQ(info.prefixes.size(), 1u);
+  EXPECT_EQ(info.prefixes[0].length(), 8);
+}
+
+TEST(IspRegistryTest, InCategory) {
+  IspRegistry reg;
+  reg.add("A", 1, IspCategory::kForeign);
+  reg.add("B", 2, IspCategory::kTele);
+  reg.add("C", 3, IspCategory::kForeign);
+  auto foreign = reg.in_category(IspCategory::kForeign);
+  EXPECT_EQ(foreign.size(), 2u);
+  EXPECT_EQ(reg.in_category(IspCategory::kCer).size(), 0u);
+}
+
+TEST(StandardTopologyTest, EveryCategoryPopulated) {
+  IspRegistry reg = IspRegistry::standard_topology();
+  for (auto c : kAllIspCategories) {
+    EXPECT_FALSE(reg.in_category(c).empty())
+        << "no ISP in category " << to_string(c);
+  }
+}
+
+TEST(StandardTopologyTest, EveryIspHasPrefixes) {
+  IspRegistry reg = IspRegistry::standard_topology();
+  for (const auto& isp : reg.all()) {
+    EXPECT_FALSE(isp.prefixes.empty()) << isp.as_name;
+    EXPECT_GT(isp.asn, 0u);
+  }
+}
+
+TEST(StandardTopologyTest, PrefixesDisjoint) {
+  IspRegistry reg = IspRegistry::standard_topology();
+  std::vector<Prefix> all;
+  for (const auto& isp : reg.all())
+    for (const auto& p : isp.prefixes) all.push_back(p);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    for (std::size_t j = i + 1; j < all.size(); ++j) {
+      // Overlap iff one contains the other's network address.
+      EXPECT_FALSE(all[i].contains(all[j].network()) ||
+                   all[j].contains(all[i].network()))
+          << all[i].to_string() << " overlaps " << all[j].to_string();
+    }
+  }
+}
+
+TEST(StandardTopologyTest, MultipleForeignAses) {
+  // The FOREIGN bucket aggregates several distinct ASes (different
+  // countries), which matters for foreign<->foreign latencies.
+  IspRegistry reg = IspRegistry::standard_topology();
+  EXPECT_GE(reg.in_category(IspCategory::kForeign).size(), 3u);
+}
+
+TEST(StandardTopologyTest, UniqueAsns) {
+  IspRegistry reg = IspRegistry::standard_topology();
+  std::set<std::uint32_t> asns;
+  for (const auto& isp : reg.all()) asns.insert(isp.asn);
+  EXPECT_EQ(asns.size(), reg.size());
+}
+
+}  // namespace
+}  // namespace ppsim::net

@@ -1,0 +1,138 @@
+#include "net/latency.h"
+
+#include <gtest/gtest.h>
+
+#include "net/isp.h"
+#include "sim/rng.h"
+
+namespace ppsim::net {
+namespace {
+
+Endpoint ep(std::uint32_t ip, std::uint32_t isp, IspCategory c) {
+  return Endpoint{IpAddress(ip), IspId{isp}, c};
+}
+
+class LatencyModelTest : public ::testing::Test {
+ protected:
+  LatencyModel model_;
+  Endpoint tele_a_ = ep(0x3D800001, 0, IspCategory::kTele);
+  Endpoint tele_b_ = ep(0x3D800002, 0, IspCategory::kTele);
+  Endpoint cnc_ = ep(0x3C000001, 1, IspCategory::kCnc);
+  Endpoint cer_ = ep(0xA66F0001, 2, IspCategory::kCer);
+  Endpoint other_cn_ = ep(0xD2000001, 3, IspCategory::kOtherCn);
+  Endpoint foreign_a_ = ep(0x81AE0001, 6, IspCategory::kForeign);
+  Endpoint foreign_b_ = ep(0x18000001, 7, IspCategory::kForeign);
+  Endpoint foreign_a2_ = ep(0x81AE0002, 6, IspCategory::kForeign);
+};
+
+TEST_F(LatencyModelTest, IntraIspFastest) {
+  const auto intra = model_.base_rtt(tele_a_, tele_b_);
+  EXPECT_LT(intra, model_.base_rtt(tele_a_, cnc_));
+  EXPECT_LT(intra, model_.base_rtt(tele_a_, cer_));
+  EXPECT_LT(intra, model_.base_rtt(tele_a_, foreign_a_));
+}
+
+TEST_F(LatencyModelTest, TransoceanicSlowest) {
+  const auto transoceanic = model_.base_rtt(tele_a_, foreign_a_);
+  EXPECT_GT(transoceanic, model_.base_rtt(tele_a_, cnc_));
+  EXPECT_GT(transoceanic, model_.base_rtt(tele_a_, cer_));
+  EXPECT_GT(transoceanic, model_.base_rtt(foreign_a_, foreign_b_));
+}
+
+TEST_F(LatencyModelTest, CernetCommercialPeeringIsWorstInChina) {
+  // CERNET's thin commercial peering makes CER<->TELE/CNC the slowest
+  // domestic path class.
+  EXPECT_GT(model_.base_rtt(tele_a_, cer_), model_.base_rtt(tele_a_, cnc_));
+  EXPECT_LT(model_.base_rtt(tele_a_, cer_),
+            model_.base_rtt(tele_a_, foreign_a_));
+}
+
+TEST_F(LatencyModelTest, BaseRttSymmetric) {
+  const Endpoint endpoints[] = {tele_a_, cnc_, cer_, other_cn_, foreign_a_};
+  for (const auto& a : endpoints)
+    for (const auto& b : endpoints)
+      EXPECT_EQ(model_.base_rtt(a, b), model_.base_rtt(b, a));
+}
+
+TEST_F(LatencyModelTest, SameForeignAsIsIntraIsp) {
+  EXPECT_EQ(model_.base_rtt(foreign_a_, foreign_a2_),
+            model_.config().intra_isp_rtt);
+}
+
+TEST_F(LatencyModelTest, DifferentForeignAsesUseCrossRate) {
+  EXPECT_EQ(model_.base_rtt(foreign_a_, foreign_b_),
+            model_.config().foreign_cross_rtt);
+}
+
+TEST_F(LatencyModelTest, PairFactorStableAndSymmetric) {
+  const double f1 = model_.pair_factor(tele_a_.ip, cnc_.ip);
+  const double f2 = model_.pair_factor(cnc_.ip, tele_a_.ip);
+  EXPECT_DOUBLE_EQ(f1, f2);
+  EXPECT_DOUBLE_EQ(f1, model_.pair_factor(tele_a_.ip, cnc_.ip));
+  EXPECT_GT(f1, 0.0);
+}
+
+TEST_F(LatencyModelTest, PairFactorVariesAcrossPairs) {
+  // With sigma=0.35, two different pairs almost surely differ.
+  const double f1 = model_.pair_factor(IpAddress(1), IpAddress(2));
+  const double f2 = model_.pair_factor(IpAddress(1), IpAddress(3));
+  EXPECT_NE(f1, f2);
+}
+
+TEST_F(LatencyModelTest, DifferentSaltRerollsFactors) {
+  LatencyConfig cfg;
+  cfg.pair_salt = 123;
+  LatencyModel other(cfg);
+  EXPECT_NE(model_.pair_factor(IpAddress(1), IpAddress(2)),
+            other.pair_factor(IpAddress(1), IpAddress(2)));
+}
+
+TEST_F(LatencyModelTest, PairFactorMedianNearOne) {
+  int above = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    if (model_.pair_factor(IpAddress(static_cast<std::uint32_t>(i)),
+                           IpAddress(static_cast<std::uint32_t>(i + 100000))) >
+        1.0)
+      ++above;
+  }
+  EXPECT_NEAR(static_cast<double>(above) / n, 0.5, 0.05);
+}
+
+TEST_F(LatencyModelTest, SampleOneWayRoughlyHalfRtt) {
+  sim::Rng rng(5);
+  const sim::Time rtt = model_.pair_rtt(tele_a_, tele_b_);
+  double acc = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i)
+    acc += model_.sample_one_way(tele_a_, tele_b_, rng).as_seconds();
+  EXPECT_NEAR(acc / n, rtt.as_seconds() / 2, rtt.as_seconds() * 0.05);
+}
+
+TEST_F(LatencyModelTest, SampleHasFloor) {
+  sim::Rng rng(5);
+  LatencyConfig cfg;
+  cfg.intra_isp_rtt = sim::Time::micros(1);
+  LatencyModel tiny(cfg);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_GE(tiny.sample_one_way(tele_a_, tele_b_, rng),
+              sim::Time::micros(200));
+  }
+}
+
+TEST_F(LatencyModelTest, LossOrdering) {
+  EXPECT_LT(model_.loss_probability(tele_a_, tele_b_),
+            model_.loss_probability(tele_a_, cnc_));
+  EXPECT_LT(model_.loss_probability(tele_a_, cnc_),
+            model_.loss_probability(tele_a_, foreign_a_));
+}
+
+TEST_F(LatencyModelTest, ChinaCrossUsesCongestedInterconnect) {
+  EXPECT_EQ(model_.base_rtt(tele_a_, cnc_),
+            model_.config().china_cross_isp_rtt);
+  EXPECT_EQ(model_.base_rtt(other_cn_, tele_a_),
+            model_.config().china_cross_isp_rtt);
+}
+
+}  // namespace
+}  // namespace ppsim::net

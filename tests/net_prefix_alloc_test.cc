@@ -1,0 +1,77 @@
+#include "net/prefix_alloc.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace ppsim::net {
+namespace {
+
+TEST(PrefixAllocatorTest, AddressesComeFromIspPrefixes) {
+  IspRegistry reg = IspRegistry::standard_topology();
+  PrefixAllocator alloc(reg);
+  for (const auto& isp : reg.all()) {
+    for (int i = 0; i < 50; ++i) {
+      IpAddress ip = alloc.allocate(isp.id);
+      bool inside = false;
+      for (const auto& p : isp.prefixes) inside |= p.contains(ip);
+      EXPECT_TRUE(inside) << ip.to_string() << " not in " << isp.as_name;
+    }
+    EXPECT_EQ(alloc.allocated(isp.id), 50u);
+  }
+}
+
+TEST(PrefixAllocatorTest, AddressesUnique) {
+  IspRegistry reg = IspRegistry::standard_topology();
+  PrefixAllocator alloc(reg);
+  std::unordered_set<IpAddress> seen;
+  for (const auto& isp : reg.all()) {
+    for (int i = 0; i < 2000; ++i) {
+      IpAddress ip = alloc.allocate(isp.id);
+      EXPECT_TRUE(seen.insert(ip).second) << "duplicate " << ip.to_string();
+    }
+  }
+}
+
+TEST(PrefixAllocatorTest, SkipsNetworkAndBroadcastStyleEndings) {
+  IspRegistry reg = IspRegistry::standard_topology();
+  PrefixAllocator alloc(reg);
+  for (int i = 0; i < 3000; ++i) {
+    IpAddress ip = alloc.allocate(reg.all()[0].id);
+    const auto last = ip.value() & 0xFF;
+    EXPECT_NE(last, 0u);
+    EXPECT_NE(last, 255u);
+  }
+}
+
+TEST(PrefixAllocatorTest, SpreadsAcrossSlash24s) {
+  // Consecutive subscribers should not all land in one /24.
+  IspRegistry reg = IspRegistry::standard_topology();
+  PrefixAllocator alloc(reg);
+  std::unordered_set<std::uint32_t> slash24s;
+  for (int i = 0; i < 100; ++i)
+    slash24s.insert(alloc.allocate(reg.all()[0].id).value() >> 8);
+  EXPECT_GT(slash24s.size(), 20u);
+}
+
+TEST(PrefixAllocatorTest, ThrowsWithoutPrefixes) {
+  IspRegistry reg;
+  IspId empty = reg.add("EMPTY", 1, IspCategory::kForeign);
+  PrefixAllocator alloc(reg);
+  EXPECT_THROW(alloc.allocate(empty), std::runtime_error);
+}
+
+TEST(PrefixAllocatorTest, ThrowsOnExhaustion) {
+  IspRegistry reg;
+  IspId tiny = reg.add("TINY", 1, IspCategory::kForeign);
+  reg.add_prefix(tiny, Prefix(IpAddress(10, 0, 0, 0), 28));  // 16 addresses
+  PrefixAllocator alloc(reg);
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 100; ++i) alloc.allocate(tiny);
+      },
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ppsim::net

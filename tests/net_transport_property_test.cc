@@ -1,0 +1,109 @@
+// Property tests of the transport: conservation of packets across all
+// accounting buckets under random traffic, churn, and loss.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/transport.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace ppsim::net {
+namespace {
+
+using TestNetwork = Network<int>;
+
+class TransportConservation : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(TransportConservation, PacketsAreConserved) {
+  sim::Simulator simulator;
+  LatencyConfig lc;
+  lc.transoceanic_loss = 0.1;  // force some core drops
+  lc.china_cross_loss = 0.05;
+  TestNetwork network(simulator, LatencyModel(lc), sim::Rng(GetParam()),
+                      /*max_backlog=*/sim::Time::millis(50));
+
+  sim::Rng rng(GetParam() ^ 0xABCD);
+  std::vector<IpAddress> hosts;
+  std::uint64_t handled = 0;
+  for (int i = 0; i < 12; ++i) {
+    IpAddress ip(static_cast<std::uint32_t>(0x0A000001 + i * 7));
+    const auto cat = static_cast<IspCategory>(i % kNumIspCategories);
+    // Slow uplinks so backlog drops occur too.
+    network.attach(ip, IspId{static_cast<std::uint32_t>(i)}, cat,
+                   AccessProfile{2e6, 256e3},
+                   [&handled](const TestNetwork::Delivery&) { ++handled; });
+    hosts.push_back(ip);
+  }
+
+  std::uint64_t send_calls = 0;
+  for (int round = 0; round < 400; ++round) {
+    const auto from =
+        hosts[static_cast<std::size_t>(rng.next_below(hosts.size()))];
+    const auto to =
+        hosts[static_cast<std::size_t>(rng.next_below(hosts.size()))];
+    if (from == to) continue;
+    network.send(from, to, round,
+                 static_cast<std::uint64_t>(rng.uniform_int(40, 4000)));
+    ++send_calls;
+    // Occasionally churn a host out and back in.
+    if (rng.chance(0.02)) {
+      const auto victim =
+          hosts[static_cast<std::size_t>(rng.next_below(hosts.size()))];
+      const auto ep = network.endpoint(victim);
+      network.detach(victim);
+      network.attach(victim, ep.isp, ep.category, AccessProfile{2e6, 256e3},
+                     [&handled](const TestNetwork::Delivery&) { ++handled; });
+    }
+    simulator.run_until(simulator.now() + sim::Time::millis(
+                                              rng.uniform_int(0, 30)));
+  }
+  simulator.run();
+
+  const auto& stats = network.stats();
+  EXPECT_EQ(stats.packets_sent, send_calls);
+  // Every sent packet lands in exactly one bucket.
+  EXPECT_EQ(stats.packets_sent,
+            stats.packets_delivered + stats.uplink_drops + stats.core_drops +
+                stats.downlink_drops + stats.dead_destination_drops);
+  EXPECT_EQ(handled, stats.packets_delivered);
+  EXPECT_GT(stats.packets_delivered, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransportConservation,
+                         ::testing::Values(1, 7, 99, 1234));
+
+TEST(TransportConservationTest, WithInterconnects) {
+  sim::Simulator simulator;
+  LatencyConfig lc;
+  lc.intra_isp_loss = 0;
+  lc.china_cross_loss = 0;
+  lc.transoceanic_loss = 0;
+  lc.foreign_cross_loss = 0;
+  TestNetwork network(simulator, LatencyModel(lc), sim::Rng(5));
+  InterconnectConfig ic;
+  ic.default_bps = 64e3;
+  ic.max_backlog = sim::Time::millis(20);
+  network.set_interconnects(ic);
+
+  int handled = 0;
+  network.attach(IpAddress(1), IspId{0}, IspCategory::kTele,
+                 AccessProfile{1e9, 1e9}, nullptr);
+  network.attach(IpAddress(2), IspId{1}, IspCategory::kCnc,
+                 AccessProfile{1e9, 1e9},
+                 [&](const TestNetwork::Delivery&) { ++handled; });
+  for (int i = 0; i < 50; ++i) network.send(IpAddress(1), IpAddress(2), i, 1000);
+  simulator.run();
+
+  const auto& stats = network.stats();
+  EXPECT_EQ(stats.packets_sent, 50u);
+  EXPECT_EQ(stats.packets_sent, stats.packets_delivered + stats.core_drops);
+  EXPECT_GT(stats.core_drops, 0u);  // the 64 kbps pipe cannot carry this
+  EXPECT_EQ(static_cast<std::uint64_t>(handled), stats.packets_delivered);
+}
+
+}  // namespace
+}  // namespace ppsim::net

@@ -1,0 +1,219 @@
+#include "net/transport.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/isp.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace ppsim::net {
+namespace {
+
+using TestNetwork = Network<std::string>;
+
+LatencyModel lossless_latency() {
+  LatencyConfig cfg;
+  cfg.intra_isp_loss = 0;
+  cfg.china_cross_loss = 0;
+  cfg.transoceanic_loss = 0;
+  cfg.foreign_cross_loss = 0;
+  cfg.packet_sigma = 0;   // deterministic propagation
+  cfg.pair_sigma = 0;
+  return LatencyModel(cfg);
+}
+
+class TransportTest : public ::testing::Test {
+ protected:
+  TransportTest() : network_(simulator_, lossless_latency(), sim::Rng(1)) {}
+
+  void attach(IpAddress ip, IspCategory cat, std::uint32_t isp,
+              std::vector<std::string>* inbox) {
+    network_.attach(ip, IspId{isp}, cat, AccessProfile{100e6, 100e6},
+                    [inbox](const TestNetwork::Delivery& d) {
+                      if (inbox) inbox->push_back(d.payload);
+                    });
+  }
+
+  sim::Simulator simulator_;
+  TestNetwork network_;
+};
+
+TEST_F(TransportTest, DeliversPayload) {
+  std::vector<std::string> inbox;
+  attach(IpAddress(1, 0, 0, 1), IspCategory::kTele, 0, nullptr);
+  attach(IpAddress(1, 0, 0, 2), IspCategory::kTele, 0, &inbox);
+  EXPECT_TRUE(network_.send(IpAddress(1, 0, 0, 1), IpAddress(1, 0, 0, 2),
+                            "hello", 100));
+  simulator_.run();
+  ASSERT_EQ(inbox.size(), 1u);
+  EXPECT_EQ(inbox[0], "hello");
+  EXPECT_EQ(network_.stats().packets_delivered, 1u);
+}
+
+TEST_F(TransportTest, DeliveryCarriesMetadata) {
+  TestNetwork::Delivery got;
+  network_.attach(IpAddress(9), IspId{0}, IspCategory::kTele,
+                  AccessProfile{100e6, 100e6},
+                  [&](const TestNetwork::Delivery& d) { got = d; });
+  attach(IpAddress(8), IspCategory::kCnc, 1, nullptr);
+  network_.send(IpAddress(8), IpAddress(9), "x", 321);
+  simulator_.run();
+  EXPECT_EQ(got.from, IpAddress(8));
+  EXPECT_EQ(got.to, IpAddress(9));
+  EXPECT_EQ(got.wire_bytes, 321u);
+  EXPECT_EQ(got.sent_at, sim::Time::zero());
+}
+
+TEST_F(TransportTest, UnknownSenderFails) {
+  attach(IpAddress(2), IspCategory::kTele, 0, nullptr);
+  EXPECT_FALSE(network_.send(IpAddress(1), IpAddress(2), "x", 10));
+}
+
+TEST_F(TransportTest, UnknownDestinationDropsSilently) {
+  attach(IpAddress(1), IspCategory::kTele, 0, nullptr);
+  EXPECT_TRUE(network_.send(IpAddress(1), IpAddress(2), "x", 10));
+  simulator_.run();
+  EXPECT_EQ(network_.stats().dead_destination_drops, 1u);
+  EXPECT_EQ(network_.stats().packets_delivered, 0u);
+}
+
+TEST_F(TransportTest, DetachedDestinationDoesNotReceive) {
+  std::vector<std::string> inbox;
+  attach(IpAddress(1), IspCategory::kTele, 0, nullptr);
+  attach(IpAddress(2), IspCategory::kTele, 0, &inbox);
+  network_.send(IpAddress(1), IpAddress(2), "x", 10);
+  network_.detach(IpAddress(2));  // leaves while the packet is in flight
+  simulator_.run();
+  EXPECT_TRUE(inbox.empty());
+  EXPECT_EQ(network_.stats().dead_destination_drops, 1u);
+}
+
+TEST_F(TransportTest, ReattachedHostIsNewIncarnation) {
+  // A packet addressed to the old incarnation must not reach the new one.
+  std::vector<std::string> old_inbox, new_inbox;
+  attach(IpAddress(1), IspCategory::kTele, 0, nullptr);
+  attach(IpAddress(2), IspCategory::kTele, 0, &old_inbox);
+  network_.send(IpAddress(1), IpAddress(2), "x", 10);
+  network_.detach(IpAddress(2));
+  attach(IpAddress(2), IspCategory::kTele, 0, &new_inbox);
+  simulator_.run();
+  EXPECT_TRUE(old_inbox.empty());
+  EXPECT_TRUE(new_inbox.empty());
+}
+
+TEST_F(TransportTest, PropagationDelayMatchesModel) {
+  attach(IpAddress(1), IspCategory::kTele, 0, nullptr);
+  sim::Time arrival;
+  network_.attach(IpAddress(2), IspId{1}, IspCategory::kCnc,
+                  AccessProfile{100e6, 100e6},
+                  [&](const TestNetwork::Delivery&) {
+                    arrival = simulator_.now();
+                  });
+  network_.send(IpAddress(1), IpAddress(2), "x", 1000);
+  simulator_.run();
+  // one-way = rtt/2 (140 ms / 2 = 70 ms) + serialization on both links
+  // (1000 B at 100 Mbps = 80 us each).
+  const sim::Time expected =
+      sim::Time::millis(70) + sim::Time::micros(80) + sim::Time::micros(80);
+  EXPECT_EQ(arrival, expected);
+}
+
+TEST_F(TransportTest, TrueRttExposedForValidation) {
+  attach(IpAddress(1), IspCategory::kTele, 0, nullptr);
+  attach(IpAddress(2), IspCategory::kCnc, 1, nullptr);
+  EXPECT_EQ(network_.true_rtt(IpAddress(1), IpAddress(2)),
+            sim::Time::millis(140));
+}
+
+TEST_F(TransportTest, TapSeesBothDirections) {
+  attach(IpAddress(1), IspCategory::kTele, 0, nullptr);
+  attach(IpAddress(2), IspCategory::kTele, 0, nullptr);
+  struct Seen {
+    Direction dir;
+    IpAddress local, remote;
+  };
+  std::vector<Seen> taps;
+  network_.set_tap(IpAddress(1), [&](Direction dir, IpAddress local,
+                                     IpAddress remote, const std::string&,
+                                     std::uint64_t) {
+    taps.push_back({dir, local, remote});
+  });
+  network_.send(IpAddress(1), IpAddress(2), "out", 10);
+  network_.send(IpAddress(2), IpAddress(1), "in", 10);
+  simulator_.run();
+  ASSERT_EQ(taps.size(), 2u);
+  EXPECT_EQ(taps[0].dir, Direction::kOutgoing);
+  EXPECT_EQ(taps[0].local, IpAddress(1));
+  EXPECT_EQ(taps[0].remote, IpAddress(2));
+  EXPECT_EQ(taps[1].dir, Direction::kIncoming);
+  EXPECT_EQ(taps[1].local, IpAddress(1));
+  EXPECT_EQ(taps[1].remote, IpAddress(2));
+}
+
+TEST_F(TransportTest, GlobalTapSeesDeliveries) {
+  attach(IpAddress(1), IspCategory::kTele, 0, nullptr);
+  attach(IpAddress(2), IspCategory::kCnc, 1, nullptr);
+  int count = 0;
+  network_.set_global_tap([&](const Endpoint& from, const Endpoint& to,
+                              const std::string&, std::uint64_t) {
+    EXPECT_EQ(from.category, IspCategory::kTele);
+    EXPECT_EQ(to.category, IspCategory::kCnc);
+    ++count;
+  });
+  network_.send(IpAddress(1), IpAddress(2), "x", 10);
+  simulator_.run();
+  EXPECT_EQ(count, 1);
+}
+
+TEST_F(TransportTest, UplinkSerializationOrdersDepartures) {
+  // Slow uplink: second packet arrives later than twice the serialization.
+  network_.attach(IpAddress(1), IspId{0}, IspCategory::kTele,
+                  AccessProfile{100e6, 1e6}, nullptr);
+  std::vector<sim::Time> arrivals;
+  network_.attach(IpAddress(2), IspId{0}, IspCategory::kTele,
+                  AccessProfile{100e6, 100e6},
+                  [&](const TestNetwork::Delivery&) {
+                    arrivals.push_back(simulator_.now());
+                  });
+  network_.send(IpAddress(1), IpAddress(2), "a", 12500);  // 100 ms at 1 Mbps
+  network_.send(IpAddress(1), IpAddress(2), "b", 12500);
+  simulator_.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_GE(arrivals[1] - arrivals[0], sim::Time::millis(100));
+}
+
+TEST_F(TransportTest, LossyPathDropsSome) {
+  LatencyConfig cfg;
+  cfg.transoceanic_loss = 0.5;
+  TestNetwork lossy(simulator_, LatencyModel(cfg), sim::Rng(3));
+  int received = 0;
+  lossy.attach(IpAddress(1), IspId{0}, IspCategory::kTele,
+               AccessProfile{100e6, 100e6}, nullptr);
+  lossy.attach(IpAddress(2), IspId{9}, IspCategory::kForeign,
+               AccessProfile{100e6, 100e6},
+               [&](const TestNetwork::Delivery&) { ++received; });
+  for (int i = 0; i < 500; ++i)
+    lossy.send(IpAddress(1), IpAddress(2), "x", 10);
+  simulator_.run();
+  EXPECT_GT(received, 150);
+  EXPECT_LT(received, 350);
+  EXPECT_EQ(lossy.stats().core_drops + static_cast<std::uint64_t>(received),
+            500u);
+}
+
+TEST_F(TransportTest, HostCountTracksAttachDetach) {
+  EXPECT_EQ(network_.host_count(), 0u);
+  attach(IpAddress(1), IspCategory::kTele, 0, nullptr);
+  attach(IpAddress(2), IspCategory::kTele, 0, nullptr);
+  EXPECT_EQ(network_.host_count(), 2u);
+  EXPECT_TRUE(network_.attached(IpAddress(1)));
+  network_.detach(IpAddress(1));
+  EXPECT_FALSE(network_.attached(IpAddress(1)));
+  EXPECT_EQ(network_.host_count(), 1u);
+}
+
+}  // namespace
+}  // namespace ppsim::net

@@ -1,0 +1,108 @@
+// Model-based property test: ChunkStore against a reference implementation
+// (an std::set with explicit retention), under random insert/query streams.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "proto/chunk_store.h"
+#include "sim/rng.h"
+
+namespace ppsim::proto {
+namespace {
+
+/// Reference semantics: a set of chunks; after each insert, everything
+/// below highest - retention + 1 is evicted, and inserts below that bound
+/// are rejected.
+class ReferenceStore {
+ public:
+  explicit ReferenceStore(std::uint32_t retention) : retention_(retention) {}
+
+  bool insert(ChunkSeq seq) {
+    if (!chunks_.empty() && highest_ >= retention_ &&
+        seq <= highest_ - retention_)
+      return false;
+    if (chunks_.contains(seq)) return false;
+    chunks_.insert(seq);
+    highest_ = std::max(highest_, seq);
+    if (highest_ >= retention_) {
+      const ChunkSeq bound = highest_ - retention_ + 1;
+      while (!chunks_.empty() && *chunks_.begin() < bound)
+        chunks_.erase(chunks_.begin());
+    }
+    return true;
+  }
+
+  bool has(ChunkSeq seq) const { return chunks_.contains(seq); }
+  std::uint64_t count() const { return chunks_.size(); }
+  ChunkSeq highest() const { return chunks_.empty() ? 0 : highest_; }
+
+ private:
+  std::uint32_t retention_;
+  std::set<ChunkSeq> chunks_;
+  ChunkSeq highest_ = 0;
+};
+
+class ChunkStoreProperty
+    : public ::testing::TestWithParam<std::pair<std::uint64_t, std::uint32_t>> {
+};
+
+TEST_P(ChunkStoreProperty, AgreesWithReference) {
+  const auto [seed, retention] = GetParam();
+  sim::Rng rng(seed);
+  ChunkStore store(retention);
+  ReferenceStore reference(retention);
+
+  ChunkSeq cursor = 1;
+  for (int op = 0; op < 3000; ++op) {
+    // A mix of near-cursor inserts (normal operation), occasional jumps
+    // (rejoin after stall), and old-chunk retries.
+    ChunkSeq seq;
+    const double r = rng.uniform();
+    if (r < 0.7) {
+      seq = cursor + static_cast<ChunkSeq>(rng.uniform_int(0, 20));
+      cursor = std::max(cursor, seq);
+    } else if (r < 0.85) {
+      const auto back = static_cast<ChunkSeq>(
+          rng.uniform_int(0, static_cast<std::int64_t>(retention) * 2));
+      seq = cursor > back ? cursor - back : 1;
+    } else {
+      seq = cursor + static_cast<ChunkSeq>(rng.uniform_int(50, 400));
+      cursor = seq;
+    }
+
+    ASSERT_EQ(store.insert(seq), reference.insert(seq))
+        << "insert(" << seq << ") diverged at op " << op;
+
+    // Spot-check membership around the cursor.
+    for (int probe = 0; probe < 5; ++probe) {
+      const auto back = static_cast<ChunkSeq>(
+          rng.uniform_int(0, static_cast<std::int64_t>(retention) + 10));
+      const ChunkSeq q = cursor > back ? cursor - back : 1;
+      ASSERT_EQ(store.has(q), reference.has(q)) << "has(" << q << ")";
+    }
+    ASSERT_EQ(store.chunks_held(), reference.count());
+    ASSERT_EQ(store.highest(), reference.highest());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ChunkStoreProperty,
+    ::testing::Values(std::make_pair(1ull, 16u), std::make_pair(2ull, 64u),
+                      std::make_pair(3ull, 256u), std::make_pair(4ull, 7u),
+                      std::make_pair(5ull, 1000u)));
+
+TEST(ChunkStoreSnapshotProperty, SnapshotMatchesMembership) {
+  sim::Rng rng(9);
+  ChunkStore store(128);
+  for (int i = 0; i < 500; ++i)
+    store.insert(static_cast<ChunkSeq>(rng.uniform_int(1, 600)));
+  const BufferMap map = store.snapshot(store.base());
+  for (ChunkSeq seq = store.base(); seq <= store.highest(); ++seq) {
+    EXPECT_EQ(map.has(seq), store.has(seq)) << seq;
+  }
+  EXPECT_EQ(map.highest(), store.highest());
+}
+
+}  // namespace
+}  // namespace ppsim::proto

@@ -1,0 +1,151 @@
+#include "proto/chunk_store.h"
+
+#include <gtest/gtest.h>
+
+namespace ppsim::proto {
+namespace {
+
+TEST(ChunkStoreTest, StartsEmpty) {
+  ChunkStore store;
+  EXPECT_TRUE(store.empty());
+  EXPECT_FALSE(store.has(1));
+  EXPECT_EQ(store.chunks_held(), 0u);
+}
+
+TEST(ChunkStoreTest, InsertAndQuery) {
+  ChunkStore store;
+  EXPECT_TRUE(store.insert(5));
+  EXPECT_TRUE(store.has(5));
+  EXPECT_FALSE(store.has(4));
+  EXPECT_FALSE(store.has(6));
+  EXPECT_EQ(store.highest(), 5u);
+  EXPECT_EQ(store.base(), 5u);
+}
+
+TEST(ChunkStoreTest, DuplicateRejected) {
+  ChunkStore store;
+  EXPECT_TRUE(store.insert(5));
+  EXPECT_FALSE(store.insert(5));
+}
+
+TEST(ChunkStoreTest, OutOfOrderInsert) {
+  ChunkStore store;
+  store.insert(10);
+  store.insert(7);
+  store.insert(13);
+  EXPECT_TRUE(store.has(7));
+  EXPECT_TRUE(store.has(10));
+  EXPECT_TRUE(store.has(13));
+  EXPECT_FALSE(store.has(8));
+  EXPECT_EQ(store.chunks_held(), 3u);
+}
+
+TEST(ChunkStoreTest, InsertBelowBaseWithinRetention) {
+  // A peer's first chunk need not be its lowest: the startup buffer is
+  // filled behind the first-received chunk.
+  ChunkStore store(/*retention=*/256);
+  store.insert(100);
+  EXPECT_TRUE(store.insert(50));
+  EXPECT_TRUE(store.has(50));
+  EXPECT_EQ(store.base(), 50u);
+}
+
+TEST(ChunkStoreTest, InsertBelowRetentionWindowRejected) {
+  ChunkStore store(/*retention=*/10);
+  store.insert(100);
+  EXPECT_FALSE(store.insert(50));  // 50 <= 100 - 10: outside the window
+  EXPECT_TRUE(store.insert(95));   // within the window
+}
+
+TEST(ChunkStoreTest, RetentionEvictsOld) {
+  ChunkStore store(/*retention=*/10);
+  for (ChunkSeq s = 1; s <= 30; ++s) store.insert(s);
+  EXPECT_EQ(store.highest(), 30u);
+  EXPECT_EQ(store.base(), 21u);
+  EXPECT_FALSE(store.has(20));
+  EXPECT_TRUE(store.has(21));
+  EXPECT_TRUE(store.has(30));
+  EXPECT_EQ(store.chunks_held(), 10u);
+}
+
+TEST(ChunkStoreTest, EvictedChunkCannotReinsert) {
+  ChunkStore store(/*retention=*/10);
+  for (ChunkSeq s = 1; s <= 30; ++s) store.insert(s);
+  EXPECT_FALSE(store.insert(5));
+}
+
+TEST(ChunkStoreTest, SparseJumpEvicts) {
+  ChunkStore store(/*retention=*/10);
+  store.insert(1);
+  store.insert(1000);
+  EXPECT_FALSE(store.has(1));
+  EXPECT_TRUE(store.has(1000));
+  EXPECT_EQ(store.base(), 991u);
+}
+
+TEST(ChunkStoreTest, SnapshotCoversRange) {
+  ChunkStore store;
+  store.insert(5);
+  store.insert(7);
+  store.insert(9);
+  BufferMap map = store.snapshot(5);
+  EXPECT_EQ(map.base, 5u);
+  EXPECT_TRUE(map.has(5));
+  EXPECT_FALSE(map.has(6));
+  EXPECT_TRUE(map.has(7));
+  EXPECT_FALSE(map.has(8));
+  EXPECT_TRUE(map.has(9));
+  EXPECT_FALSE(map.has(10));
+  EXPECT_EQ(map.highest(), 9u);
+}
+
+TEST(ChunkStoreTest, SnapshotFromBelowBaseClamps) {
+  ChunkStore store(/*retention=*/5);
+  for (ChunkSeq s = 1; s <= 20; ++s) store.insert(s);
+  BufferMap map = store.snapshot(1);
+  EXPECT_EQ(map.base, store.base());
+  EXPECT_TRUE(map.has(20));
+}
+
+TEST(ChunkStoreTest, SnapshotOfEmptyStore) {
+  ChunkStore store;
+  BufferMap map = store.snapshot(0);
+  EXPECT_TRUE(map.have.empty());
+  EXPECT_EQ(map.highest(), 0u);
+}
+
+TEST(BufferMapTest, HasOutOfRange) {
+  BufferMap map;
+  map.base = 10;
+  map.have = {true, false, true};
+  EXPECT_FALSE(map.has(9));
+  EXPECT_TRUE(map.has(10));
+  EXPECT_FALSE(map.has(11));
+  EXPECT_TRUE(map.has(12));
+  EXPECT_FALSE(map.has(13));
+}
+
+TEST(BufferMapTest, HighestOfEmpty) {
+  BufferMap map;
+  EXPECT_EQ(map.highest(), 0u);
+  map.base = 5;
+  map.have = {false, false};
+  EXPECT_EQ(map.highest(), 0u);
+}
+
+class ChunkStoreRetention : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ChunkStoreRetention, NeverHoldsMoreThanRetention) {
+  ChunkStore store(GetParam());
+  for (ChunkSeq s = 1; s <= 500; ++s) {
+    store.insert(s);
+    EXPECT_LE(store.chunks_held(), GetParam());
+    EXPECT_LE(store.highest() - store.base() + 1, GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Retentions, ChunkStoreRetention,
+                         ::testing::Values(1, 2, 10, 64, 256));
+
+}  // namespace
+}  // namespace ppsim::proto

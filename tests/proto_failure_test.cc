@@ -1,0 +1,119 @@
+// Failure-injection tests: the swarm must degrade gracefully, not crash or
+// wedge, when infrastructure or peers disappear mid-run.
+
+#include <gtest/gtest.h>
+
+#include "proto_testutil.h"
+
+namespace ppsim::proto {
+namespace {
+
+using testing::MiniWorld;
+
+TEST(FailureTest, SourceStopsMidBroadcast) {
+  MiniWorld world;
+  Peer& viewer = world.add_peer(net::IspCategory::kTele);
+  viewer.join();
+  world.simulator().run_until(sim::Time::minutes(2));
+  ASSERT_TRUE(viewer.playback_started());
+  const auto played_before = viewer.counters().chunks_played;
+
+  world.source().stop();  // the channel goes dark
+  world.simulator().run_until(sim::Time::minutes(6));
+
+  // The viewer drains its buffer and then stalls at the frozen live edge —
+  // playback neither crashes nor runs ahead of available data.
+  EXPECT_LE(viewer.playback_position(), viewer.live_edge_estimate() + 1);
+  EXPECT_GT(viewer.counters().chunks_played, played_before);
+  // Misses don't explode: the peer stops at the edge rather than skipping
+  // forever.
+  EXPECT_LT(viewer.counters().chunks_missed,
+            viewer.counters().chunks_played);
+}
+
+TEST(FailureTest, MassDeparture) {
+  MiniWorld world;
+  std::vector<Peer*> crowd;
+  for (int i = 0; i < 12; ++i)
+    crowd.push_back(&world.add_peer(net::IspCategory::kTele));
+  Peer& survivor = world.add_peer(net::IspCategory::kTele);
+  for (auto* p : crowd) p->join();
+  survivor.join();
+  world.simulator().run_until(sim::Time::minutes(2));
+  ASSERT_GT(survivor.neighbor_count(), 0u);
+
+  // Everyone else leaves at once (the broadcast "ends" for them).
+  world.simulator().schedule(sim::Time::zero(), [&] {
+    for (auto* p : crowd) p->leave();
+  });
+  world.simulator().run_until(sim::Time::minutes(5));
+
+  // The survivor falls back to the source and keeps playing.
+  EXPECT_TRUE(survivor.alive());
+  EXPECT_GT(survivor.counters().continuity(), 0.8);
+}
+
+TEST(FailureTest, AbruptDepartureWithoutGoodbye) {
+  // A peer vanishing silently (detach, no Goodbye) must be aged out by its
+  // neighbors' idle timers and its in-flight requests must time out.
+  MiniWorld world;
+  PeerConfig config;
+  config.neighbor_idle_timeout = sim::Time::seconds(30);
+  Peer& a = world.add_peer(net::IspCategory::kTele, config);
+  Peer& b = world.add_peer(net::IspCategory::kTele, config);
+  a.join();
+  b.join();
+  world.simulator().run_until(sim::Time::minutes(2));
+  auto a_neighbors = a.neighbor_ips();
+  ASSERT_TRUE(std::find(a_neighbors.begin(), a_neighbors.end(), b.ip()) !=
+              a_neighbors.end());
+
+  // Simulate a crash: detach from the network without protocol goodbyes.
+  world.network().detach(b.ip());
+  world.simulator().run_until(sim::Time::minutes(4));
+
+  a_neighbors = a.neighbor_ips();
+  EXPECT_TRUE(std::find(a_neighbors.begin(), a_neighbors.end(), b.ip()) ==
+              a_neighbors.end())
+      << "crashed neighbor was never aged out";
+  EXPECT_GT(a.counters().neighbors_dropped_idle +
+                a.counters().neighbors_dropped_optimized,
+            0u);
+  EXPECT_GT(a.counters().continuity(), 0.8);
+}
+
+TEST(FailureTest, TrackerUnreachableStillJoinsViaReferral) {
+  // If every tracker query is lost, a client can still join: the join
+  // reply carries the playlink, and the source's referral bootstrap the
+  // neighborhood.
+  MiniWorld world;
+  Peer& viewer = world.add_peer(net::IspCategory::kTele);
+  // Kill the tracker before the viewer joins.
+  world.simulator().schedule(sim::Time::zero(), [&] {
+    world.network().detach(world.tracker().ip());
+  });
+  viewer.join();
+  world.simulator().run_until(sim::Time::minutes(3));
+  EXPECT_TRUE(viewer.playback_started());
+  EXPECT_GT(viewer.counters().continuity(), 0.5);
+}
+
+TEST(FailureTest, RejoinAfterLeave) {
+  // leave() is terminal for a Peer object; a "rejoining user" is a new Peer
+  // on a fresh address. The old address's in-flight traffic must not leak
+  // into the new peer.
+  MiniWorld world;
+  Peer& first = world.add_peer(net::IspCategory::kTele);
+  first.join();
+  world.simulator().run_until(sim::Time::minutes(1));
+  first.leave();
+  Peer& second = world.add_peer(net::IspCategory::kTele);
+  second.join();
+  world.simulator().run_until(sim::Time::minutes(4));
+  EXPECT_TRUE(second.playback_started());
+  EXPECT_GT(second.counters().continuity(), 0.8);
+  EXPECT_FALSE(first.alive());
+}
+
+}  // namespace
+}  // namespace ppsim::proto

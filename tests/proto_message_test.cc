@@ -1,0 +1,78 @@
+#include "proto/message.h"
+
+#include <gtest/gtest.h>
+
+namespace ppsim::proto {
+namespace {
+
+TEST(MessageTest, WireSizeIncludesHeader) {
+  // Every message carries at least an IP+UDP header (28 bytes).
+  EXPECT_GE(wire_size(Message{ChannelListQuery{}}), 28u);
+  EXPECT_GE(wire_size(Message{Goodbye{1}}), 28u);
+}
+
+TEST(MessageTest, ListSizeGrowsWithEntries) {
+  PeerListReply small{1, {net::IpAddress(1), net::IpAddress(2)}};
+  PeerListReply big{1, std::vector<net::IpAddress>(60, net::IpAddress(1))};
+  EXPECT_LT(wire_size(Message{small}), wire_size(Message{big}));
+  // 6 bytes per listed address (IP + port), like a compact tracker reply.
+  EXPECT_EQ(wire_size(Message{big}) - wire_size(Message{small}), 58u * 6u);
+}
+
+TEST(MessageTest, TrackerReplySized) {
+  TrackerReply reply{1, std::vector<net::IpAddress>(10, net::IpAddress(1))};
+  EXPECT_EQ(wire_size(Message{reply}), 28u + 12u + 60u);
+}
+
+TEST(MessageTest, DataReplyDominatedByPayload) {
+  DataReply r{1, 7, 8, 11040};
+  const auto size = wire_size(Message{r});
+  EXPECT_GT(size, 11040u);
+  // 8 sub-piece packets => 7 extra IP+UDP headers beyond the first.
+  EXPECT_EQ(size, 28u + 11040u + 12u + 7u * 28u);
+}
+
+TEST(MessageTest, DataReplySingleSubpieceNoExtraHeaders) {
+  DataReply r{1, 7, 1, 1380};
+  EXPECT_EQ(wire_size(Message{r}), 28u + 1380u + 12u);
+}
+
+TEST(MessageTest, BufferMapSizedByBits) {
+  BufferMapAnnounce small{1, BufferMap{0, std::vector<bool>(8, true)}};
+  BufferMapAnnounce big{1, BufferMap{0, std::vector<bool>(64, true)}};
+  EXPECT_EQ(wire_size(Message{big}) - wire_size(Message{small}), 7u);
+}
+
+TEST(MessageTest, Names) {
+  EXPECT_EQ(message_name(Message{DataQuery{}}), "DataQuery");
+  EXPECT_EQ(message_name(Message{DataReply{}}), "DataReply");
+  EXPECT_EQ(message_name(Message{PeerListQuery{}}), "PeerListQuery");
+  EXPECT_EQ(message_name(Message{PeerListReply{}}), "PeerListReply");
+  EXPECT_EQ(message_name(Message{TrackerQuery{}}), "TrackerQuery");
+  EXPECT_EQ(message_name(Message{TrackerReply{}}), "TrackerReply");
+  EXPECT_EQ(message_name(Message{ConnectQuery{}}), "ConnectQuery");
+  EXPECT_EQ(message_name(Message{ConnectReply{}}), "ConnectReply");
+  EXPECT_EQ(message_name(Message{BufferMapAnnounce{}}), "BufferMapAnnounce");
+  EXPECT_EQ(message_name(Message{Goodbye{}}), "Goodbye");
+  EXPECT_EQ(message_name(Message{JoinQuery{}}), "JoinQuery");
+  EXPECT_EQ(message_name(Message{JoinReply{}}), "JoinReply");
+  EXPECT_EQ(message_name(Message{ChannelListQuery{}}), "ChannelListQuery");
+  EXPECT_EQ(message_name(Message{ChannelListReply{}}), "ChannelListReply");
+}
+
+TEST(ChannelSpecTest, ChunkGeometry) {
+  ChannelSpec spec{1, "c", 400e3, 1380, 8};
+  EXPECT_EQ(spec.chunk_bytes(), 11040u);
+  // 11040 B * 8 bit / 400 kbps = 220.8 ms of stream per chunk.
+  EXPECT_NEAR(spec.chunk_duration().as_seconds(), 0.2208, 1e-6);
+}
+
+TEST(ChannelSpecTest, HalfSubpieces) {
+  // The paper mentions 690-byte sub-pieces as the alternative framing.
+  ChannelSpec spec{1, "c", 400e3, 690, 16};
+  EXPECT_EQ(spec.chunk_bytes(), 11040u);
+  EXPECT_NEAR(spec.chunk_duration().as_seconds(), 0.2208, 1e-6);
+}
+
+}  // namespace
+}  // namespace ppsim::proto

@@ -1,0 +1,47 @@
+#include <gtest/gtest.h>
+
+#include "proto_testutil.h"
+
+namespace ppsim::proto {
+namespace {
+
+using testing::MiniWorld;
+
+TEST(NeighborSnapshotTest, SortedByContribution) {
+  MiniWorld world;
+  Peer& viewer = world.add_peer(net::IspCategory::kTele);
+  world.add_peer(net::IspCategory::kTele).join();
+  world.add_peer(net::IspCategory::kTele).join();
+  viewer.join();
+  world.simulator().run_until(sim::Time::minutes(3));
+
+  auto snapshots = viewer.neighbor_snapshots();
+  ASSERT_EQ(snapshots.size(), viewer.neighbor_count());
+  std::uint64_t total_bytes = 0;
+  for (std::size_t i = 0; i < snapshots.size(); ++i) {
+    if (i > 0) {
+      EXPECT_LE(snapshots[i].bytes_from, snapshots[i - 1].bytes_from);
+    }
+    EXPECT_GT(snapshots[i].rtt_s, 0.0);
+    EXPECT_GT(snapshots[i].service_s, 0.0);
+    EXPECT_LE(snapshots[i].connected_at, world.simulator().now());
+    total_bytes += snapshots[i].bytes_from;
+  }
+  // The top neighbor carries real traffic.
+  ASSERT_FALSE(snapshots.empty());
+  EXPECT_GT(total_bytes, 0u);
+  // Snapshot totals reconcile with the client's own accounting (timed-out
+  // and unmatched replies can make the counter differ slightly upward).
+  EXPECT_LE(total_bytes, viewer.counters().bytes_downloaded +
+                             viewer.counters().duplicate_chunks *
+                                 world.channel().chunk_bytes());
+}
+
+TEST(NeighborSnapshotTest, EmptyBeforeJoin) {
+  MiniWorld world;
+  Peer& loner = world.add_peer(net::IspCategory::kTele);
+  EXPECT_TRUE(loner.neighbor_snapshots().empty());
+}
+
+}  // namespace
+}  // namespace ppsim::proto

@@ -1,0 +1,205 @@
+#include "proto/tracker.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "proto_testutil.h"
+
+namespace ppsim::proto {
+namespace {
+
+using testing::MiniWorld;
+
+/// Bare client that records tracker replies.
+class RecordingClient {
+ public:
+  RecordingClient(MiniWorld& world, net::IspCategory cat)
+      : world_(world), identity_(world.identity(cat)) {
+    world_.network().attach(identity_.ip, identity_.isp, identity_.category,
+                            identity_.profile,
+                            [this](const PeerNetwork::Delivery& d) {
+                              if (const auto* r =
+                                      std::get_if<TrackerReply>(&d.payload))
+                                replies_.push_back(*r);
+                            });
+  }
+
+  void query(ChannelId channel) {
+    Message m{TrackerQuery{channel}};
+    world_.network().send(identity_.ip, world_.tracker().ip(), m,
+                          wire_size(m));
+  }
+
+  net::IpAddress ip() const { return identity_.ip; }
+  const std::vector<TrackerReply>& replies() const { return replies_; }
+
+ private:
+  MiniWorld& world_;
+  HostIdentity identity_;
+  std::vector<TrackerReply> replies_;
+};
+
+TEST(TrackerTest, QueryRegistersAndReturnsOthers) {
+  MiniWorld world;
+  RecordingClient a(world, net::IspCategory::kTele);
+  RecordingClient b(world, net::IspCategory::kCnc);
+
+  a.query(1);
+  world.simulator().run_until(sim::Time::seconds(1));
+  // First querier sees only previously announced members (the source).
+  ASSERT_EQ(a.replies().size(), 1u);
+  EXPECT_EQ(world.tracker().member_count(1), 2u);  // source + a
+
+  b.query(1);
+  world.simulator().run_until(sim::Time::seconds(2));
+  ASSERT_EQ(b.replies().size(), 1u);
+  std::set<net::IpAddress> listed(b.replies()[0].peers.begin(),
+                                  b.replies()[0].peers.end());
+  EXPECT_TRUE(listed.contains(a.ip()));
+  EXPECT_FALSE(listed.contains(b.ip())) << "client must not be told itself";
+}
+
+TEST(TrackerTest, PerChannelIsolation) {
+  MiniWorld world;
+  RecordingClient a(world, net::IspCategory::kTele);
+  RecordingClient b(world, net::IspCategory::kTele);
+  a.query(1);
+  b.query(2);
+  world.simulator().run_until(sim::Time::seconds(1));
+  EXPECT_EQ(world.tracker().member_count(2), 1u);
+  ASSERT_EQ(b.replies().size(), 1u);
+  EXPECT_TRUE(b.replies()[0].peers.empty());
+}
+
+TEST(TrackerTest, EntriesExpire) {
+  MiniWorld world;
+  RecordingClient a(world, net::IspCategory::kTele);
+  a.query(1);
+  world.simulator().run_until(sim::Time::seconds(1));
+  EXPECT_EQ(world.tracker().member_count(1), 2u);
+  // Stop the source's refresh so everything can expire.
+  world.source().stop();
+  world.simulator().run_until(sim::Time::minutes(10));
+  EXPECT_EQ(world.tracker().member_count(1), 0u);
+}
+
+TEST(TrackerTest, RefreshKeepsEntryAlive) {
+  MiniWorld world;
+  RecordingClient a(world, net::IspCategory::kTele);
+  for (int i = 0; i < 10; ++i) {
+    world.simulator().schedule(sim::Time::minutes(i), [&] { a.query(1); });
+  }
+  world.simulator().run_until(sim::Time::minutes(9));
+  EXPECT_GE(world.tracker().member_count(1), 1u);
+}
+
+TEST(TrackerTest, ReplyCapped) {
+  TrackerServer::Config cfg;
+  cfg.max_reply_peers = 5;
+  MiniWorld world;
+  // Build a dedicated capped tracker.
+  auto identity = world.identity(net::IspCategory::kCnc);
+  TrackerServer capped(world.simulator(), world.network(), identity,
+                       sim::Rng(9), cfg);
+  std::vector<RecordingClient> clients;
+  clients.reserve(10);
+  for (int i = 0; i < 10; ++i)
+    clients.emplace_back(world, net::IspCategory::kTele);
+  // Announce all ten to the capped tracker.
+  for (auto& c : clients) {
+    Message m{TrackerQuery{1}};
+    world.network().send(c.ip(), capped.ip(), m, wire_size(m));
+  }
+  world.simulator().run_until(sim::Time::seconds(2));
+  RecordingClient probe(world, net::IspCategory::kTele);
+  Message m{TrackerQuery{1}};
+  world.network().send(probe.ip(), capped.ip(), m, wire_size(m));
+  world.simulator().run_until(sim::Time::seconds(4));
+  ASSERT_EQ(probe.replies().size(), 1u);
+  EXPECT_EQ(probe.replies()[0].peers.size(), 5u);
+}
+
+TEST(TrackerTest, LocalityAwareTrackerPrefersSameIsp) {
+  MiniWorld world;
+  net::IspRegistry registry = net::IspRegistry::standard_topology();
+  net::AsnDatabase db = net::AsnDatabase::from_registry(registry);
+  TrackerServer::Config cfg;
+  cfg.locality_db = &db;
+  cfg.max_reply_peers = 3;
+  auto identity = world.identity(net::IspCategory::kCnc);
+  TrackerServer aware(world.simulator(), world.network(), identity,
+                      sim::Rng(3), cfg);
+
+  // Register 4 TELE members and 4 CNC members.
+  std::vector<RecordingClient> clients;
+  clients.reserve(8);
+  for (int i = 0; i < 4; ++i)
+    clients.emplace_back(world, net::IspCategory::kTele);
+  for (int i = 0; i < 4; ++i)
+    clients.emplace_back(world, net::IspCategory::kCnc);
+  for (auto& c : clients) {
+    Message m{TrackerQuery{1}};
+    world.network().send(c.ip(), aware.ip(), m, wire_size(m));
+  }
+  world.simulator().run_until(sim::Time::seconds(2));
+
+  // A fresh CNC requester must be offered CNC members only (4 available,
+  // reply capped at 3).
+  RecordingClient probe(world, net::IspCategory::kCnc);
+  Message m{TrackerQuery{1}};
+  world.network().send(probe.ip(), aware.ip(), m, wire_size(m));
+  world.simulator().run_until(sim::Time::seconds(4));
+  ASSERT_EQ(probe.replies().size(), 1u);
+  ASSERT_EQ(probe.replies()[0].peers.size(), 3u);
+  for (const auto& ip : probe.replies()[0].peers) {
+    EXPECT_EQ(db.category_or_foreign(ip), net::IspCategory::kCnc)
+        << ip.to_string();
+  }
+}
+
+TEST(TrackerTest, LocalityAwareTrackerFillsWithOthers) {
+  MiniWorld world;
+  net::IspRegistry registry = net::IspRegistry::standard_topology();
+  net::AsnDatabase db = net::AsnDatabase::from_registry(registry);
+  TrackerServer::Config cfg;
+  cfg.locality_db = &db;
+  cfg.max_reply_peers = 5;
+  auto identity = world.identity(net::IspCategory::kCnc);
+  TrackerServer aware(world.simulator(), world.network(), identity,
+                      sim::Rng(3), cfg);
+  std::vector<RecordingClient> clients;
+  clients.reserve(3);
+  clients.emplace_back(world, net::IspCategory::kCnc);
+  clients.emplace_back(world, net::IspCategory::kTele);
+  clients.emplace_back(world, net::IspCategory::kTele);
+  for (auto& c : clients) {
+    Message m{TrackerQuery{1}};
+    world.network().send(c.ip(), aware.ip(), m, wire_size(m));
+  }
+  world.simulator().run_until(sim::Time::seconds(2));
+  RecordingClient probe(world, net::IspCategory::kCnc);
+  Message m{TrackerQuery{1}};
+  world.network().send(probe.ip(), aware.ip(), m, wire_size(m));
+  world.simulator().run_until(sim::Time::seconds(4));
+  ASSERT_EQ(probe.replies().size(), 1u);
+  // Only one CNC member exists; the reply tops up with TELE members.
+  EXPECT_EQ(probe.replies()[0].peers.size(), 3u);
+  EXPECT_EQ(db.category_or_foreign(probe.replies()[0].peers[0]),
+            net::IspCategory::kCnc);
+}
+
+TEST(TrackerTest, IgnoresNonTrackerMessages) {
+  MiniWorld world;
+  RecordingClient a(world, net::IspCategory::kTele);
+  world.simulator().run_until(sim::Time::seconds(1));
+  const auto before = world.tracker().queries_served();  // source refreshes
+  Message m{DataQuery{1, 5}};
+  world.network().send(a.ip(), world.tracker().ip(), m, wire_size(m));
+  world.simulator().run_until(sim::Time::seconds(2));
+  EXPECT_EQ(world.tracker().queries_served(), before);
+  EXPECT_TRUE(a.replies().empty());
+}
+
+}  // namespace
+}  // namespace ppsim::proto

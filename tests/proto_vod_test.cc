@@ -1,0 +1,88 @@
+// Tests for on-demand (VoD) streaming mode: the program exists up front,
+// viewers start at chunk 1, and staggered viewers can serve each other's
+// earlier positions.
+
+#include <gtest/gtest.h>
+
+#include "proto_testutil.h"
+
+namespace ppsim::proto {
+namespace {
+
+using testing::MiniWorld;
+
+ChannelSpec vod_channel(ChunkSeq chunks = 600) {
+  ChannelSpec spec{5, "vod-test", 400e3, 1380, 4};
+  spec.mode = StreamMode::kVod;
+  spec.vod_chunks = chunks;
+  return spec;
+}
+
+TEST(VodTest, SourcePreProducesWholeProgram) {
+  MiniWorld world(1, vod_channel(500));
+  world.simulator().run_until(sim::Time::seconds(1));
+  EXPECT_EQ(world.source().chunks_produced(), 500u);
+  EXPECT_EQ(world.source().live_edge(), 500u);
+  // Nothing more appears over time.
+  world.simulator().run_until(sim::Time::minutes(2));
+  EXPECT_EQ(world.source().chunks_produced(), 500u);
+}
+
+TEST(VodTest, ViewerStartsAtChunkOne) {
+  MiniWorld world(2, vod_channel());
+  PeerConfig config;
+  config.chunk_retention = 4096;  // keep the whole program
+  Peer& viewer = world.add_peer(net::IspCategory::kTele, config);
+  viewer.join();
+  world.simulator().run_until(sim::Time::minutes(1));
+  ASSERT_TRUE(viewer.playback_started());
+  // Playback began at the start of the program, not at a live edge.
+  EXPECT_TRUE(viewer.store().has(1));
+  EXPECT_GT(viewer.counters().chunks_played, 0u);
+  EXPECT_GT(viewer.counters().continuity(), 0.9);
+}
+
+TEST(VodTest, PlaybackStopsAtProgramEnd) {
+  // A short program: the viewer finishes it and stops counting.
+  MiniWorld world(3, vod_channel(120));  // ~13 seconds of content
+  PeerConfig config;
+  config.chunk_retention = 4096;
+  Peer& viewer = world.add_peer(net::IspCategory::kTele, config);
+  viewer.join();
+  world.simulator().run_until(sim::Time::minutes(3));
+  EXPECT_LE(viewer.counters().chunks_played + viewer.counters().chunks_missed,
+            120u);
+  EXPECT_GT(viewer.counters().chunks_played, 100u);
+  const auto played = viewer.counters().chunks_played;
+  world.simulator().run_until(sim::Time::minutes(5));
+  EXPECT_EQ(viewer.counters().chunks_played, played) << "kept playing past end";
+}
+
+TEST(VodTest, StaggeredViewersShareContent) {
+  MiniWorld world(4, vod_channel());
+  PeerConfig config;
+  config.chunk_retention = 4096;
+  Peer& early = world.add_peer(net::IspCategory::kTele, config);
+  Peer& late = world.add_peer(net::IspCategory::kTele, config);
+  early.join();
+  world.simulator().schedule(sim::Time::minutes(1), [&] { late.join(); });
+  world.simulator().run_until(sim::Time::minutes(4));
+  ASSERT_TRUE(late.playback_started());
+  EXPECT_GT(late.counters().continuity(), 0.85);
+  // The early viewer (holding the whole prefix) serves the late one.
+  EXPECT_GT(early.counters().data_requests_served, 0u);
+}
+
+TEST(VodTest, LiveModeUnaffected) {
+  // Regression guard: the default channel stays live and edge-chasing.
+  MiniWorld world;
+  Peer& viewer = world.add_peer(net::IspCategory::kTele);
+  viewer.join();
+  world.simulator().run_until(sim::Time::minutes(2));
+  ASSERT_TRUE(viewer.playback_started());
+  // A live viewer's playback point is near the edge, far from chunk 1.
+  EXPECT_GT(viewer.playback_position(), 100u);
+}
+
+}  // namespace
+}  // namespace ppsim::proto

@@ -1,0 +1,172 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/time.h"
+
+namespace ppsim::sim {
+namespace {
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator simulator;
+  std::vector<int> order;
+  simulator.schedule(Time::seconds(3), [&] { order.push_back(3); });
+  simulator.schedule(Time::seconds(1), [&] { order.push_back(1); });
+  simulator.schedule(Time::seconds(2), [&] { order.push_back(2); });
+  simulator.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, SameTimeEventsFifo) {
+  Simulator simulator;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    simulator.schedule(Time::seconds(1), [&order, i] { order.push_back(i); });
+  simulator.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SimulatorTest, NowAdvancesToEventTime) {
+  Simulator simulator;
+  Time seen;
+  simulator.schedule(Time::millis(1500), [&] { seen = simulator.now(); });
+  simulator.run();
+  EXPECT_EQ(seen, Time::millis(1500));
+}
+
+TEST(SimulatorTest, NegativeDelayClampsToNow) {
+  Simulator simulator;
+  bool ran = false;
+  simulator.schedule(Time::seconds(1), [&] {
+    simulator.schedule(Time::seconds(-5), [&] {
+      ran = true;
+      EXPECT_EQ(simulator.now(), Time::seconds(1));
+    });
+  });
+  simulator.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtHorizonInclusive) {
+  Simulator simulator;
+  int count = 0;
+  simulator.schedule(Time::seconds(1), [&] { ++count; });
+  simulator.schedule(Time::seconds(2), [&] { ++count; });
+  simulator.schedule(Time::seconds(3), [&] { ++count; });
+  simulator.run_until(Time::seconds(2));
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(simulator.pending_events(), 1u);
+  simulator.run_until(Time::seconds(10));
+  EXPECT_EQ(count, 3);
+}
+
+TEST(SimulatorTest, ClockAdvancesToHorizonWhenIdle) {
+  Simulator simulator;
+  simulator.run_until(Time::seconds(42));
+  EXPECT_EQ(simulator.now(), Time::seconds(42));
+}
+
+TEST(SimulatorTest, EventsCanScheduleEvents) {
+  Simulator simulator;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) simulator.schedule(Time::millis(10), recurse);
+  };
+  simulator.schedule(Time::millis(10), recurse);
+  simulator.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(simulator.now(), Time::millis(50));
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator simulator;
+  bool ran = false;
+  auto h = simulator.schedule(Time::seconds(1), [&] { ran = true; });
+  EXPECT_TRUE(simulator.cancel(h));
+  simulator.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimulatorTest, CancelTwiceReturnsFalse) {
+  Simulator simulator;
+  auto h = simulator.schedule(Time::seconds(1), [] {});
+  EXPECT_TRUE(simulator.cancel(h));
+  EXPECT_FALSE(simulator.cancel(h));
+}
+
+TEST(SimulatorTest, CancelInvalidHandle) {
+  Simulator simulator;
+  TimerHandle h;
+  EXPECT_FALSE(simulator.cancel(h));
+}
+
+TEST(SimulatorTest, CancelledEventsNotCounted) {
+  Simulator simulator;
+  auto h = simulator.schedule(Time::seconds(1), [] {});
+  simulator.schedule(Time::seconds(2), [] {});
+  simulator.cancel(h);
+  EXPECT_EQ(simulator.run(), 1u);
+  EXPECT_EQ(simulator.events_executed(), 1u);
+}
+
+TEST(SimulatorTest, RequestStopHaltsLoop) {
+  Simulator simulator;
+  int count = 0;
+  simulator.schedule(Time::seconds(1), [&] {
+    ++count;
+    simulator.request_stop();
+  });
+  simulator.schedule(Time::seconds(2), [&] { ++count; });
+  simulator.run();
+  EXPECT_EQ(count, 1);
+  // Stop only interrupts the current loop; a new run resumes.
+  simulator.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SimulatorTest, PeriodicUntilFalse) {
+  Simulator simulator;
+  int ticks = 0;
+  schedule_periodic(simulator, Time::seconds(10), [&] {
+    ++ticks;
+    return ticks < 4;
+  });
+  simulator.run();
+  EXPECT_EQ(ticks, 4);
+  EXPECT_EQ(simulator.now(), Time::seconds(40));
+}
+
+TEST(SimulatorTest, ScheduleAtPastClampsToNow) {
+  Simulator simulator;
+  bool ran = false;
+  simulator.schedule(Time::seconds(5), [&] {
+    simulator.schedule_at(Time::seconds(1), [&] {
+      ran = true;
+      EXPECT_EQ(simulator.now(), Time::seconds(5));
+    });
+  });
+  simulator.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(SimulatorTest, ManyEventsStressOrdering) {
+  Simulator simulator;
+  Time last = Time::zero();
+  bool monotonic = true;
+  for (int i = 0; i < 10000; ++i) {
+    // Pseudo-scattered times.
+    const Time when = Time::micros((i * 7919) % 100000);
+    simulator.schedule_at(when, [&, when] {
+      if (simulator.now() < last) monotonic = false;
+      last = simulator.now();
+    });
+  }
+  simulator.run();
+  EXPECT_TRUE(monotonic);
+  EXPECT_EQ(simulator.events_executed(), 10000u);
+}
+
+}  // namespace
+}  // namespace ppsim::sim

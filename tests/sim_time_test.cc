@@ -1,0 +1,75 @@
+#include "sim/time.h"
+
+#include <gtest/gtest.h>
+
+namespace ppsim::sim {
+namespace {
+
+TEST(TimeTest, DefaultIsZero) {
+  Time t;
+  EXPECT_EQ(t.as_micros(), 0);
+  EXPECT_TRUE(t.is_zero());
+  EXPECT_FALSE(t.is_negative());
+  EXPECT_EQ(t, Time::zero());
+}
+
+TEST(TimeTest, FactoryUnits) {
+  EXPECT_EQ(Time::micros(5).as_micros(), 5);
+  EXPECT_EQ(Time::millis(5).as_micros(), 5'000);
+  EXPECT_EQ(Time::seconds(5).as_micros(), 5'000'000);
+  EXPECT_EQ(Time::minutes(2).as_micros(), 120'000'000);
+  EXPECT_EQ(Time::hours(1).as_micros(), 3'600'000'000LL);
+}
+
+TEST(TimeTest, FromSecondsRounding) {
+  EXPECT_EQ(Time::from_seconds(1.5).as_micros(), 1'500'000);
+  EXPECT_EQ(Time::from_seconds(0.0000005).as_micros(), 0);
+  EXPECT_EQ(Time::from_seconds(-2.25).as_micros(), -2'250'000);
+}
+
+TEST(TimeTest, ConversionAccessors) {
+  Time t = Time::millis(1500);
+  EXPECT_DOUBLE_EQ(t.as_millis(), 1500.0);
+  EXPECT_DOUBLE_EQ(t.as_seconds(), 1.5);
+}
+
+TEST(TimeTest, Arithmetic) {
+  Time a = Time::seconds(3);
+  Time b = Time::seconds(1);
+  EXPECT_EQ((a + b).as_seconds(), 4);
+  EXPECT_EQ((a - b).as_seconds(), 2);
+  EXPECT_EQ((a * 3).as_seconds(), 9);
+  EXPECT_EQ((a / 3).as_seconds(), 1);
+  a += b;
+  EXPECT_EQ(a, Time::seconds(4));
+  a -= Time::seconds(2);
+  EXPECT_EQ(a, Time::seconds(2));
+}
+
+TEST(TimeTest, NegativeDurations) {
+  Time d = Time::seconds(1) - Time::seconds(3);
+  EXPECT_TRUE(d.is_negative());
+  EXPECT_EQ(d.as_micros(), -2'000'000);
+}
+
+TEST(TimeTest, Comparisons) {
+  EXPECT_LT(Time::millis(1), Time::millis(2));
+  EXPECT_GT(Time::seconds(1), Time::millis(999));
+  EXPECT_LE(Time::zero(), Time::zero());
+  EXPECT_NE(Time::micros(1), Time::micros(2));
+}
+
+TEST(TimeTest, ScaleByFactor) {
+  EXPECT_EQ(scale(Time::seconds(2), 1.5), Time::seconds(3));
+  EXPECT_EQ(scale(Time::millis(10), 0.5), Time::millis(5));
+  EXPECT_EQ(scale(Time::zero(), 100.0), Time::zero());
+}
+
+TEST(TimeTest, ToStringPicksUnit) {
+  EXPECT_EQ(Time::seconds(3).to_string(), "3s");
+  EXPECT_EQ(Time::millis(250).to_string(), "250ms");
+  EXPECT_EQ(Time::micros(42).to_string(), "42us");
+}
+
+}  // namespace
+}  // namespace ppsim::sim

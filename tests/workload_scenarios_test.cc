@@ -1,0 +1,41 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/scenario.h"
+
+namespace ppsim::workload {
+namespace {
+
+TEST(ExtraScenariosTest, BroadcastEventShape) {
+  ScenarioSpec s = broadcast_event();
+  EXPECT_EQ(s.curve, AudienceCurve::kBroadcastEvent);
+  EXPECT_GT(s.viewers, 200);
+  EXPECT_NE(s.channel.id, popular_channel().channel.id);
+}
+
+TEST(ExtraScenariosTest, OvernightShape) {
+  ScenarioSpec s = overnight_channel();
+  EXPECT_LT(s.viewers, 50);
+  EXPECT_LT(s.mean_session, unpopular_channel().mean_session);
+  EXPECT_EQ(s.curve, AudienceCurve::kStationary);
+}
+
+TEST(ExtraScenariosTest, AllChannelIdsDistinct) {
+  std::set<proto::ChannelId> ids = {
+      popular_channel().channel.id, unpopular_channel().channel.id,
+      broadcast_event().channel.id, overnight_channel().channel.id};
+  EXPECT_EQ(ids.size(), 4u);
+}
+
+TEST(NatProbabilityTest, ResidentialHigherThanInfrastructure) {
+  EXPECT_GT(nat_probability(net::AccessClass::kAdsl), 0.5);
+  EXPECT_GT(nat_probability(net::AccessClass::kCable), 0.5);
+  EXPECT_LT(nat_probability(net::AccessClass::kCampus), 0.3);
+  EXPECT_LT(nat_probability(net::AccessClass::kFiber),
+            nat_probability(net::AccessClass::kAdsl));
+  EXPECT_DOUBLE_EQ(nat_probability(net::AccessClass::kDatacenter), 0.0);
+}
+
+}  // namespace
+}  // namespace ppsim::workload

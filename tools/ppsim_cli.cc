@@ -1,0 +1,19 @@
+// The ppsim command-line driver: run a traffic-locality experiment from a
+// shell, pick probe sites/strategy/scale, print any of the paper's report
+// sections, and optionally archive the probes' packet captures.
+//
+//   ppsim --channel popular --probe tele --probe mason --report all
+//   ppsim --strategy tracker-only --report swarm
+//   ppsim --dump-trace /tmp/run1 --report data
+
+#include "core/cli.h"
+
+int main(int argc, char** argv) {
+  auto parsed = ppsim::core::parse_cli(argc, argv);
+  if (parsed.error) {
+    std::fprintf(stderr, "error: %s\n%s", parsed.error->c_str(),
+                 ppsim::core::cli_usage().c_str());
+    return 2;
+  }
+  return ppsim::core::run_cli(parsed.options);
+}
