@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_interconnect"
+  "../bench/bench_ablation_interconnect.pdb"
+  "CMakeFiles/bench_ablation_interconnect.dir/bench_ablation_interconnect.cc.o"
+  "CMakeFiles/bench_ablation_interconnect.dir/bench_ablation_interconnect.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_interconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

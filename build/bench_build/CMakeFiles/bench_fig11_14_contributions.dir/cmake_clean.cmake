@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_14_contributions"
+  "../bench/bench_fig11_14_contributions.pdb"
+  "CMakeFiles/bench_fig11_14_contributions.dir/bench_fig11_14_contributions.cc.o"
+  "CMakeFiles/bench_fig11_14_contributions.dir/bench_fig11_14_contributions.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_14_contributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_tele_unpopular"
+  "../bench/bench_fig3_tele_unpopular.pdb"
+  "CMakeFiles/bench_fig3_tele_unpopular.dir/bench_fig3_tele_unpopular.cc.o"
+  "CMakeFiles/bench_fig3_tele_unpopular.dir/bench_fig3_tele_unpopular.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_tele_unpopular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

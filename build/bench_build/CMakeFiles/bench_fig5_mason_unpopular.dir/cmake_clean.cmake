@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_mason_unpopular"
+  "../bench/bench_fig5_mason_unpopular.pdb"
+  "CMakeFiles/bench_fig5_mason_unpopular.dir/bench_fig5_mason_unpopular.cc.o"
+  "CMakeFiles/bench_fig5_mason_unpopular.dir/bench_fig5_mason_unpopular.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_mason_unpopular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

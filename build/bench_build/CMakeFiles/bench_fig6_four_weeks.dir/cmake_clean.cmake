@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_four_weeks"
+  "../bench/bench_fig6_four_weeks.pdb"
+  "CMakeFiles/bench_fig6_four_weeks.dir/bench_fig6_four_weeks.cc.o"
+  "CMakeFiles/bench_fig6_four_weeks.dir/bench_fig6_four_weeks.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_four_weeks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_data_response"
+  "../bench/bench_table1_data_response.pdb"
+  "CMakeFiles/bench_table1_data_response.dir/bench_table1_data_response.cc.o"
+  "CMakeFiles/bench_table1_data_response.dir/bench_table1_data_response.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_data_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

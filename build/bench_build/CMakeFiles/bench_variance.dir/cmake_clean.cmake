@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_variance"
+  "../bench/bench_variance.pdb"
+  "CMakeFiles/bench_variance.dir/bench_variance.cc.o"
+  "CMakeFiles/bench_variance.dir/bench_variance.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

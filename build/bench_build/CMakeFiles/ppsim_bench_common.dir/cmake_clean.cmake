@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppsim_bench_common.dir/figures_common.cc.o"
+  "CMakeFiles/ppsim_bench_common.dir/figures_common.cc.o.d"
+  "libppsim_bench_common.a"
+  "libppsim_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppsim_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

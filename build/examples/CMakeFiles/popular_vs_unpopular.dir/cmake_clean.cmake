@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/popular_vs_unpopular.dir/popular_vs_unpopular.cpp.o"
+  "CMakeFiles/popular_vs_unpopular.dir/popular_vs_unpopular.cpp.o.d"
+  "popular_vs_unpopular"
+  "popular_vs_unpopular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/popular_vs_unpopular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vod_playback.dir/vod_playback.cpp.o"
+  "CMakeFiles/vod_playback.dir/vod_playback.cpp.o.d"
+  "vod_playback"
+  "vod_playback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vod_playback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/cdf.cc" "src/analysis/CMakeFiles/ppsim_analysis.dir/cdf.cc.o" "gcc" "src/analysis/CMakeFiles/ppsim_analysis.dir/cdf.cc.o.d"
+  "/root/repo/src/analysis/fit.cc" "src/analysis/CMakeFiles/ppsim_analysis.dir/fit.cc.o" "gcc" "src/analysis/CMakeFiles/ppsim_analysis.dir/fit.cc.o.d"
+  "/root/repo/src/analysis/goodness.cc" "src/analysis/CMakeFiles/ppsim_analysis.dir/goodness.cc.o" "gcc" "src/analysis/CMakeFiles/ppsim_analysis.dir/goodness.cc.o.d"
+  "/root/repo/src/analysis/stats.cc" "src/analysis/CMakeFiles/ppsim_analysis.dir/stats.cc.o" "gcc" "src/analysis/CMakeFiles/ppsim_analysis.dir/stats.cc.o.d"
+  "/root/repo/src/analysis/summary.cc" "src/analysis/CMakeFiles/ppsim_analysis.dir/summary.cc.o" "gcc" "src/analysis/CMakeFiles/ppsim_analysis.dir/summary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ppsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppsim_analysis.dir/cdf.cc.o"
+  "CMakeFiles/ppsim_analysis.dir/cdf.cc.o.d"
+  "CMakeFiles/ppsim_analysis.dir/fit.cc.o"
+  "CMakeFiles/ppsim_analysis.dir/fit.cc.o.d"
+  "CMakeFiles/ppsim_analysis.dir/goodness.cc.o"
+  "CMakeFiles/ppsim_analysis.dir/goodness.cc.o.d"
+  "CMakeFiles/ppsim_analysis.dir/stats.cc.o"
+  "CMakeFiles/ppsim_analysis.dir/stats.cc.o.d"
+  "CMakeFiles/ppsim_analysis.dir/summary.cc.o"
+  "CMakeFiles/ppsim_analysis.dir/summary.cc.o.d"
+  "libppsim_analysis.a"
+  "libppsim_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppsim_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

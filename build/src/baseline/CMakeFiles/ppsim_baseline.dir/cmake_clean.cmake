@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppsim_baseline.dir/policies.cc.o"
+  "CMakeFiles/ppsim_baseline.dir/policies.cc.o.d"
+  "libppsim_baseline.a"
+  "libppsim_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppsim_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/capture/analyzer.cc" "src/capture/CMakeFiles/ppsim_capture.dir/analyzer.cc.o" "gcc" "src/capture/CMakeFiles/ppsim_capture.dir/analyzer.cc.o.d"
+  "/root/repo/src/capture/trace.cc" "src/capture/CMakeFiles/ppsim_capture.dir/trace.cc.o" "gcc" "src/capture/CMakeFiles/ppsim_capture.dir/trace.cc.o.d"
+  "/root/repo/src/capture/trace_io.cc" "src/capture/CMakeFiles/ppsim_capture.dir/trace_io.cc.o" "gcc" "src/capture/CMakeFiles/ppsim_capture.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/proto/CMakeFiles/ppsim_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ppsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ppsim_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ppsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppsim_capture.dir/analyzer.cc.o"
+  "CMakeFiles/ppsim_capture.dir/analyzer.cc.o.d"
+  "CMakeFiles/ppsim_capture.dir/trace.cc.o"
+  "CMakeFiles/ppsim_capture.dir/trace.cc.o.d"
+  "CMakeFiles/ppsim_capture.dir/trace_io.cc.o"
+  "CMakeFiles/ppsim_capture.dir/trace_io.cc.o.d"
+  "libppsim_capture.a"
+  "libppsim_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppsim_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

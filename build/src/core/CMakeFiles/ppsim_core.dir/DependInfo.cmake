@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cli.cc" "src/core/CMakeFiles/ppsim_core.dir/cli.cc.o" "gcc" "src/core/CMakeFiles/ppsim_core.dir/cli.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/core/CMakeFiles/ppsim_core.dir/experiment.cc.o" "gcc" "src/core/CMakeFiles/ppsim_core.dir/experiment.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/ppsim_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/ppsim_core.dir/report.cc.o.d"
+  "/root/repo/src/core/session_export.cc" "src/core/CMakeFiles/ppsim_core.dir/session_export.cc.o" "gcc" "src/core/CMakeFiles/ppsim_core.dir/session_export.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/ppsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/capture/CMakeFiles/ppsim_capture.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/ppsim_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/ppsim_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ppsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ppsim_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ppsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppsim_core.dir/cli.cc.o"
+  "CMakeFiles/ppsim_core.dir/cli.cc.o.d"
+  "CMakeFiles/ppsim_core.dir/experiment.cc.o"
+  "CMakeFiles/ppsim_core.dir/experiment.cc.o.d"
+  "CMakeFiles/ppsim_core.dir/report.cc.o"
+  "CMakeFiles/ppsim_core.dir/report.cc.o.d"
+  "CMakeFiles/ppsim_core.dir/session_export.cc.o"
+  "CMakeFiles/ppsim_core.dir/session_export.cc.o.d"
+  "libppsim_core.a"
+  "libppsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/asn_db.cc" "src/net/CMakeFiles/ppsim_net.dir/asn_db.cc.o" "gcc" "src/net/CMakeFiles/ppsim_net.dir/asn_db.cc.o.d"
+  "/root/repo/src/net/bandwidth.cc" "src/net/CMakeFiles/ppsim_net.dir/bandwidth.cc.o" "gcc" "src/net/CMakeFiles/ppsim_net.dir/bandwidth.cc.o.d"
+  "/root/repo/src/net/interconnect.cc" "src/net/CMakeFiles/ppsim_net.dir/interconnect.cc.o" "gcc" "src/net/CMakeFiles/ppsim_net.dir/interconnect.cc.o.d"
+  "/root/repo/src/net/ip.cc" "src/net/CMakeFiles/ppsim_net.dir/ip.cc.o" "gcc" "src/net/CMakeFiles/ppsim_net.dir/ip.cc.o.d"
+  "/root/repo/src/net/isp.cc" "src/net/CMakeFiles/ppsim_net.dir/isp.cc.o" "gcc" "src/net/CMakeFiles/ppsim_net.dir/isp.cc.o.d"
+  "/root/repo/src/net/latency.cc" "src/net/CMakeFiles/ppsim_net.dir/latency.cc.o" "gcc" "src/net/CMakeFiles/ppsim_net.dir/latency.cc.o.d"
+  "/root/repo/src/net/prefix_alloc.cc" "src/net/CMakeFiles/ppsim_net.dir/prefix_alloc.cc.o" "gcc" "src/net/CMakeFiles/ppsim_net.dir/prefix_alloc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ppsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

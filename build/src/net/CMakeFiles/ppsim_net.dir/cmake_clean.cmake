@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppsim_net.dir/asn_db.cc.o"
+  "CMakeFiles/ppsim_net.dir/asn_db.cc.o.d"
+  "CMakeFiles/ppsim_net.dir/bandwidth.cc.o"
+  "CMakeFiles/ppsim_net.dir/bandwidth.cc.o.d"
+  "CMakeFiles/ppsim_net.dir/interconnect.cc.o"
+  "CMakeFiles/ppsim_net.dir/interconnect.cc.o.d"
+  "CMakeFiles/ppsim_net.dir/ip.cc.o"
+  "CMakeFiles/ppsim_net.dir/ip.cc.o.d"
+  "CMakeFiles/ppsim_net.dir/isp.cc.o"
+  "CMakeFiles/ppsim_net.dir/isp.cc.o.d"
+  "CMakeFiles/ppsim_net.dir/latency.cc.o"
+  "CMakeFiles/ppsim_net.dir/latency.cc.o.d"
+  "CMakeFiles/ppsim_net.dir/prefix_alloc.cc.o"
+  "CMakeFiles/ppsim_net.dir/prefix_alloc.cc.o.d"
+  "libppsim_net.a"
+  "libppsim_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppsim_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/bootstrap.cc" "src/proto/CMakeFiles/ppsim_proto.dir/bootstrap.cc.o" "gcc" "src/proto/CMakeFiles/ppsim_proto.dir/bootstrap.cc.o.d"
+  "/root/repo/src/proto/chunk_store.cc" "src/proto/CMakeFiles/ppsim_proto.dir/chunk_store.cc.o" "gcc" "src/proto/CMakeFiles/ppsim_proto.dir/chunk_store.cc.o.d"
+  "/root/repo/src/proto/message.cc" "src/proto/CMakeFiles/ppsim_proto.dir/message.cc.o" "gcc" "src/proto/CMakeFiles/ppsim_proto.dir/message.cc.o.d"
+  "/root/repo/src/proto/peer.cc" "src/proto/CMakeFiles/ppsim_proto.dir/peer.cc.o" "gcc" "src/proto/CMakeFiles/ppsim_proto.dir/peer.cc.o.d"
+  "/root/repo/src/proto/selection.cc" "src/proto/CMakeFiles/ppsim_proto.dir/selection.cc.o" "gcc" "src/proto/CMakeFiles/ppsim_proto.dir/selection.cc.o.d"
+  "/root/repo/src/proto/source.cc" "src/proto/CMakeFiles/ppsim_proto.dir/source.cc.o" "gcc" "src/proto/CMakeFiles/ppsim_proto.dir/source.cc.o.d"
+  "/root/repo/src/proto/tracker.cc" "src/proto/CMakeFiles/ppsim_proto.dir/tracker.cc.o" "gcc" "src/proto/CMakeFiles/ppsim_proto.dir/tracker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/ppsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ppsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppsim_proto.dir/bootstrap.cc.o"
+  "CMakeFiles/ppsim_proto.dir/bootstrap.cc.o.d"
+  "CMakeFiles/ppsim_proto.dir/chunk_store.cc.o"
+  "CMakeFiles/ppsim_proto.dir/chunk_store.cc.o.d"
+  "CMakeFiles/ppsim_proto.dir/message.cc.o"
+  "CMakeFiles/ppsim_proto.dir/message.cc.o.d"
+  "CMakeFiles/ppsim_proto.dir/peer.cc.o"
+  "CMakeFiles/ppsim_proto.dir/peer.cc.o.d"
+  "CMakeFiles/ppsim_proto.dir/selection.cc.o"
+  "CMakeFiles/ppsim_proto.dir/selection.cc.o.d"
+  "CMakeFiles/ppsim_proto.dir/source.cc.o"
+  "CMakeFiles/ppsim_proto.dir/source.cc.o.d"
+  "CMakeFiles/ppsim_proto.dir/tracker.cc.o"
+  "CMakeFiles/ppsim_proto.dir/tracker.cc.o.d"
+  "libppsim_proto.a"
+  "libppsim_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppsim_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

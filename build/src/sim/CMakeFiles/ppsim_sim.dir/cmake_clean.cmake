@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppsim_sim.dir/rng.cc.o"
+  "CMakeFiles/ppsim_sim.dir/rng.cc.o.d"
+  "CMakeFiles/ppsim_sim.dir/simulator.cc.o"
+  "CMakeFiles/ppsim_sim.dir/simulator.cc.o.d"
+  "libppsim_sim.a"
+  "libppsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

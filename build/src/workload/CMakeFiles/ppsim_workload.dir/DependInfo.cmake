@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/campaign.cc" "src/workload/CMakeFiles/ppsim_workload.dir/campaign.cc.o" "gcc" "src/workload/CMakeFiles/ppsim_workload.dir/campaign.cc.o.d"
+  "/root/repo/src/workload/scenario.cc" "src/workload/CMakeFiles/ppsim_workload.dir/scenario.cc.o" "gcc" "src/workload/CMakeFiles/ppsim_workload.dir/scenario.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/proto/CMakeFiles/ppsim_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ppsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ppsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppsim_workload.dir/campaign.cc.o"
+  "CMakeFiles/ppsim_workload.dir/campaign.cc.o.d"
+  "CMakeFiles/ppsim_workload.dir/scenario.cc.o"
+  "CMakeFiles/ppsim_workload.dir/scenario.cc.o.d"
+  "libppsim_workload.a"
+  "libppsim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppsim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

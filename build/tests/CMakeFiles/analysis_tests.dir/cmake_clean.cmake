@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_tests.dir/analysis_cdf_test.cc.o"
+  "CMakeFiles/analysis_tests.dir/analysis_cdf_test.cc.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis_fit_test.cc.o"
+  "CMakeFiles/analysis_tests.dir/analysis_fit_test.cc.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis_goodness_test.cc.o"
+  "CMakeFiles/analysis_tests.dir/analysis_goodness_test.cc.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis_stats_test.cc.o"
+  "CMakeFiles/analysis_tests.dir/analysis_stats_test.cc.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis_summary_test.cc.o"
+  "CMakeFiles/analysis_tests.dir/analysis_summary_test.cc.o.d"
+  "analysis_tests"
+  "analysis_tests.pdb"
+  "analysis_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

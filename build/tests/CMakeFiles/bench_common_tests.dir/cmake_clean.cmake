@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_common_tests.dir/__/bench/figures_common.cc.o"
+  "CMakeFiles/bench_common_tests.dir/__/bench/figures_common.cc.o.d"
+  "CMakeFiles/bench_common_tests.dir/bench_common_test.cc.o"
+  "CMakeFiles/bench_common_tests.dir/bench_common_test.cc.o.d"
+  "bench_common_tests"
+  "bench_common_tests.pdb"
+  "bench_common_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_common_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capture_tests.dir/capture_analyzer_test.cc.o"
+  "CMakeFiles/capture_tests.dir/capture_analyzer_test.cc.o.d"
+  "CMakeFiles/capture_tests.dir/capture_merge_test.cc.o"
+  "CMakeFiles/capture_tests.dir/capture_merge_test.cc.o.d"
+  "CMakeFiles/capture_tests.dir/capture_sniffer_test.cc.o"
+  "CMakeFiles/capture_tests.dir/capture_sniffer_test.cc.o.d"
+  "CMakeFiles/capture_tests.dir/capture_timeseries_test.cc.o"
+  "CMakeFiles/capture_tests.dir/capture_timeseries_test.cc.o.d"
+  "CMakeFiles/capture_tests.dir/capture_trace_io_test.cc.o"
+  "CMakeFiles/capture_tests.dir/capture_trace_io_test.cc.o.d"
+  "capture_tests"
+  "capture_tests.pdb"
+  "capture_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capture_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

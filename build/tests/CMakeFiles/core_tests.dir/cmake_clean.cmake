@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core_broadcast_test.cc.o"
+  "CMakeFiles/core_tests.dir/core_broadcast_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core_cli_test.cc.o"
+  "CMakeFiles/core_tests.dir/core_cli_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core_config_paths_test.cc.o"
+  "CMakeFiles/core_tests.dir/core_config_paths_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core_emergence_test.cc.o"
+  "CMakeFiles/core_tests.dir/core_emergence_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core_experiment_test.cc.o"
+  "CMakeFiles/core_tests.dir/core_experiment_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core_multichannel_test.cc.o"
+  "CMakeFiles/core_tests.dir/core_multichannel_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core_report_test.cc.o"
+  "CMakeFiles/core_tests.dir/core_report_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core_run_cli_test.cc.o"
+  "CMakeFiles/core_tests.dir/core_run_cli_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core_session_export_test.cc.o"
+  "CMakeFiles/core_tests.dir/core_session_export_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core_sessions_test.cc.o"
+  "CMakeFiles/core_tests.dir/core_sessions_test.cc.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

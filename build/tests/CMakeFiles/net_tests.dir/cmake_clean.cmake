@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_tests.dir/net_asn_db_test.cc.o"
+  "CMakeFiles/net_tests.dir/net_asn_db_test.cc.o.d"
+  "CMakeFiles/net_tests.dir/net_bandwidth_test.cc.o"
+  "CMakeFiles/net_tests.dir/net_bandwidth_test.cc.o.d"
+  "CMakeFiles/net_tests.dir/net_interconnect_test.cc.o"
+  "CMakeFiles/net_tests.dir/net_interconnect_test.cc.o.d"
+  "CMakeFiles/net_tests.dir/net_ip_test.cc.o"
+  "CMakeFiles/net_tests.dir/net_ip_test.cc.o.d"
+  "CMakeFiles/net_tests.dir/net_isp_test.cc.o"
+  "CMakeFiles/net_tests.dir/net_isp_test.cc.o.d"
+  "CMakeFiles/net_tests.dir/net_latency_test.cc.o"
+  "CMakeFiles/net_tests.dir/net_latency_test.cc.o.d"
+  "CMakeFiles/net_tests.dir/net_prefix_alloc_test.cc.o"
+  "CMakeFiles/net_tests.dir/net_prefix_alloc_test.cc.o.d"
+  "CMakeFiles/net_tests.dir/net_transport_property_test.cc.o"
+  "CMakeFiles/net_tests.dir/net_transport_property_test.cc.o.d"
+  "CMakeFiles/net_tests.dir/net_transport_test.cc.o"
+  "CMakeFiles/net_tests.dir/net_transport_test.cc.o.d"
+  "net_tests"
+  "net_tests.pdb"
+  "net_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

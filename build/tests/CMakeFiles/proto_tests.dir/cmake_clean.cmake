@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proto_tests.dir/proto_bootstrap_source_test.cc.o"
+  "CMakeFiles/proto_tests.dir/proto_bootstrap_source_test.cc.o.d"
+  "CMakeFiles/proto_tests.dir/proto_chunk_store_property_test.cc.o"
+  "CMakeFiles/proto_tests.dir/proto_chunk_store_property_test.cc.o.d"
+  "CMakeFiles/proto_tests.dir/proto_chunk_store_test.cc.o"
+  "CMakeFiles/proto_tests.dir/proto_chunk_store_test.cc.o.d"
+  "CMakeFiles/proto_tests.dir/proto_failure_test.cc.o"
+  "CMakeFiles/proto_tests.dir/proto_failure_test.cc.o.d"
+  "CMakeFiles/proto_tests.dir/proto_invariants_test.cc.o"
+  "CMakeFiles/proto_tests.dir/proto_invariants_test.cc.o.d"
+  "CMakeFiles/proto_tests.dir/proto_mechanisms_test.cc.o"
+  "CMakeFiles/proto_tests.dir/proto_mechanisms_test.cc.o.d"
+  "CMakeFiles/proto_tests.dir/proto_message_test.cc.o"
+  "CMakeFiles/proto_tests.dir/proto_message_test.cc.o.d"
+  "CMakeFiles/proto_tests.dir/proto_peer_test.cc.o"
+  "CMakeFiles/proto_tests.dir/proto_peer_test.cc.o.d"
+  "CMakeFiles/proto_tests.dir/proto_snapshot_test.cc.o"
+  "CMakeFiles/proto_tests.dir/proto_snapshot_test.cc.o.d"
+  "CMakeFiles/proto_tests.dir/proto_tracker_test.cc.o"
+  "CMakeFiles/proto_tests.dir/proto_tracker_test.cc.o.d"
+  "CMakeFiles/proto_tests.dir/proto_vod_test.cc.o"
+  "CMakeFiles/proto_tests.dir/proto_vod_test.cc.o.d"
+  "proto_tests"
+  "proto_tests.pdb"
+  "proto_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proto_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppsim-analyze.dir/ppsim_analyze.cc.o"
+  "CMakeFiles/ppsim-analyze.dir/ppsim_analyze.cc.o.d"
+  "ppsim-analyze"
+  "ppsim-analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppsim-analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

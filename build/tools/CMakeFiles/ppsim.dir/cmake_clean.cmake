@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppsim.dir/ppsim_cli.cc.o"
+  "CMakeFiles/ppsim.dir/ppsim_cli.cc.o.d"
+  "ppsim"
+  "ppsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
