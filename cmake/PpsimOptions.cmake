@@ -1,0 +1,39 @@
+# Shared warning / sanitizer / hardening flags for every ppsim target.
+#
+# Every library, test, bench, tool, and example links `ppsim_options`
+# (PRIVATE), so one knob here reconfigures the whole tree:
+#
+#   PPSIM_WERROR=ON            -Werror (CI keeps the tree warning-clean)
+#   PPSIM_SANITIZE=address;undefined   ASan + UBSan
+#   PPSIM_SANITIZE=thread      TSan (for future parallel sweep backends)
+#
+# Use the presets in CMakePresets.json rather than spelling these by hand:
+#   cmake --preset asan-ubsan && cmake --build --preset asan-ubsan
+
+option(PPSIM_WERROR "Treat compiler warnings as errors" OFF)
+set(PPSIM_SANITIZE "" CACHE STRING
+    "Semicolon-separated sanitizer list: address;undefined, thread, or empty")
+
+add_library(ppsim_options INTERFACE)
+
+target_compile_options(ppsim_options INTERFACE -Wall -Wextra)
+
+if(PPSIM_WERROR)
+  target_compile_options(ppsim_options INTERFACE -Werror)
+endif()
+
+if(PPSIM_SANITIZE)
+  if("thread" IN_LIST PPSIM_SANITIZE AND "address" IN_LIST PPSIM_SANITIZE)
+    message(FATAL_ERROR "PPSIM_SANITIZE: 'thread' cannot be combined with "
+                        "'address' (TSan and ASan are mutually exclusive)")
+  endif()
+  string(REPLACE ";" "," _ppsim_sanitize_csv "${PPSIM_SANITIZE}")
+  target_compile_options(ppsim_options INTERFACE
+    -fsanitize=${_ppsim_sanitize_csv}
+    -fno-omit-frame-pointer
+    -fno-sanitize-recover=all
+    -g)
+  target_link_options(ppsim_options INTERFACE
+    -fsanitize=${_ppsim_sanitize_csv})
+  unset(_ppsim_sanitize_csv)
+endif()

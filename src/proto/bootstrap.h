@@ -1,6 +1,6 @@
 #pragma once
 
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "net/ip.h"
@@ -47,7 +47,8 @@ class BootstrapServer {
   PeerNetwork& network_;
   HostIdentity identity_;
   sim::Time processing_delay_;
-  std::unordered_map<ChannelId, ChannelEntry> channels_;
+  // Ordered so the channel list is served in a stable order.
+  std::map<ChannelId, ChannelEntry> channels_;
   std::uint64_t rotation_ = 0;
   std::uint64_t joins_served_ = 0;
 };

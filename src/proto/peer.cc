@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 
 namespace ppsim::proto {
 
@@ -130,8 +131,10 @@ void Peer::optimize_neighborhood() {
   if (policy_->latency_optimize()) {
     // Drop the slowest mature neighbor; its slot is refilled from referred
     // candidates on the next list arrival / top-up tick.
+    double best_rtt = std::numeric_limits<double>::infinity();
     double worst_latency = -1;
     for (const auto& [ip, nb] : neighbors_) {
+      best_rtt = std::min(best_rtt, nb.rtt_s);
       if (now - nb.connected_at < config_.optimize_grace) continue;
       if (nb.rtt_s > worst_latency) {
         worst_latency = nb.rtt_s;
@@ -139,6 +142,12 @@ void Peer::optimize_neighborhood() {
       }
     }
     if (worst_latency < 0) return;
+    // Churn damping: displacement is only worthwhile when the victim is
+    // actually distant relative to the best the neighborhood offers.
+    // Without this, a fully near/equal neighborhood rotates a member every
+    // round on estimate noise alone, and the victim choice degenerates to
+    // a tie-break on traversal order.
+    if (worst_latency <= std::max(1.5 * best_rtt, best_rtt + 0.03)) return;
   } else {
     // Distance-blind turnover (BitTorrent's optimistic-unchoke analog):
     // rotate a random mature neighbor.
@@ -445,6 +454,9 @@ void Peer::add_neighbor(net::IpAddress ip, double initial_latency_s,
   nb.connected_at = simulator_.now();
   nb.last_seen = simulator_.now();
   nb.rtt_s = std::max(initial_latency_s, 1e-3);
+  // A remembered measurement beats the blind handshake default.
+  if (auto cached = recent_rtt_.find(ip); cached != recent_rtt_.end())
+    nb.rtt_s = std::min(nb.rtt_s, std::max(cached->second, 1e-3));
   // Until measured, assume service latency tracks proximity.
   nb.service_s = nb.rtt_s + 0.05;
   nb.map = std::move(map);
@@ -455,9 +467,16 @@ void Peer::drop_neighbor(net::IpAddress ip, bool notify) {
   auto it = neighbors_.find(ip);
   if (it == neighbors_.end()) return;
   if (notify) send(ip, Message{Goodbye{channel_.id}});
+  recent_rtt_[ip] = it->second.rtt_s;
   neighbors_.erase(it);
   recent_neighbors_.push_front(ip);
-  while (recent_neighbors_.size() > 32) recent_neighbors_.pop_back();
+  while (recent_neighbors_.size() > 32) {
+    const net::IpAddress evicted = recent_neighbors_.back();
+    recent_neighbors_.pop_back();
+    if (std::find(recent_neighbors_.begin(), recent_neighbors_.end(),
+                  evicted) == recent_neighbors_.end())
+      recent_rtt_.erase(evicted);
+  }
   // Outstanding requests to a dropped neighbor will never be answered.
   pending_list_.erase(ip);
   std::erase_if(pending_data_, [ip](const auto& kv) {

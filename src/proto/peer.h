@@ -2,8 +2,8 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -168,14 +168,23 @@ class Peer {
   std::unordered_set<net::IpAddress> pool_set_;
   std::deque<net::IpAddress> pool_fifo_;
 
-  std::unordered_map<net::IpAddress, Neighbor> neighbors_;
-  std::unordered_map<net::IpAddress, sim::Time> pending_connects_;
-  std::unordered_map<ChunkSeq, PendingData> pending_data_;
+  // Ordered maps, not unordered: every traversal below feeds either message
+  // emission order or candidate/victim selection, and the simulator's
+  // determinism contract requires those to be independent of hash order
+  // (ppsim_lint enforces this; see tools/ppsim_lint.cc).
+  std::map<net::IpAddress, Neighbor> neighbors_;
+  std::map<net::IpAddress, sim::Time> pending_connects_;
+  std::map<ChunkSeq, PendingData> pending_data_;
   // Latest outstanding peer-list request per neighbor, for RTT sampling.
-  std::unordered_map<net::IpAddress, sim::Time> pending_list_;
+  std::map<net::IpAddress, sim::Time> pending_list_;
   // Recently departed neighbors, still eligible for referral for a while
   // ("recently connected peers").
   std::deque<net::IpAddress> recent_neighbors_;
+  // Last measured control-RTT of recently departed neighbors. Re-adding a
+  // known peer seeds its estimate from here instead of the blind default,
+  // so neighborhood optimization never ties a measured-near peer against a
+  // far one at the default and evicts on the tie-break.
+  std::map<net::IpAddress, double> recent_rtt_;
 
   ChunkStore store_;
   ChunkSeq live_edge_ = 0;

@@ -1,7 +1,7 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "net/ip.h"
@@ -80,7 +80,9 @@ class StreamSource {
   struct Neighbor {
     sim::Time last_seen;
   };
-  std::unordered_map<net::IpAddress, Neighbor> neighbors_;
+  // Ordered so buffer-map announcements and gossip replies go out in a
+  // deterministic (IP-sorted) order regardless of hash internals.
+  std::map<net::IpAddress, Neighbor> neighbors_;
 };
 
 }  // namespace ppsim::proto

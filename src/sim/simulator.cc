@@ -13,15 +13,17 @@ TimerHandle Simulator::schedule_at(Time when, Callback cb) {
   if (when < now_) when = now_;
   std::uint64_t seq = next_seq_++;
   queue_.push(Event{when, seq, std::move(cb)});
-  ++live_events_;
+  pending_.insert(seq);
   return TimerHandle{seq};
 }
 
 bool Simulator::cancel(TimerHandle h) {
   if (!h.valid()) return false;
-  // Only tombstone if the event is still plausibly pending.
-  if (h.seq_ >= next_seq_) return false;
-  return cancelled_.insert(h.seq_).second;
+  // Only still-pending events can be cancelled: a handle whose event
+  // already fired (or was already cancelled) reports false.
+  if (pending_.erase(h.seq_) == 0) return false;
+  cancelled_.insert(h.seq_);
+  return true;
 }
 
 std::uint64_t Simulator::run_until(Time until) {
@@ -33,8 +35,8 @@ std::uint64_t Simulator::run_until(Time until) {
     // Move the event out before popping so the callback may schedule/cancel.
     Event ev{top.when, top.seq, std::move(const_cast<Event&>(top).cb)};
     queue_.pop();
-    --live_events_;
     if (!cancelled_.empty() && cancelled_.erase(ev.seq) > 0) continue;
+    pending_.erase(ev.seq);
     now_ = ev.when;
     ev.cb();
     ++ran;
@@ -58,13 +60,25 @@ std::uint64_t Simulator::run() {
 void schedule_periodic(Simulator& simulator, Time period,
                        std::function<bool()> tick) {
   assert(period > Time::zero());
-  // Self-rescheduling closure; stops when tick() returns false.
-  auto loop = std::make_shared<std::function<void()>>();
-  Simulator* simp = &simulator;
-  *loop = [simp, period, tick = std::move(tick), loop]() {
-    if (tick()) simp->schedule(period, *loop);
+  // Self-rescheduling chain; stops when tick() returns false. Ownership is
+  // one-directional: each pending event's callback holds the shared state,
+  // and the state holds nothing that refers back to the callback. When a
+  // tick declines to re-arm (or the event is cancelled, or the simulator is
+  // destroyed with the event still queued), the callback's destruction
+  // releases the last reference and the state is freed — a closure that
+  // captured its own shared_ptr would instead form a cycle and leak.
+  struct State {
+    Simulator* sim;
+    Time period;
+    std::function<bool()> tick;
+    static void arm(const std::shared_ptr<State>& state) {
+      state->sim->schedule(state->period, [state] {
+        if (state->tick()) arm(state);
+      });
+    }
   };
-  simulator.schedule(period, *loop);
+  State::arm(
+      std::make_shared<State>(State{&simulator, period, std::move(tick)}));
 }
 
 std::string Time::to_string() const {

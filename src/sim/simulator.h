@@ -63,7 +63,7 @@ class Simulator {
   void request_stop() { stop_requested_ = true; }
 
   std::uint64_t events_executed() const { return events_executed_; }
-  std::size_t pending_events() const { return live_events_; }
+  std::size_t pending_events() const { return pending_.size(); }
 
  private:
   struct Event {
@@ -79,9 +79,12 @@ class Simulator {
   Time now_;
   std::uint64_t next_seq_ = 1;
   std::uint64_t events_executed_ = 0;
-  std::size_t live_events_ = 0;
   bool stop_requested_ = false;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  // Seqs scheduled but not yet fired or cancelled. Distinguishes "still
+  // pending" from "already fired" so cancel() after the fact reports false
+  // instead of planting a stale tombstone.
+  std::unordered_set<std::uint64_t> pending_;
   std::unordered_set<std::uint64_t> cancelled_;  // tombstones, consumed on pop
 };
 

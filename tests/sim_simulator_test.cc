@@ -89,6 +89,59 @@ TEST(SimulatorTest, CancelPreventsExecution) {
   EXPECT_FALSE(ran);
 }
 
+TEST(SimulatorTest, CancelAfterFireReturnsFalse) {
+  Simulator simulator;
+  bool ran = false;
+  auto h = simulator.schedule(Time::seconds(1), [&] { ran = true; });
+  simulator.run();
+  EXPECT_TRUE(ran);
+  // The event already fired; cancelling its handle must report failure and
+  // must not disturb later events.
+  EXPECT_FALSE(simulator.cancel(h));
+  bool later = false;
+  simulator.schedule(Time::seconds(1), [&] { later = true; });
+  simulator.run();
+  EXPECT_TRUE(later);
+}
+
+TEST(SimulatorTest, CancelAfterFireDoesNotTombstoneLaterEvents) {
+  Simulator simulator;
+  int fired = 0;
+  auto h = simulator.schedule(Time::seconds(1), [&] { ++fired; });
+  // Keep the queue non-empty across the cancel so stale tombstones would
+  // survive into the next pop if cancel() planted one.
+  simulator.schedule(Time::seconds(3), [&] { ++fired; });
+  simulator.run_until(Time::seconds(2));
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(simulator.cancel(h));
+  simulator.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, CancelDuringCallbackSuppressesSameInstantEvent) {
+  Simulator simulator;
+  bool b_ran = false;
+  TimerHandle b;
+  simulator.schedule(Time::seconds(1), [&] {
+    EXPECT_TRUE(simulator.cancel(b));
+  });
+  b = simulator.schedule(Time::seconds(1), [&] { b_ran = true; });
+  simulator.run();
+  EXPECT_FALSE(b_ran);
+  EXPECT_EQ(simulator.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, CancelledEventsLeavePendingCount) {
+  Simulator simulator;
+  auto h = simulator.schedule(Time::seconds(1), [] {});
+  simulator.schedule(Time::seconds(2), [] {});
+  EXPECT_EQ(simulator.pending_events(), 2u);
+  EXPECT_TRUE(simulator.cancel(h));
+  EXPECT_EQ(simulator.pending_events(), 1u);
+  simulator.run();
+  EXPECT_EQ(simulator.pending_events(), 0u);
+}
+
 TEST(SimulatorTest, CancelTwiceReturnsFalse) {
   Simulator simulator;
   auto h = simulator.schedule(Time::seconds(1), [] {});
@@ -136,6 +189,51 @@ TEST(SimulatorTest, PeriodicUntilFalse) {
   simulator.run();
   EXPECT_EQ(ticks, 4);
   EXPECT_EQ(simulator.now(), Time::seconds(40));
+}
+
+TEST(SimulatorTest, PeriodicStoppedByTickLeavesNoPendingEvents) {
+  Simulator simulator;
+  int ticks = 0;
+  schedule_periodic(simulator, Time::seconds(1), [&] {
+    ++ticks;
+    return false;  // stop immediately after the first firing
+  });
+  simulator.run();
+  EXPECT_EQ(ticks, 1);
+  EXPECT_EQ(simulator.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, RequestStopMidQueueKeepsRemainderPending) {
+  Simulator simulator;
+  std::vector<int> order;
+  simulator.schedule(Time::seconds(1), [&] { order.push_back(1); });
+  simulator.schedule(Time::seconds(1), [&] {
+    order.push_back(2);
+    simulator.request_stop();
+  });
+  simulator.schedule(Time::seconds(1), [&] { order.push_back(3); });
+  simulator.schedule(Time::seconds(2), [&] { order.push_back(4); });
+  simulator.run();
+  // Stop takes effect after the current event; same-instant successors stay
+  // queued in FIFO order for the next run.
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(simulator.pending_events(), 2u);
+  simulator.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, RequestStopDuringPeriodicResumesCleanly) {
+  Simulator simulator;
+  int ticks = 0;
+  schedule_periodic(simulator, Time::seconds(10), [&] {
+    if (++ticks == 2) simulator.request_stop();
+    return ticks < 5;
+  });
+  simulator.run();
+  EXPECT_EQ(ticks, 2);
+  simulator.run();
+  EXPECT_EQ(ticks, 5);
+  EXPECT_EQ(simulator.now(), Time::seconds(50));
 }
 
 TEST(SimulatorTest, ScheduleAtPastClampsToNow) {

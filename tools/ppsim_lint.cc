@@ -1,0 +1,509 @@
+// ppsim_lint — static determinism linter for the simulator source tree.
+//
+// The simulator's contract is a total, reproducible event order: the same
+// seed must yield bit-identical traces (see src/sim/simulator.h and
+// tests/sim_determinism_test.cc for the runtime half of this guarantee).
+// This tool scans the tree for code patterns that silently break that
+// contract long before a flaky benchmark would reveal them:
+//
+//   wall-clock   std::rand/srand, time(nullptr), std::chrono::system_clock,
+//                std::random_device, gettimeofday, ... inside src/sim,
+//                src/proto, or src/net. All randomness must flow from
+//                sim::Rng; all time from Simulator::now().
+//
+//   unordered-iter   range-for over a std::unordered_map/unordered_set in a
+//                file that also calls schedule( — hash-order traversal
+//                feeding the scheduler makes event order depend on the
+//                standard library's hash seed / load factors.
+//
+//   pointer-key  std::map/std::set keyed on a pointer type: iteration order
+//                is allocation-address order, which ASLR randomizes.
+//
+// Findings can be suppressed through an allowlist file (one entry per
+// line, `path-suffix:check:token`, `*` wildcards the token). Exit status is
+// 0 when every finding is allowlisted, 1 otherwise — the build registers
+// this as the `determinism_lint` ctest.
+//
+// Usage: ppsim_lint <source-root> [--allowlist <file>] [--verbose]
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding {
+  std::string file;   // path relative to the scan root
+  int line = 0;
+  std::string check;  // "wall-clock", "unordered-iter", "pointer-key"
+  std::string token;  // the offending identifier / call
+  std::string detail;
+};
+
+struct AllowEntry {
+  std::string path_suffix;
+  std::string check;
+  std::string token;  // "*" matches any
+};
+
+/// Replaces comments and string/char literals with spaces, preserving line
+/// structure so reported line numbers stay exact.
+std::string strip_comments_and_strings(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State st = State::kCode;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    const char next = i + 1 < in.size() ? in[i + 1] : '\0';
+    switch (st) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          st = State::kLineComment;
+          out += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          st = State::kBlockComment;
+          out += "  ";
+          ++i;
+        } else if (c == '"') {
+          st = State::kString;
+          out += ' ';
+        } else if (c == '\'') {
+          st = State::kChar;
+          out += ' ';
+        } else {
+          out += c;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          st = State::kCode;
+          out += '\n';
+        } else {
+          out += ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          st = State::kCode;
+          out += "  ";
+          ++i;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out += "  ";
+          ++i;
+          if (i < in.size() && in[i] == '\n') out.back() = '\n';
+        } else if (c == '"') {
+          st = State::kCode;
+          out += ' ';
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out += "  ";
+          ++i;
+        } else if (c == '\'') {
+          st = State::kCode;
+          out += ' ';
+        } else {
+          out += ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+int line_of(const std::string& text, std::size_t pos) {
+  return 1 + static_cast<int>(std::count(text.begin(), text.begin() +
+                                             static_cast<std::ptrdiff_t>(pos),
+                                         '\n'));
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// True when text[pos..pos+needle) sits on identifier boundaries (so
+/// `rand` does not match inside `grand` or `randomize`).
+bool word_match(const std::string& text, std::size_t pos,
+                std::string_view needle) {
+  if (pos > 0 && is_ident_char(text[pos - 1])) return false;
+  const std::size_t end = pos + needle.size();
+  if (!needle.empty() && is_ident_char(needle.back()) && end < text.size() &&
+      is_ident_char(text[end]))
+    return false;
+  return true;
+}
+
+std::size_t skip_ws(const std::string& s, std::size_t i) {
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  return i;
+}
+
+/// Parses a balanced template argument list starting at the '<' in `pos`;
+/// returns the position one past the matching '>'. npos on imbalance.
+std::size_t match_angle(const std::string& s, std::size_t pos) {
+  int depth = 0;
+  for (std::size_t i = pos; i < s.size(); ++i) {
+    if (s[i] == '<') ++depth;
+    else if (s[i] == '>') {
+      if (--depth == 0) return i + 1;
+    } else if (s[i] == ';' && depth == 0) {
+      return std::string::npos;
+    }
+  }
+  return std::string::npos;
+}
+
+/// Collects identifiers declared with an unordered container type, e.g.
+///   std::unordered_map<IpAddress, Neighbor> neighbors_;
+/// Declarations from headers feed iteration checks in their .cc files, so
+/// the registry is global across the scanned tree.
+void collect_unordered_decls(const std::string& text,
+                             std::set<std::string>* registry) {
+  static const std::string_view kTypes[] = {"unordered_map", "unordered_set",
+                                            "unordered_multimap",
+                                            "unordered_multiset"};
+  for (const auto type : kTypes) {
+    std::size_t pos = 0;
+    while ((pos = text.find(type, pos)) != std::string::npos) {
+      const std::size_t start = pos;
+      pos += type.size();
+      if (!word_match(text, start, type)) continue;
+      std::size_t i = skip_ws(text, pos);
+      if (i >= text.size() || text[i] != '<') continue;
+      i = match_angle(text, i);
+      if (i == std::string::npos) continue;
+      i = skip_ws(text, i);
+      // Declarator: identifier, possibly preceded by &/* (references to
+      // unordered containers count too — iteration is equally unordered).
+      while (i < text.size() && (text[i] == '&' || text[i] == '*'))
+        i = skip_ws(text, i + 1);
+      std::size_t end = i;
+      while (end < text.size() && is_ident_char(text[end])) ++end;
+      if (end > i) {
+        // Skip type-alias heads (`using Foo = std::unordered_map<...>` has
+        // no declarator after the template args) and function return types
+        // (`unordered_set<T> excluded_targets() const`): a '(' right after
+        // the identifier means it's a function name, which we register
+        // anyway — iterating over a call result is just as hash-ordered.
+        registry->insert(text.substr(i, end - i));
+      }
+    }
+  }
+}
+
+struct FileText {
+  fs::path path;
+  std::string rel;
+  std::string stripped;
+};
+
+bool in_core_dirs(const std::string& rel) {
+  return rel.starts_with("sim/") || rel.starts_with("proto/") ||
+         rel.starts_with("net/");
+}
+
+void check_wall_clock(const FileText& f, std::vector<Finding>* findings) {
+  if (!in_core_dirs(f.rel)) return;
+  static const std::string_view kBanned[] = {
+      "std::rand",
+      "srand",
+      "time(nullptr)",
+      "time(NULL)",
+      "std::time",
+      "system_clock",
+      "high_resolution_clock",
+      "steady_clock",
+      "random_device",
+      "gettimeofday",
+      "clock_gettime",
+      "getrandom",
+  };
+  for (const auto tok : kBanned) {
+    std::size_t pos = 0;
+    while ((pos = f.stripped.find(tok, pos)) != std::string::npos) {
+      const std::size_t at = pos;
+      pos += tok.size();
+      if (!word_match(f.stripped, at, tok)) continue;
+      // `rand(`-style call of the unqualified C function.
+      findings->push_back(Finding{
+          f.rel, line_of(f.stripped, at), "wall-clock", std::string(tok),
+          "wall-clock / ambient randomness source; use sim::Rng and "
+          "Simulator::now()"});
+    }
+  }
+  // Unqualified rand( — matched separately so `rand` inside identifiers
+  // like `operand` stays quiet.
+  std::size_t pos = 0;
+  while ((pos = f.stripped.find("rand", pos)) != std::string::npos) {
+    const std::size_t at = pos;
+    pos += 4;
+    if (at > 0 && (is_ident_char(f.stripped[at - 1]) ||
+                   f.stripped[at - 1] == ':'))
+      continue;
+    std::size_t i = skip_ws(f.stripped, at + 4);
+    if (i < f.stripped.size() && f.stripped[i] == '(') {
+      findings->push_back(Finding{f.rel, line_of(f.stripped, at),
+                                  "wall-clock", "rand(",
+                                  "libc rand(); use sim::Rng"});
+    }
+  }
+}
+
+void check_unordered_iteration(const FileText& f,
+                               const std::set<std::string>& registry,
+                               std::vector<Finding>* findings) {
+  // Only files that schedule events can convert hash order into event
+  // order; pure data-analysis code may iterate however it likes.
+  if (f.stripped.find("schedule") == std::string::npos) return;
+  std::size_t pos = 0;
+  while ((pos = f.stripped.find("for", pos)) != std::string::npos) {
+    const std::size_t at = pos;
+    pos += 3;
+    if (!word_match(f.stripped, at, "for")) continue;
+    if (at > 0 && is_ident_char(f.stripped[at - 1])) continue;
+    std::size_t i = skip_ws(f.stripped, at + 3);
+    if (i >= f.stripped.size() || f.stripped[i] != '(') continue;
+    // Find the range-for colon at paren depth 1 (ignore `::`).
+    int depth = 0;
+    std::size_t colon = std::string::npos;
+    std::size_t close = std::string::npos;
+    for (std::size_t j = i; j < f.stripped.size(); ++j) {
+      const char c = f.stripped[j];
+      if (c == '(') ++depth;
+      else if (c == ')') {
+        if (--depth == 0) {
+          close = j;
+          break;
+        }
+      } else if (c == ':' && depth == 1) {
+        const bool dbl = (j + 1 < f.stripped.size() &&
+                          f.stripped[j + 1] == ':') ||
+                         (j > 0 && f.stripped[j - 1] == ':');
+        if (!dbl) colon = j;
+      } else if (c == ';' && depth == 1) {
+        break;  // classic for(;;), not a range-for
+      }
+    }
+    if (colon == std::string::npos || close == std::string::npos) continue;
+    std::string range = f.stripped.substr(colon + 1, close - colon - 1);
+    // Trailing identifier of the range expression: catches `neighbors_`,
+    // `this->neighbors_`, `peer.neighbors_`; calls like `excluded_targets()`
+    // end with ')', so strip one call-paren pair first.
+    while (!range.empty() &&
+           std::isspace(static_cast<unsigned char>(range.back())))
+      range.pop_back();
+    if (!range.empty() && range.back() == ')') {
+      const std::size_t open = range.rfind('(');
+      if (open != std::string::npos) range.erase(open);
+    }
+    std::size_t end = range.size();
+    while (end > 0 && is_ident_char(range[end - 1])) --end;
+    const std::string ident = range.substr(end);
+    if (ident.empty()) continue;
+    if (registry.contains(ident)) {
+      findings->push_back(Finding{
+          f.rel, line_of(f.stripped, at), "unordered-iter", ident,
+          "range-for over an unordered container in a file that schedules "
+          "events; iterate a deterministically ordered copy (std::map / "
+          "sorted keys) instead"});
+    }
+  }
+}
+
+void check_pointer_keys(const FileText& f, std::vector<Finding>* findings) {
+  static const std::string_view kTypes[] = {"std::map", "std::set",
+                                            "std::multimap", "std::multiset"};
+  for (const auto type : kTypes) {
+    std::size_t pos = 0;
+    while ((pos = f.stripped.find(type, pos)) != std::string::npos) {
+      const std::size_t at = pos;
+      pos += type.size();
+      if (at > 0 && is_ident_char(f.stripped[at - 1])) continue;
+      std::size_t i = skip_ws(f.stripped, pos);
+      if (i >= f.stripped.size() || f.stripped[i] != '<') continue;
+      // First template argument: up to a ',' or the matching '>' at depth 1.
+      int depth = 0;
+      std::size_t key_end = std::string::npos;
+      for (std::size_t j = i; j < f.stripped.size(); ++j) {
+        const char c = f.stripped[j];
+        if (c == '<') ++depth;
+        else if (c == '>') {
+          if (--depth == 0) {
+            key_end = j;
+            break;
+          }
+        } else if (c == ',' && depth == 1) {
+          key_end = j;
+          break;
+        } else if (c == ';' && depth == 0) {
+          break;
+        }
+      }
+      if (key_end == std::string::npos) continue;
+      std::string key = f.stripped.substr(i + 1, key_end - i - 1);
+      while (!key.empty() &&
+             std::isspace(static_cast<unsigned char>(key.back())))
+        key.pop_back();
+      if (!key.empty() && key.back() == '*') {
+        findings->push_back(Finding{
+            f.rel, line_of(f.stripped, at), "pointer-key",
+            std::string(type) + "<" + key + ">",
+            "ordered container keyed on a pointer: iteration order is "
+            "allocation order, which ASLR randomizes; key on a stable id"});
+      }
+    }
+  }
+}
+
+std::vector<AllowEntry> load_allowlist(const std::string& path) {
+  std::vector<AllowEntry> entries;
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "ppsim_lint: warning: allowlist not readable: " << path
+              << "\n";
+    return entries;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    // Trim.
+    auto issp = [](unsigned char c) { return std::isspace(c); };
+    line.erase(line.begin(),
+               std::find_if_not(line.begin(), line.end(), issp));
+    line.erase(std::find_if_not(line.rbegin(), line.rend(), issp).base(),
+               line.end());
+    if (line.empty()) continue;
+    const std::size_t c1 = line.find(':');
+    const std::size_t c2 = c1 == std::string::npos ? std::string::npos
+                                                   : line.find(':', c1 + 1);
+    if (c1 == std::string::npos || c2 == std::string::npos) {
+      std::cerr << "ppsim_lint: warning: malformed allowlist entry: " << line
+                << "\n";
+      continue;
+    }
+    entries.push_back(AllowEntry{line.substr(0, c1),
+                                 line.substr(c1 + 1, c2 - c1 - 1),
+                                 line.substr(c2 + 1)});
+  }
+  return entries;
+}
+
+bool allowlisted(const Finding& f, const std::vector<AllowEntry>& allow) {
+  return std::any_of(allow.begin(), allow.end(), [&](const AllowEntry& e) {
+    if (!f.file.ends_with(e.path_suffix)) return false;
+    if (e.check != "*" && e.check != f.check) return false;
+    return e.token == "*" || f.token.find(e.token) != std::string::npos;
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root;
+  std::string allowlist_path;
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--allowlist" && i + 1 < argc) {
+      allowlist_path = argv[++i];
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else if (root.empty()) {
+      root = arg;
+    } else {
+      std::cerr << "usage: ppsim_lint <source-root> [--allowlist <file>] "
+                   "[--verbose]\n";
+      return 2;
+    }
+  }
+  if (root.empty()) {
+    std::cerr << "usage: ppsim_lint <source-root> [--allowlist <file>] "
+                 "[--verbose]\n";
+    return 2;
+  }
+  std::error_code ec;
+  const fs::path root_path = fs::canonical(root, ec);
+  if (ec) {
+    std::cerr << "ppsim_lint: cannot open source root: " << root << "\n";
+    return 2;
+  }
+
+  std::vector<FileText> files;
+  for (auto it = fs::recursive_directory_iterator(root_path);
+       it != fs::recursive_directory_iterator(); ++it) {
+    if (!it->is_regular_file()) continue;
+    const fs::path& p = it->path();
+    const std::string ext = p.extension().string();
+    if (ext != ".h" && ext != ".hpp" && ext != ".cc" && ext != ".cpp")
+      continue;
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    files.push_back(FileText{
+        p, fs::relative(p, root_path).generic_string(),
+        strip_comments_and_strings(ss.str())});
+  }
+  std::sort(files.begin(), files.end(),
+            [](const FileText& a, const FileText& b) { return a.rel < b.rel; });
+
+  // Pass 1: registry of identifiers declared with unordered container types
+  // anywhere in the tree (headers feed their .cc files).
+  std::set<std::string> unordered_idents;
+  for (const auto& f : files) collect_unordered_decls(f.stripped, &unordered_idents);
+  if (verbose) {
+    std::cerr << "unordered-container identifiers:";
+    for (const auto& id : unordered_idents) std::cerr << ' ' << id;
+    std::cerr << "\n";
+  }
+
+  // Pass 2: per-file checks.
+  std::vector<Finding> findings;
+  for (const auto& f : files) {
+    check_wall_clock(f, &findings);
+    check_unordered_iteration(f, unordered_idents, &findings);
+    check_pointer_keys(f, &findings);
+  }
+
+  const std::vector<AllowEntry> allow =
+      allowlist_path.empty() ? std::vector<AllowEntry>{}
+                             : load_allowlist(allowlist_path);
+
+  int reported = 0;
+  int suppressed = 0;
+  for (const auto& f : findings) {
+    if (allowlisted(f, allow)) {
+      ++suppressed;
+      if (verbose)
+        std::cerr << "allowlisted: " << f.file << ":" << f.line << " ["
+                  << f.check << "] " << f.token << "\n";
+      continue;
+    }
+    ++reported;
+    std::cerr << f.file << ":" << f.line << ": [" << f.check << "] "
+              << f.token << "\n    " << f.detail << "\n";
+  }
+  std::cerr << "ppsim_lint: scanned " << files.size() << " files, "
+            << reported << " finding(s), " << suppressed
+            << " allowlisted\n";
+  return reported == 0 ? 0 : 1;
+}

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Runs clang-tidy over the ppsim sources against a compile_commands.json.
+#
+# Usage:
+#   tools/run_tidy.sh [build-dir] [extra clang-tidy args...]
+#
+# The build dir defaults to the first of build-release/, build/, or any
+# build-*/ containing a compile_commands.json (every CMake preset exports
+# one). Exits 2 with a clear message when clang-tidy is not installed, so
+# callers (and CI) can distinguish "findings" from "tool missing".
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+  echo "run_tidy.sh: '$TIDY' not found; install clang-tidy or set CLANG_TIDY" >&2
+  exit 2
+fi
+
+BUILD_DIR="${1:-}"
+if [[ -n "$BUILD_DIR" ]]; then
+  shift
+else
+  for candidate in build-release build build-*/; do
+    if [[ -f "$candidate/compile_commands.json" ]]; then
+      BUILD_DIR="$candidate"
+      break
+    fi
+  done
+fi
+if [[ -z "$BUILD_DIR" || ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+  echo "run_tidy.sh: no compile_commands.json found; configure first, e.g." >&2
+  echo "  cmake --preset release" >&2
+  exit 2
+fi
+
+# All first-party translation units; third-party code never appears here
+# because the repo vendors nothing.
+mapfile -t SOURCES < <(find src tools bench examples -name '*.cc' -o -name '*.cpp' | sort)
+
+echo "run_tidy.sh: ${#SOURCES[@]} files against $BUILD_DIR/compile_commands.json"
+
+# clang-tidy has no built-in parallelism; fan out with xargs. Findings make
+# any worker exit nonzero, which xargs propagates.
+printf '%s\n' "${SOURCES[@]}" |
+  xargs -P "$(nproc)" -n 4 "$TIDY" -p "$BUILD_DIR" --quiet "$@"
+
+echo "run_tidy.sh: clean"
