@@ -9,6 +9,7 @@
 #include "net/asn_db.h"
 #include "net/latency.h"
 #include "net/prefix_alloc.h"
+#include "sim/observer.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
 
@@ -42,6 +43,48 @@ void BM_SimulatorSelfScheduling(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 100000);
 }
 BENCHMARK(BM_SimulatorSelfScheduling);
+
+// Same loop as BM_SimulatorScheduleRun but with category-tagged events and
+// no observer attached: the disabled-observability baseline. CI's bench
+// guard compares this against the untagged variant — the two must be within
+// noise of each other, because a disabled trace costs one pointer copy per
+// schedule and one empty() check per event.
+void BM_SimulatorScheduleRunCategorized(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    for (int i = 0; i < n; ++i) {
+      simulator.schedule(sim::Time::micros((i * 7919) % 100000), [] {},
+                         "bench.cat");
+    }
+    benchmark::DoNotOptimize(simulator.run());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SimulatorScheduleRunCategorized)->Arg(1000)->Arg(100000);
+
+// Upper bound of the enabled-observer cost: a do-nothing observer still
+// pays both virtual hooks per event.
+void BM_SimulatorScheduleRunObserved(benchmark::State& state) {
+  class NoopObserver final : public sim::SimObserver {
+   public:
+    void on_event_begin(sim::Time, std::uint64_t, const char*,
+                        std::size_t) override {}
+  };
+  const int n = static_cast<int>(state.range(0));
+  NoopObserver observer;
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    simulator.add_observer(&observer);
+    for (int i = 0; i < n; ++i) {
+      simulator.schedule(sim::Time::micros((i * 7919) % 100000), [] {},
+                         "bench.cat");
+    }
+    benchmark::DoNotOptimize(simulator.run());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SimulatorScheduleRunObserved)->Arg(100000);
 
 void BM_AsnLookup(benchmark::State& state) {
   auto registry = net::IspRegistry::standard_topology();

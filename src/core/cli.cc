@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 
 #include "capture/trace_io.h"
 #include "core/session_export.h"
 #include "core/report.h"
+#include "obs/sampler.h"
+#include "obs/trace.h"
 #include "workload/scenario.h"
 
 namespace ppsim::core {
@@ -55,6 +59,17 @@ std::string cli_usage() {
       "  --dump-trace PREFIX           write each probe's capture to\n"
       "                                PREFIX-<label>.trace\n"
       "  --dump-sessions FILE          write viewer sessions as CSV\n"
+      "  --metrics-out FILE            write the metrics registry as NDJSON\n"
+      "  --trace-out FILE              write the protocol event trace as\n"
+      "                                NDJSON (deterministic per seed)\n"
+      "  --trace-sim-events            also trace every simulator event\n"
+      "                                (high volume; needs --trace-out)\n"
+      "  --samples-out FILE            write periodic swarm snapshots as\n"
+      "                                NDJSON (Figure-6-style time series)\n"
+      "  --sample-period SEC           snapshot cadence in sim-seconds\n"
+      "                                (default 10; needs --samples-out)\n"
+      "  --profile                     print a per-event-category wall-clock\n"
+      "                                profile after the run\n"
       "  --help\n";
 }
 
@@ -147,10 +162,42 @@ CliParseResult parse_cli(int argc, const char* const* argv) {
       auto v = need_value(i, "--dump-sessions");
       if (!v) return out;
       o.dump_sessions = *v;
+    } else if (arg == "--metrics-out") {
+      auto v = need_value(i, "--metrics-out");
+      if (!v) return out;
+      o.metrics_out = *v;
+    } else if (arg == "--trace-out") {
+      auto v = need_value(i, "--trace-out");
+      if (!v) return out;
+      o.trace_out = *v;
+    } else if (arg == "--trace-sim-events") {
+      o.trace_sim_events = true;
+    } else if (arg == "--samples-out") {
+      auto v = need_value(i, "--samples-out");
+      if (!v) return out;
+      o.samples_out = *v;
+    } else if (arg == "--sample-period") {
+      auto v = need_value(i, "--sample-period");
+      if (!v) return out;
+      o.sample_period_s = std::atoi(v->c_str());
+      if (o.sample_period_s <= 0) {
+        out.error = "sample period must be positive";
+        return out;
+      }
+    } else if (arg == "--profile") {
+      o.profile = true;
     } else {
       out.error = "unknown option: " + arg;
       return out;
     }
+  }
+  if (o.sample_period_s > 0 && o.samples_out.empty()) {
+    out.error = "--sample-period requires --samples-out";
+    return out;
+  }
+  if (o.trace_sim_events && o.trace_out.empty()) {
+    out.error = "--trace-sim-events requires --trace-out";
+    return out;
   }
   return out;
 }
@@ -206,6 +253,29 @@ int run_cli(const CliOptions& options, std::ostream& out) {
             << " strategy=" << options.strategy
             << (options.smart_trackers ? " smart-trackers" : "") << "\n\n";
 
+  // Observability sinks live on the stack for the duration of the run; the
+  // experiment borrows them through config.observability.
+  obs::MetricsRegistry metrics;
+  obs::RunProfiler profiler;
+  std::ofstream trace_file;
+  std::optional<obs::NdjsonTraceSink> trace_sink;
+  if (!options.trace_out.empty()) {
+    trace_file.open(options.trace_out);
+    if (!trace_file) {
+      std::cerr << "error: could not open " << options.trace_out << "\n";
+      return 1;
+    }
+    trace_sink.emplace(trace_file);
+  }
+  ObservabilityConfig& ob = built.config.observability;
+  if (!options.metrics_out.empty()) ob.metrics = &metrics;
+  if (trace_sink.has_value()) ob.trace = &*trace_sink;
+  ob.trace_sim_events = options.trace_sim_events;
+  if (options.profile) ob.profiler = &profiler;
+  if (!options.samples_out.empty())
+    ob.sample_period = sim::Time::seconds(
+        options.sample_period_s > 0 ? options.sample_period_s : 10);
+
   ExperimentResult result = run_experiment(built.config);
 
   auto wants = [&](const char* section) {
@@ -249,7 +319,10 @@ int run_cli(const CliOptions& options, std::ostream& out) {
     }
     out << "\n";
   }
-  if (wants("swarm")) print_traffic_matrix(out, result.traffic);
+  if (wants("swarm")) {
+    print_traffic_matrix(out, result.traffic);
+    print_peer_counters(out, result.counter_totals);
+  }
   if (!options.dump_sessions.empty()) {
     if (write_sessions_csv_file(options.dump_sessions, result.sessions)) {
       out << "sessions written: " << options.dump_sessions << " ("
@@ -260,6 +333,31 @@ int run_cli(const CliOptions& options, std::ostream& out) {
       return 1;
     }
   }
+  if (!options.metrics_out.empty()) {
+    std::ofstream f(options.metrics_out);
+    if (!f) {
+      std::cerr << "error: could not write " << options.metrics_out << "\n";
+      return 1;
+    }
+    metrics.write_ndjson(f);
+    out << "metrics written: " << options.metrics_out << " ("
+        << metrics.size() << " series)\n";
+  }
+  if (trace_sink.has_value()) {
+    out << "trace written: " << options.trace_out << " ("
+        << trace_sink->events_written() << " events)\n";
+  }
+  if (!options.samples_out.empty()) {
+    std::ofstream f(options.samples_out);
+    if (!f) {
+      std::cerr << "error: could not write " << options.samples_out << "\n";
+      return 1;
+    }
+    obs::write_samples_ndjson(f, result.samples);
+    out << "samples written: " << options.samples_out << " ("
+        << result.samples.size() << " samples)\n";
+  }
+  if (options.profile) profiler.print(out);
   return 0;
 }
 

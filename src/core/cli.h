@@ -24,6 +24,13 @@ struct CliOptions {
   /// Report sections: any of returned, sources, data, response, contrib,
   /// rtt, swarm — or "all".
   std::vector<std::string> reports = {"data"};
+  // Observability sinks (docs/OBSERVABILITY.md); all off by default.
+  std::string metrics_out;    // metrics NDJSON path; empty = off
+  std::string trace_out;      // protocol-event trace NDJSON path; empty = off
+  std::string samples_out;    // time-series samples NDJSON path; empty = off
+  int sample_period_s = 0;    // 0 = default (10s) when samples_out is set
+  bool trace_sim_events = false;  // add per-sim-event rows to trace_out
+  bool profile = false;           // print per-category wall-clock profile
   bool help = false;
 };
 

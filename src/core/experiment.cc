@@ -94,6 +94,9 @@ class Runner {
   void schedule_audience();
   void schedule_probes();
   sim::Time sample_session(std::size_t channel_idx, sim::Rng& rng);
+  void collect_sample();
+  void aggregate_counters(ExperimentResult& result);
+  void export_metrics(const ExperimentResult& result);
 
   const MultiChannelConfig& config_;
   sim::Rng master_rng_;
@@ -123,6 +126,12 @@ class Runner {
 
   TrafficMatrix traffic_;
   std::uint64_t departures_ = 0;
+
+  // Observability (all inert unless config_.observability enables them).
+  obs::TrafficSampler sampler_;
+  std::array<std::array<obs::Counter*, net::kNumIspCategories>,
+             net::kNumIspCategories>
+      matrix_counters_{};
 };
 
 void Runner::build_infrastructure() {
@@ -177,15 +186,110 @@ void Runner::build_infrastructure() {
     sources_.push_back(std::move(source));
   }
 
+  // Pre-resolve the 5x5 bytes_uploaded{src_isp,dst_isp} counters so the
+  // global tap never does a registry lookup on the hot path, and so the
+  // metric values are *by construction* the same accumulation as the
+  // ground-truth TrafficMatrix.
+  if (obs::MetricsRegistry* metrics = config_.observability.metrics) {
+    for (const auto src : net::kAllIspCategories) {
+      for (const auto dst : net::kAllIspCategories) {
+        matrix_counters_[static_cast<std::size_t>(src)]
+                        [static_cast<std::size_t>(dst)] = &metrics->counter(
+            "bytes_uploaded",
+            {{"src_isp", std::string(net::to_string(src))},
+             {"dst_isp", std::string(net::to_string(dst))}});
+      }
+    }
+  }
+
+  if (obs::TraceSink* trace = config_.observability.trace) {
+    for (auto& tracker : trackers_) tracker->set_trace_sink(trace);
+    for (auto& source : sources_) source->set_trace_sink(trace);
+  }
+
   network_.set_global_tap([this](const net::Endpoint& from,
                                  const net::Endpoint& to,
                                  const proto::Message& m, std::uint64_t) {
     if (const auto* dr = std::get_if<proto::DataReply>(&m)) {
-      traffic_.bytes[static_cast<std::size_t>(from.category)]
-                    [static_cast<std::size_t>(to.category)] +=
-          dr->payload_bytes;
+      const auto src = static_cast<std::size_t>(from.category);
+      const auto dst = static_cast<std::size_t>(to.category);
+      traffic_.bytes[src][dst] += dr->payload_bytes;
+      if (matrix_counters_[src][dst] != nullptr)
+        matrix_counters_[src][dst]->inc(dr->payload_bytes);
     }
   });
+}
+
+/// One Figure-6-style snapshot: traffic-matrix cumulative state plus the
+/// swarm's current neighbor composition and continuity. Runs inside the
+/// event loop but touches no RNG and mutates no protocol state, so
+/// enabling sampling cannot change the simulated trajectory.
+void Runner::collect_sample() {
+  double continuity_acc = 0;
+  std::uint64_t viewers = 0;
+  std::uint64_t alive = 0;
+  std::uint64_t same_isp_links = 0;
+  std::uint64_t total_links = 0;
+  for (const auto& peer : peers_) {
+    if (!peer->alive()) continue;
+    ++alive;
+    const auto& c = peer->counters();
+    if (c.chunks_played + c.chunks_missed > 0) {
+      continuity_acc += c.continuity();
+      ++viewers;
+    }
+    const net::IspCategory own = peer->identity().category;
+    for (const auto& ip : peer->neighbor_ips()) {
+      ++total_links;
+      if (asn_db_.category_or_foreign(ip) == own) ++same_isp_links;
+    }
+  }
+  sampler_.record(
+      simulator_.now(), traffic_.bytes,
+      total_links == 0 ? 0.0
+                       : static_cast<double>(same_isp_links) /
+                             static_cast<double>(total_links),
+      viewers == 0 ? 0.0 : continuity_acc / static_cast<double>(viewers),
+      alive);
+}
+
+void Runner::aggregate_counters(ExperimentResult& result) {
+  for (const auto& peer : peers_) {
+    const proto::PeerCounters& c = peer->counters();
+    result.counter_totals += c;
+    result.counters_by_isp[static_cast<std::size_t>(
+        peer->identity().category)] += c;
+  }
+}
+
+void Runner::export_metrics(const ExperimentResult& result) {
+  obs::MetricsRegistry* m = config_.observability.metrics;
+  if (m == nullptr) return;
+  // Aggregated protocol counters, one series per ISP category, one metric
+  // per PeerCounters field. for_each_field guarantees nothing is dropped.
+  for (const auto cat : net::kAllIspCategories) {
+    const proto::PeerCounters& c =
+        result.counters_by_isp[static_cast<std::size_t>(cat)];
+    proto::for_each_field(c, [&](const char* name, const std::uint64_t& v) {
+      m->counter(std::string("peer_") + name,
+                 {{"isp", std::string(net::to_string(cat))}})
+          .inc(v);
+    });
+  }
+  m->gauge("avg_continuity").set(result.swarm.avg_continuity);
+  m->counter("peers_spawned").inc(result.swarm.peers_spawned);
+  m->counter("departures").inc(result.swarm.departures);
+  m->counter("packets_delivered").inc(result.swarm.packets_delivered);
+  m->counter("packets_dropped").inc(result.swarm.packets_dropped);
+  m->counter("events_executed").inc(result.swarm.events_executed);
+  auto& durations = m->histogram("session_duration_s",
+                                 {30, 60, 120, 300, 600, 1200, 3600});
+  auto& continuity =
+      m->histogram("session_continuity", {0.5, 0.8, 0.9, 0.95, 0.99});
+  for (const auto& rec : result.sessions) {
+    durations.observe(rec.duration_seconds());
+    continuity.observe(rec.continuity);
+  }
 }
 
 sim::Time Runner::sample_session(std::size_t channel_idx, sim::Rng& rng) {
@@ -240,6 +344,7 @@ void Runner::spawn_viewer(std::size_t channel_idx, net::IspCategory category,
       simulator_, network_, identity, scenario.channel, bootstrap_->ip(),
       rng.fork(1), peer_config, std::move(policy));
   proto::Peer* raw = peer.get();
+  raw->set_trace_sink(config_.observability.trace);
   peers_.push_back(std::move(peer));
   SessionRecord record;
   record.channel = scenario.channel.id;
@@ -311,6 +416,7 @@ void Runner::schedule_probes() {
           config_.channels[c].scenario.channel, bootstrap_->ip(),
           prng.fork(1), config_.peer_config, std::move(policy));
       proto::Peer* raw = peer.get();
+      raw->set_trace_sink(config_.observability.trace);
       auto trace = capture::attach_sniffer(network_, identity.ip);
       peers_.push_back(std::move(peer));
       probes_.push_back(Probe{spec.label,
@@ -328,10 +434,34 @@ ExperimentResult Runner::run() {
   schedule_audience();
   schedule_probes();
 
+  if (config_.observability.profiler != nullptr)
+    simulator_.add_observer(config_.observability.profiler);
+  std::unique_ptr<obs::SimEventTracer> sim_tracer;
+  if (config_.observability.trace != nullptr &&
+      config_.observability.trace_sim_events) {
+    sim_tracer =
+        std::make_unique<obs::SimEventTracer>(*config_.observability.trace);
+    simulator_.add_observer(sim_tracer.get());
+  }
+  if (config_.observability.sample_period > sim::Time::zero()) {
+    sim::schedule_periodic(
+        simulator_, config_.observability.sample_period,
+        [this] {
+          collect_sample();
+          return true;
+        },
+        "obs.sample");
+  }
+
   simulator_.run_until(config_.duration);
+
+  if (config_.observability.profiler != nullptr)
+    simulator_.remove_observer(config_.observability.profiler);
+  if (sim_tracer != nullptr) simulator_.remove_observer(sim_tracer.get());
 
   ExperimentResult result;
   result.traffic = traffic_;
+  result.samples = sampler_.samples();
 
   for (const auto& probe : probes_) {
     ProbeResult pr;
@@ -373,6 +503,9 @@ ExperimentResult Runner::run() {
     rec.continuity = c.continuity();
     result.sessions.push_back(rec);
   }
+
+  aggregate_counters(result);
+  export_metrics(result);
   return result;
 }
 
@@ -389,6 +522,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   multi.duration = config.scenario.duration;
   multi.seed = config.scenario.seed;
   multi.interconnects = config.interconnects;
+  multi.observability = config.observability;
   Runner runner(multi);
   return runner.run();
 }

@@ -9,11 +9,38 @@
 #include "net/interconnect.h"
 #include "net/asn_db.h"
 #include "net/isp.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/sampler.h"
+#include "obs/trace.h"
 #include "proto/counters.h"
 #include "proto/peer_config.h"
 #include "workload/scenario.h"
 
 namespace ppsim::core {
+
+/// Opt-in observability sinks for a run. Every pointer is borrowed (the
+/// caller owns the sink and must keep it alive through run_experiment) and
+/// defaults to off; a default-constructed config costs the run nothing.
+struct ObservabilityConfig {
+  /// Filled during and at the end of the run: per-ISP-pair
+  /// bytes_uploaded{src_isp,dst_isp} counters (live, from the network's
+  /// global tap), aggregated peer_* counters per ISP, swarm gauges and
+  /// session histograms (at result assembly).
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Protocol event stream (tracker/gossip/connect/data events from every
+  /// peer, tracker, and source). Sim-timestamps only: same seed, same
+  /// config => byte-identical trace.
+  obs::TraceSink* trace = nullptr;
+  /// Additionally emit one "sim_event" row per executed simulator event to
+  /// `trace` (sequence, category, queue depth). High volume.
+  bool trace_sim_events = false;
+  /// Wall-clock per-category profile of the run (see obs::RunProfiler).
+  obs::RunProfiler* profiler = nullptr;
+  /// When positive, snapshot the traffic matrix / neighbor composition /
+  /// continuity every sample_period into ExperimentResult::samples.
+  sim::Time sample_period = sim::Time::zero();
+};
 
 /// A probe host: an instrumented client in a chosen ISP, equivalent to the
 /// paper's Wireshark-monitored deployments (2x TELE, 2x CNC, 2x CERNET in
@@ -55,6 +82,8 @@ struct MultiChannelConfig {
   double surf_probability = 0.0;
   /// Optional shared inter-ISP bottlenecks (see ExperimentConfig).
   std::optional<net::InterconnectConfig> interconnects;
+  /// Opt-in metrics/trace/sampling/profiling sinks; off by default.
+  ObservabilityConfig observability;
 };
 
 struct ExperimentConfig {
@@ -76,6 +105,8 @@ struct ExperimentConfig {
   /// Optional shared inter-ISP bottlenecks (emergent cross-ISP congestion);
   /// unset in the calibrated reproduction.
   std::optional<net::InterconnectConfig> interconnects;
+  /// Opt-in metrics/trace/sampling/profiling sinks; off by default.
+  ObservabilityConfig observability;
 };
 
 /// Swarm-wide ground truth gathered through the network's global tap —
@@ -137,6 +168,13 @@ struct ExperimentResult {
   TrafficMatrix traffic;  // data-plane ground truth
   SwarmStats swarm;
   std::vector<SessionRecord> sessions;  // one per audience viewer
+  /// Swarm-wide counter aggregates (every peer, probes included), summed
+  /// with PeerCounters::operator+= so no field can be silently dropped.
+  proto::PeerCounters counter_totals;
+  std::array<proto::PeerCounters, net::kNumIspCategories> counters_by_isp{};
+  /// Periodic swarm snapshots; empty unless observability.sample_period
+  /// was set (the Figure-6-style time-series source).
+  std::vector<obs::TrafficSample> samples;
 };
 
 /// Builds the topology, servers, audience, and probes; runs the simulation

@@ -169,4 +169,28 @@ void print_traffic_matrix(std::ostream& os, const TrafficMatrix& m) {
   os << "  intra-ISP share of data bytes: " << pct(m.locality()) << "\n";
 }
 
+void print_peer_counters(std::ostream& os, const proto::PeerCounters& c) {
+  os << "Swarm-wide protocol counters (all peers, probes included)\n";
+  proto::for_each_field(c, [&](const char* name, const std::uint64_t& v) {
+    os << "  " << std::setw(28) << std::left << name << std::right
+       << std::setw(14) << v << "\n";
+  });
+}
+
+void print_locality_timeseries(
+    std::ostream& os, const std::vector<obs::TrafficSample>& samples) {
+  os << "Locality time series (" << samples.size() << " samples)\n";
+  os << "      t(s) | same-ISP cum | same-ISP intvl | nbr same-ISP | "
+        "continuity | alive\n";
+  for (const auto& s : samples) {
+    os << "  " << std::setw(8) << std::fixed << std::setprecision(0)
+       << s.t.as_seconds() << " | " << std::setw(12)
+       << pct(s.same_isp_share_cum) << " | " << std::setw(14)
+       << pct(s.same_isp_share_interval) << " | " << std::setw(12)
+       << pct(s.neighbor_same_isp_share) << " | " << std::setw(10)
+       << pct(s.avg_continuity) << " | " << std::setw(5) << s.alive_peers
+       << "\n";
+  }
+}
+
 }  // namespace ppsim::core

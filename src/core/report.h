@@ -39,6 +39,15 @@ void print_rtt_rank(std::ostream& os, const capture::TraceAnalysis& a);
 /// Strategy-ablation summary row.
 void print_traffic_matrix(std::ostream& os, const TrafficMatrix& m);
 
+/// Swarm-wide aggregated protocol counters (one row per PeerCounters
+/// field, via for_each_field — new fields show up automatically).
+void print_peer_counters(std::ostream& os, const proto::PeerCounters& c);
+
+/// Figure-6-style time series: same-ISP traffic share, neighbor
+/// composition, and continuity per sample (see obs::TrafficSampler).
+void print_locality_timeseries(std::ostream& os,
+                               const std::vector<obs::TrafficSample>& samples);
+
 /// Percentage with one decimal, e.g. "87.3%".
 std::string pct(double fraction);
 

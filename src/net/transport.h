@@ -187,11 +187,13 @@ class Network {
     const sim::Time sent_at = simulator_.now();
 
     simulator_.schedule_at(
-        core_arrival, [this, from, to, dst_epoch, sent_at, wire_bytes,
-                       payload = std::move(payload)]() mutable {
+        core_arrival,
+        [this, from, to, dst_epoch, sent_at, wire_bytes,
+         payload = std::move(payload)]() mutable {
           deliver(from, to, dst_epoch, sent_at, wire_bytes,
                   std::move(payload));
-        });
+        },
+        "net.transit");
     return true;
   }
 
@@ -251,7 +253,8 @@ class Network {
           if (h.handler)
             h.handler(Delivery{from, to, std::move(payload), wire_bytes,
                                sent_at});
-        });
+        },
+        "net.deliver");
   }
 
   sim::Simulator& simulator_;

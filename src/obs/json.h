@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string_view>
+
+#include "sim/time.h"
+
+namespace ppsim::obs {
+
+/// Formatting primitives shared by every NDJSON emitter in the
+/// observability layer. All output routed through these helpers is
+/// deterministic: fixed-width sim-time, locale-independent numbers, and a
+/// canonical escape set — so byte-identical runs produce byte-identical
+/// files (the property tests/sim_determinism_test.cc pins).
+
+/// Writes `s` JSON-escaped, without surrounding quotes.
+inline void write_json_escaped(std::ostream& os, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+/// Writes `s` as a JSON string, quotes included.
+inline void write_json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  write_json_escaped(os, s);
+  os << '"';
+}
+
+/// Writes a double as a JSON number ("%.9g": enough digits to be stable,
+/// few enough to stay readable; never locale-dependent).
+inline void write_json_double(std::ostream& os, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  os << buf;
+}
+
+/// Writes a sim::Time as seconds with microsecond precision ("12.345678"),
+/// the canonical "t" field of every NDJSON row.
+inline void write_json_sim_time(std::ostream& os, sim::Time t) {
+  const std::int64_t us = t.as_micros();
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%lld.%06lld",
+                static_cast<long long>(us / 1'000'000),
+                static_cast<long long>(us % 1'000'000));
+  os << buf;
+}
+
+}  // namespace ppsim::obs

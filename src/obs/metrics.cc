@@ -1,0 +1,170 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <ostream>
+
+#include "obs/json.h"
+
+namespace ppsim::obs {
+
+namespace {
+
+Labels sorted_labels(const Labels& labels) {
+  Labels out = labels;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Serialized identity: name{k="v",...} with labels already sorted.
+std::string identity_key(std::string_view name, const Labels& sorted) {
+  std::string key(name);
+  if (sorted.empty()) return key;
+  key += '{';
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) key += ',';
+    key += sorted[i].first;
+    key += "=\"";
+    key += sorted[i].second;
+    key += '"';
+  }
+  key += '}';
+  return key;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)),
+      counts_(upper_bounds_.size() + 1, 0) {
+  assert(std::is_sorted(upper_bounds_.begin(), upper_bounds_.end()));
+}
+
+void Histogram::observe(double v) {
+  const auto it =
+      std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), v);
+  ++counts_[static_cast<std::size_t>(it - upper_bounds_.begin())];
+  ++count_;
+  sum_ += v;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::entry(std::string_view name,
+                                               const Labels& labels,
+                                               Kind kind) {
+  Labels sorted = sorted_labels(labels);
+  std::string key = identity_key(name, sorted);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    assert(it->second.kind == kind && "metric re-registered as another type");
+    return it->second;
+  }
+  Entry e;
+  e.name = std::string(name);
+  e.labels = std::move(sorted);
+  e.kind = kind;
+  return entries_.emplace(std::move(key), std::move(e)).first->second;
+}
+
+const MetricsRegistry::Entry* MetricsRegistry::find(std::string_view name,
+                                                    const Labels& labels,
+                                                    Kind kind) const {
+  const auto it = entries_.find(identity_key(name, sorted_labels(labels)));
+  if (it == entries_.end() || it->second.kind != kind) return nullptr;
+  return &it->second;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name,
+                                  const Labels& labels) {
+  Entry& e = entry(name, labels, Kind::kCounter);
+  if (!e.counter) e.counter = std::make_unique<Counter>();
+  return *e.counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, const Labels& labels) {
+  Entry& e = entry(name, labels, Kind::kGauge);
+  if (!e.gauge) e.gauge = std::make_unique<Gauge>();
+  return *e.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> upper_bounds,
+                                      const Labels& labels) {
+  Entry& e = entry(name, labels, Kind::kHistogram);
+  if (!e.histogram)
+    e.histogram = std::make_unique<Histogram>(std::move(upper_bounds));
+  return *e.histogram;
+}
+
+const Counter* MetricsRegistry::find_counter(std::string_view name,
+                                             const Labels& labels) const {
+  const Entry* e = find(name, labels, Kind::kCounter);
+  return e == nullptr ? nullptr : e->counter.get();
+}
+
+const Gauge* MetricsRegistry::find_gauge(std::string_view name,
+                                         const Labels& labels) const {
+  const Entry* e = find(name, labels, Kind::kGauge);
+  return e == nullptr ? nullptr : e->gauge.get();
+}
+
+const Histogram* MetricsRegistry::find_histogram(std::string_view name,
+                                                 const Labels& labels) const {
+  const Entry* e = find(name, labels, Kind::kHistogram);
+  return e == nullptr ? nullptr : e->histogram.get();
+}
+
+void MetricsRegistry::write_ndjson(std::ostream& os) const {
+  for (const auto& [key, e] : entries_) {
+    os << "{\"metric\":";
+    write_json_string(os, e.name);
+    os << ",\"type\":";
+    switch (e.kind) {
+      case Kind::kCounter:
+        os << "\"counter\"";
+        break;
+      case Kind::kGauge:
+        os << "\"gauge\"";
+        break;
+      case Kind::kHistogram:
+        os << "\"histogram\"";
+        break;
+    }
+    os << ",\"labels\":{";
+    for (std::size_t i = 0; i < e.labels.size(); ++i) {
+      if (i > 0) os << ',';
+      write_json_string(os, e.labels[i].first);
+      os << ':';
+      write_json_string(os, e.labels[i].second);
+    }
+    os << '}';
+    switch (e.kind) {
+      case Kind::kCounter:
+        os << ",\"value\":" << e.counter->value();
+        break;
+      case Kind::kGauge:
+        os << ",\"value\":";
+        write_json_double(os, e.gauge->value());
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *e.histogram;
+        os << ",\"count\":" << h.count() << ",\"sum\":";
+        write_json_double(os, h.sum());
+        os << ",\"buckets\":[";
+        for (std::size_t i = 0; i < h.bucket_counts().size(); ++i) {
+          if (i > 0) os << ',';
+          os << "{\"le\":";
+          if (i < h.upper_bounds().size())
+            write_json_double(os, h.upper_bounds()[i]);
+          else
+            os << "\"+inf\"";
+          os << ",\"count\":" << h.bucket_counts()[i] << '}';
+        }
+        os << ']';
+        break;
+      }
+    }
+    os << "}\n";
+  }
+}
+
+}  // namespace ppsim::obs

@@ -1,0 +1,75 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace ppsim::obs {
+
+void RunProfiler::on_event_begin(sim::Time /*now*/, std::uint64_t /*seq*/,
+                                 const char* /*category*/,
+                                 std::size_t queue_depth) {
+  max_queue_depth_ = std::max(max_queue_depth_, queue_depth);
+  event_begin_ = Clock::now();
+}
+
+void RunProfiler::on_event_end(sim::Time /*now*/, const char* category) {
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - event_begin_).count();
+  auto it = stats_.find(std::string_view(category));
+  if (it == stats_.end()) it = stats_.emplace(category, CategoryStats{}).first;
+  ++it->second.events;
+  it->second.wall_seconds += elapsed;
+  ++events_total_;
+  wall_seconds_total_ += elapsed;
+}
+
+void RunProfiler::write_ndjson(std::ostream& os) const {
+  for (const auto& [name, cs] : stats_) {
+    os << "{\"category\":";
+    write_json_string(os, name.empty() ? "(untagged)" : name);
+    os << ",\"events\":" << cs.events << ",\"wall_s\":";
+    write_json_double(os, cs.wall_seconds);
+    os << "}\n";
+  }
+  os << "{\"category\":\"total\",\"events\":" << events_total_
+     << ",\"wall_s\":";
+  write_json_double(os, wall_seconds_total_);
+  os << ",\"events_per_s\":";
+  write_json_double(os, events_per_second());
+  os << ",\"max_queue_depth\":" << max_queue_depth_ << "}\n";
+}
+
+void RunProfiler::print(std::ostream& os) const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "run profile: %llu events in %.3f s wall (%.0f events/s), "
+                "max queue depth %zu\n",
+                static_cast<unsigned long long>(events_total_),
+                wall_seconds_total_, events_per_second(), max_queue_depth_);
+  os << buf;
+  std::vector<std::pair<std::string, CategoryStats>> rows(stats_.begin(),
+                                                          stats_.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    if (a.second.wall_seconds != b.second.wall_seconds)
+      return a.second.wall_seconds > b.second.wall_seconds;
+    return a.first < b.first;
+  });
+  std::snprintf(buf, sizeof buf, "  %-24s %12s %12s %6s\n", "category",
+                "events", "wall_s", "%");
+  os << buf;
+  for (const auto& [name, cs] : rows) {
+    std::snprintf(buf, sizeof buf, "  %-24s %12llu %12.4f %5.1f%%\n",
+                  name.empty() ? "(untagged)" : name.c_str(),
+                  static_cast<unsigned long long>(cs.events), cs.wall_seconds,
+                  wall_seconds_total_ <= 0
+                      ? 0.0
+                      : 100.0 * cs.wall_seconds / wall_seconds_total_);
+    os << buf;
+  }
+}
+
+}  // namespace ppsim::obs

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "sim/observer.h"
+
+namespace ppsim::obs {
+
+/// Wall-clock run profiler: per-event-category execution time and events
+/// per second, gathered through the simulator's observer hook.
+///
+/// This is the one component of the observability layer that reads the
+/// host's clock — which is why it lives here in src/obs, outside the event
+/// core the determinism linter guards. It only *measures* the run; nothing
+/// it records feeds back into the simulation, so determinism is preserved.
+/// Its numbers are machine- and load-dependent: never diff them across
+/// runs, never assert on them in tests beyond "non-negative".
+class RunProfiler final : public sim::SimObserver {
+ public:
+  struct CategoryStats {
+    std::uint64_t events = 0;
+    double wall_seconds = 0;
+  };
+
+  void on_event_begin(sim::Time now, std::uint64_t seq, const char* category,
+                      std::size_t queue_depth) override;
+  void on_event_end(sim::Time now, const char* category) override;
+
+  const std::map<std::string, CategoryStats, std::less<>>& categories()
+      const {
+    return stats_;
+  }
+  std::uint64_t events_total() const { return events_total_; }
+  double wall_seconds_total() const { return wall_seconds_total_; }
+  double events_per_second() const {
+    return wall_seconds_total_ <= 0
+               ? 0.0
+               : static_cast<double>(events_total_) / wall_seconds_total_;
+  }
+  std::size_t max_queue_depth() const { return max_queue_depth_; }
+
+  /// One {"category":...,"events":...,"wall_s":...} object per line, plus a
+  /// final "total" row. Wall-clock values: inherently non-deterministic.
+  void write_ndjson(std::ostream& os) const;
+
+  /// Human-readable summary table, categories by descending wall time.
+  void print(std::ostream& os) const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  std::map<std::string, CategoryStats, std::less<>> stats_;
+  Clock::time_point event_begin_{};
+  std::uint64_t events_total_ = 0;
+  double wall_seconds_total_ = 0;
+  std::size_t max_queue_depth_ = 0;
+};
+
+}  // namespace ppsim::obs

@@ -1,0 +1,158 @@
+#include "obs/sampler.h"
+
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "obs/json.h"
+
+namespace ppsim::obs {
+
+std::uint64_t matrix_total(const IspMatrix& m) {
+  std::uint64_t t = 0;
+  for (const auto& row : m)
+    for (const auto b : row) t += b;
+  return t;
+}
+
+std::uint64_t matrix_intra_isp(const IspMatrix& m) {
+  std::uint64_t t = 0;
+  for (std::size_t i = 0; i < m.size(); ++i) t += m[i][i];
+  return t;
+}
+
+const TrafficSample& TrafficSampler::record(sim::Time now,
+                                            const IspMatrix& cumulative,
+                                            double neighbor_same_isp_share,
+                                            double avg_continuity,
+                                            std::uint64_t alive_peers) {
+  TrafficSample s;
+  s.t = now;
+  s.bytes = cumulative;
+  const std::uint64_t total = matrix_total(cumulative);
+  const std::uint64_t intra = matrix_intra_isp(cumulative);
+  s.interval_bytes = total - matrix_total(prev_);
+  s.interval_same_isp_bytes = intra - matrix_intra_isp(prev_);
+  s.same_isp_share_cum =
+      total == 0 ? 0.0
+                 : static_cast<double>(intra) / static_cast<double>(total);
+  s.same_isp_share_interval =
+      s.interval_bytes == 0
+          ? 0.0
+          : static_cast<double>(s.interval_same_isp_bytes) /
+                static_cast<double>(s.interval_bytes);
+  s.neighbor_same_isp_share = neighbor_same_isp_share;
+  s.avg_continuity = avg_continuity;
+  s.alive_peers = alive_peers;
+  prev_ = cumulative;
+  samples_.push_back(s);
+  return samples_.back();
+}
+
+void write_samples_ndjson(std::ostream& os,
+                          const std::vector<TrafficSample>& samples) {
+  for (const auto& s : samples) {
+    os << "{\"t\":";
+    write_json_sim_time(os, s.t);
+    os << ",\"alive\":" << s.alive_peers << ",\"continuity\":";
+    write_json_double(os, s.avg_continuity);
+    os << ",\"neighbor_same_isp\":";
+    write_json_double(os, s.neighbor_same_isp_share);
+    os << ",\"same_isp_cum\":";
+    write_json_double(os, s.same_isp_share_cum);
+    os << ",\"same_isp_interval\":";
+    write_json_double(os, s.same_isp_share_interval);
+    os << ",\"interval_bytes\":" << s.interval_bytes
+       << ",\"interval_same_isp_bytes\":" << s.interval_same_isp_bytes
+       << ",\"bytes\":[";
+    for (std::size_t i = 0; i < s.bytes.size(); ++i) {
+      if (i > 0) os << ',';
+      os << '[';
+      for (std::size_t j = 0; j < s.bytes[i].size(); ++j) {
+        if (j > 0) os << ',';
+        os << s.bytes[i][j];
+      }
+      os << ']';
+    }
+    os << "]}\n";
+  }
+}
+
+namespace {
+
+/// Finds `"key":` in `line` and parses the number that follows. Tolerant
+/// scanning parser for our own fixed emission format, not general JSON.
+bool find_number(const std::string& line, const char* key, double* out) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const std::size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  const char* start = line.c_str() + pos + needle.size();
+  char* end = nullptr;
+  const double v = std::strtod(start, &end);
+  if (end == start) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_matrix(const std::string& line, IspMatrix* out) {
+  const std::size_t pos = line.find("\"bytes\":[");
+  if (pos == std::string::npos) return false;
+  const char* p = line.c_str() + pos + 9;
+  for (auto& row : *out) {
+    while (*p == ',' || *p == ' ') ++p;
+    if (*p != '[') return false;
+    ++p;
+    for (auto& cell : row) {
+      while (*p == ',' || *p == ' ') ++p;
+      char* end = nullptr;
+      cell = std::strtoull(p, &end, 10);
+      if (end == p) return false;
+      p = end;
+    }
+    while (*p == ' ') ++p;
+    if (*p != ']') return false;
+    ++p;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<TrafficSample> read_samples_ndjson(std::istream& is,
+                                               std::size_t* dropped) {
+  std::vector<TrafficSample> out;
+  if (dropped != nullptr) *dropped = 0;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    TrafficSample s;
+    double t = 0, alive = 0, continuity = 0, nbr = 0, cum = 0, interval = 0,
+           ib = 0, isb = 0;
+    const bool ok = find_number(line, "t", &t) &&
+                    find_number(line, "alive", &alive) &&
+                    find_number(line, "continuity", &continuity) &&
+                    find_number(line, "neighbor_same_isp", &nbr) &&
+                    find_number(line, "same_isp_cum", &cum) &&
+                    find_number(line, "same_isp_interval", &interval) &&
+                    find_number(line, "interval_bytes", &ib) &&
+                    find_number(line, "interval_same_isp_bytes", &isb) &&
+                    parse_matrix(line, &s.bytes);
+    if (!ok) {
+      if (dropped != nullptr) ++*dropped;
+      continue;
+    }
+    s.t = sim::Time::from_seconds(t);
+    s.alive_peers = static_cast<std::uint64_t>(alive);
+    s.avg_continuity = continuity;
+    s.neighbor_same_isp_share = nbr;
+    s.same_isp_share_cum = cum;
+    s.same_isp_share_interval = interval;
+    s.interval_bytes = static_cast<std::uint64_t>(ib);
+    s.interval_same_isp_bytes = static_cast<std::uint64_t>(isb);
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace ppsim::obs

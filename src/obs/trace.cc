@@ -1,0 +1,69 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "obs/json.h"
+
+namespace ppsim::obs {
+
+void NdjsonTraceSink::write(const TraceEvent& event) {
+  os_ << "{\"t\":";
+  write_json_sim_time(os_, event.time());
+  os_ << ",\"ev\":";
+  write_json_string(os_, event.name());
+  for (const auto& f : event.fields()) {
+    os_ << ',';
+    write_json_string(os_, f.key);
+    os_ << ':';
+    std::visit(
+        [&](const auto& v) {
+          using T = std::decay_t<decltype(v)>;
+          if constexpr (std::is_same_v<T, std::string>) {
+            write_json_string(os_, v);
+          } else if constexpr (std::is_same_v<T, bool>) {
+            os_ << (v ? "true" : "false");
+          } else if constexpr (std::is_same_v<T, double>) {
+            write_json_double(os_, v);
+          } else {
+            os_ << v;
+          }
+        },
+        f.value);
+  }
+  os_ << "}\n";
+  ++events_written_;
+}
+
+void CountingTraceSink::write(const TraceEvent& event) {
+  ++total_;
+  const auto it = std::lower_bound(
+      counts_.begin(), counts_.end(), event.name(),
+      [](const auto& entry, const std::string& name) {
+        return entry.first < name;
+      });
+  if (it != counts_.end() && it->first == event.name()) {
+    ++it->second;
+  } else {
+    counts_.insert(it, {event.name(), 1});
+  }
+}
+
+std::uint64_t CountingTraceSink::count(std::string_view name) const {
+  const auto it = std::lower_bound(
+      counts_.begin(), counts_.end(), name,
+      [](const auto& entry, std::string_view n) { return entry.first < n; });
+  return it != counts_.end() && it->first == name ? it->second : 0;
+}
+
+void SimEventTracer::on_event_begin(sim::Time now, std::uint64_t seq,
+                                    const char* category,
+                                    std::size_t queue_depth) {
+  TraceEvent ev(now, "sim_event");
+  ev.field("seq", seq)
+      .field("cat", category)
+      .field("qdepth", static_cast<std::uint64_t>(queue_depth));
+  sink_.write(ev);
+}
+
+}  // namespace ppsim::obs

@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "sim/observer.h"
+#include "sim/time.h"
+
+namespace ppsim::obs {
+
+/// One traced protocol/simulator event: a sim-timestamp, an event name, and
+/// an ordered list of typed fields. Field order is the emission order, so a
+/// given emitter always serializes identically — trace files from same-seed
+/// runs are byte-identical (no wall-clock, no addresses, no hash order).
+class TraceEvent {
+ public:
+  using Value = std::variant<std::uint64_t, std::int64_t, double, bool,
+                             std::string>;
+  struct Field {
+    std::string key;
+    Value value;
+  };
+
+  TraceEvent(sim::Time t, std::string_view name) : t_(t), name_(name) {}
+
+  TraceEvent& field(std::string_view key, std::uint64_t value) {
+    return push(key, Value(std::in_place_type<std::uint64_t>, value));
+  }
+  TraceEvent& field(std::string_view key, std::int64_t value) {
+    return push(key, Value(std::in_place_type<std::int64_t>, value));
+  }
+  TraceEvent& field(std::string_view key, int value) {
+    return field(key, static_cast<std::int64_t>(value));
+  }
+  TraceEvent& field(std::string_view key, unsigned value) {
+    return field(key, static_cast<std::uint64_t>(value));
+  }
+  TraceEvent& field(std::string_view key, double value) {
+    return push(key, Value(std::in_place_type<double>, value));
+  }
+  TraceEvent& field(std::string_view key, bool value) {
+    return push(key, Value(std::in_place_type<bool>, value));
+  }
+  TraceEvent& field(std::string_view key, std::string_view value) {
+    return push(key, Value(std::in_place_type<std::string>, value));
+  }
+  TraceEvent& field(std::string_view key, const char* value) {
+    return field(key, std::string_view(value));
+  }
+
+  sim::Time time() const { return t_; }
+  const std::string& name() const { return name_; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+ private:
+  TraceEvent& push(std::string_view key, Value value) {
+    fields_.push_back(Field{std::string(key), std::move(value)});
+    return *this;
+  }
+
+  sim::Time t_;
+  std::string name_;
+  std::vector<Field> fields_;
+};
+
+/// Receiver of trace events. Emitters hold a TraceSink* that is nullptr by
+/// default, so a disabled trace costs one branch per would-be event.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void write(const TraceEvent& event) = 0;
+};
+
+/// Serializes events as NDJSON: one {"t":<sim-seconds>,"ev":<name>,...}
+/// object per line, fields in emission order (see docs/OBSERVABILITY.md).
+class NdjsonTraceSink final : public TraceSink {
+ public:
+  explicit NdjsonTraceSink(std::ostream& os) : os_(os) {}
+  void write(const TraceEvent& event) override;
+  std::uint64_t events_written() const { return events_written_; }
+
+ private:
+  std::ostream& os_;
+  std::uint64_t events_written_ = 0;
+};
+
+/// Counts events per name (std::map, deterministic order); used by tests
+/// and as a cheap volume summary.
+class CountingTraceSink final : public TraceSink {
+ public:
+  void write(const TraceEvent& event) override;
+  std::uint64_t total() const { return total_; }
+  std::uint64_t count(std::string_view name) const;
+
+ private:
+  std::vector<std::pair<std::string, std::uint64_t>> counts_;  // sorted
+  std::uint64_t total_ = 0;
+};
+
+/// Adapter from the simulator's observer hook to a TraceSink: emits one
+/// "sim_event" row per executed event (sequence number, category, queue
+/// depth). High volume — opt-in separately from protocol tracing.
+class SimEventTracer final : public sim::SimObserver {
+ public:
+  explicit SimEventTracer(TraceSink& sink) : sink_(sink) {}
+  void on_event_begin(sim::Time now, std::uint64_t seq, const char* category,
+                      std::size_t queue_depth) override;
+
+ private:
+  TraceSink& sink_;
+};
+
+}  // namespace ppsim::obs

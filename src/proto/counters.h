@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 namespace ppsim::proto {
@@ -51,5 +52,62 @@ struct PeerCounters {
                             static_cast<double>(total);
   }
 };
+
+/// Visits every counter field as (name, value). The single enumeration
+/// point for reports, metrics export, and aggregation — adding a field to
+/// PeerCounters without extending this list trips the static_assert below,
+/// so no counter can be silently dropped from downstream consumers.
+template <typename Fn>
+void for_each_field(const PeerCounters& c, Fn&& fn) {
+  static_assert(sizeof(PeerCounters) == 26 * sizeof(std::uint64_t),
+                "PeerCounters changed: update for_each_field and operator+=");
+  fn("tracker_queries_sent", c.tracker_queries_sent);
+  fn("tracker_replies", c.tracker_replies);
+  fn("gossip_queries_sent", c.gossip_queries_sent);
+  fn("gossip_replies_received", c.gossip_replies_received);
+  fn("gossip_queries_answered", c.gossip_queries_answered);
+  fn("ips_learned_from_trackers", c.ips_learned_from_trackers);
+  fn("ips_learned_from_peers", c.ips_learned_from_peers);
+  fn("connects_attempted", c.connects_attempted);
+  fn("connects_accepted", c.connects_accepted);
+  fn("connects_rejected", c.connects_rejected);
+  fn("connects_timed_out", c.connects_timed_out);
+  fn("connects_lost_race", c.connects_lost_race);
+  fn("inbound_accepted", c.inbound_accepted);
+  fn("inbound_rejected", c.inbound_rejected);
+  fn("neighbors_dropped_idle", c.neighbors_dropped_idle);
+  fn("neighbors_dropped_optimized", c.neighbors_dropped_optimized);
+  fn("data_requests_sent", c.data_requests_sent);
+  fn("data_replies_received", c.data_replies_received);
+  fn("data_requests_served", c.data_requests_served);
+  fn("data_requests_unserveable", c.data_requests_unserveable);
+  fn("duplicate_chunks", c.duplicate_chunks);
+  fn("request_timeouts", c.request_timeouts);
+  fn("bytes_downloaded", c.bytes_downloaded);
+  fn("bytes_uploaded", c.bytes_uploaded);
+  fn("chunks_played", c.chunks_played);
+  fn("chunks_missed", c.chunks_missed);
+}
+
+/// Field-wise aggregation, the building block for swarm-wide totals.
+inline PeerCounters& operator+=(PeerCounters& lhs, const PeerCounters& rhs) {
+  // Enumerate through for_each_field so both stay in sync by construction:
+  // the name/value pairs are matched up positionally over the same list.
+  std::uint64_t* fields[26];
+  std::size_t i = 0;
+  for_each_field(lhs, [&](const char*, const std::uint64_t& v) {
+    fields[i++] = const_cast<std::uint64_t*>(&v);
+  });
+  i = 0;
+  for_each_field(rhs, [&](const char*, const std::uint64_t& v) {
+    *fields[i++] += v;
+  });
+  return lhs;
+}
+
+inline PeerCounters operator+(PeerCounters lhs, const PeerCounters& rhs) {
+  lhs += rhs;
+  return lhs;
+}
 
 }  // namespace ppsim::proto

@@ -36,6 +36,14 @@ void Peer::leave() {
   for (const auto& [ip, nb] : neighbors_) {
     send(ip, Message{Goodbye{channel_.id}}, /*with_processing_delay=*/false);
   }
+  if (trace_ != nullptr) {
+    obs::TraceEvent ev(simulator_.now(), "peer_leave");
+    ev.field("peer", identity_.ip.to_string())
+        .field("bytes_down", counters_.bytes_downloaded)
+        .field("bytes_up", counters_.bytes_uploaded)
+        .field("continuity", counters_.continuity());
+    trace_->write(ev);
+  }
   alive_ = false;
   // Detach after the goodbyes were handed to the uplink; the network keeps
   // per-packet state, so detaching now still lets them out.
@@ -45,19 +53,30 @@ void Peer::leave() {
 void Peer::join() {
   if (!alive_ || joined_) return;
   joined_ = true;
+  if (trace_ != nullptr) {
+    obs::TraceEvent ev(simulator_.now(), "peer_join");
+    ev.field("peer", identity_.ip.to_string())
+        .field("isp", net::to_string(identity_.category))
+        .field("channel", static_cast<std::uint64_t>(channel_.id))
+        .field("nat", config_.behind_nat);
+    trace_->write(ev);
+  }
   // DNS resolution of the bootstrap/channel server names.
   const sim::Time dns = sim::Time::micros(rng_.uniform_int(
       config_.dns_delay_min.as_micros(), config_.dns_delay_max.as_micros()));
-  simulator_.schedule(dns, [this] { contact_bootstrap(); });
+  simulator_.schedule(dns, [this] { contact_bootstrap(); }, "peer.join");
 }
 
 void Peer::contact_bootstrap() {
   if (!alive_) return;
   send(bootstrap_, Message{JoinQuery{channel_.id}});
   // Retry until the join reply arrives (UDP may drop it).
-  simulator_.schedule(sim::Time::seconds(3), [this] {
-    if (alive_ && trackers_.empty()) contact_bootstrap();
-  });
+  simulator_.schedule(
+      sim::Time::seconds(3),
+      [this] {
+        if (alive_ && trackers_.empty()) contact_bootstrap();
+      },
+      "peer.join");
 }
 
 void Peer::on_join_reply(const JoinReply& r) {
@@ -73,36 +92,48 @@ void Peer::on_join_reply(const JoinReply& r) {
   schedule_tracker_round();
 
   // Steady-state machinery.
-  schedule_periodic(simulator_, config_.gossip_period, [this] {
-    if (!alive_) return false;
-    gossip_round();
-    return true;
-  });
-  schedule_periodic(simulator_, config_.topup_period, [this] {
-    if (!alive_) return false;
-    topup_connections();
-    return true;
-  });
-  schedule_periodic(simulator_, config_.request_tick, [this] {
-    if (!alive_) return false;
-    request_tick();
-    return true;
-  });
-  schedule_periodic(simulator_, config_.buffermap_period, [this] {
-    if (!alive_) return false;
-    announce_buffer_maps();
-    return true;
-  });
-  schedule_periodic(simulator_, sim::Time::seconds(1), [this] {
-    if (!alive_) return false;
-    sweep_timeouts();
-    return true;
-  });
-  schedule_periodic(simulator_, config_.optimize_period, [this] {
-    if (!alive_) return false;
-    optimize_neighborhood();
-    return true;
-  });
+  schedule_periodic(simulator_, config_.gossip_period,
+                    [this] {
+                      if (!alive_) return false;
+                      gossip_round();
+                      return true;
+                    },
+                    "peer.gossip");
+  schedule_periodic(simulator_, config_.topup_period,
+                    [this] {
+                      if (!alive_) return false;
+                      topup_connections();
+                      return true;
+                    },
+                    "peer.topup");
+  schedule_periodic(simulator_, config_.request_tick,
+                    [this] {
+                      if (!alive_) return false;
+                      request_tick();
+                      return true;
+                    },
+                    "peer.request");
+  schedule_periodic(simulator_, config_.buffermap_period,
+                    [this] {
+                      if (!alive_) return false;
+                      announce_buffer_maps();
+                      return true;
+                    },
+                    "peer.buffermap");
+  schedule_periodic(simulator_, sim::Time::seconds(1),
+                    [this] {
+                      if (!alive_) return false;
+                      sweep_timeouts();
+                      return true;
+                    },
+                    "peer.sweep");
+  schedule_periodic(simulator_, config_.optimize_period,
+                    [this] {
+                      if (!alive_) return false;
+                      optimize_neighborhood();
+                      return true;
+                    },
+                    "peer.optimize");
 }
 
 void Peer::optimize_neighborhood() {
@@ -167,19 +198,31 @@ void Peer::schedule_tracker_round() {
       neighbors_.size() >= static_cast<std::size_t>(config_.healthy_neighbors);
   const sim::Time period = healthy ? config_.tracker_period_steady
                                    : config_.tracker_period_initial;
-  simulator_.schedule(period, [this] {
-    if (!alive_) return;
-    const bool now_healthy = neighbors_.size() >=
-                             static_cast<std::size_t>(config_.healthy_neighbors);
-    // Unhealthy peers sweep every tracker group; healthy ones ping a single
-    // tracker to stay registered (and discoverable).
-    query_trackers(/*all=*/!now_healthy);
-    schedule_tracker_round();
-  });
+  simulator_.schedule(
+      period,
+      [this] {
+        if (!alive_) return;
+        const bool now_healthy =
+            neighbors_.size() >=
+            static_cast<std::size_t>(config_.healthy_neighbors);
+        // Unhealthy peers sweep every tracker group; healthy ones ping a
+        // single tracker to stay registered (and discoverable).
+        query_trackers(/*all=*/!now_healthy);
+        schedule_tracker_round();
+      },
+      "peer.tracker");
 }
 
 void Peer::query_trackers(bool all) {
   if (trackers_.empty()) return;
+  if (trace_ != nullptr) {
+    obs::TraceEvent ev(simulator_.now(), "tracker_query");
+    ev.field("peer", identity_.ip.to_string())
+        .field("all", all)
+        .field("trackers",
+               static_cast<std::uint64_t>(all ? trackers_.size() : 1));
+    trace_->write(ev);
+  }
   if (all) {
     for (const auto& t : trackers_) {
       send(t, Message{TrackerQuery{channel_.id}});
@@ -255,6 +298,12 @@ void Peer::try_connect(const std::vector<net::IpAddress>& targets) {
     if (neighbors_.contains(ip) || pending_connects_.contains(ip)) continue;
     pending_connects_[ip] = simulator_.now();
     ++counters_.connects_attempted;
+    if (trace_ != nullptr) {
+      obs::TraceEvent ev(simulator_.now(), "connect_attempt");
+      ev.field("peer", identity_.ip.to_string())
+          .field("to", ip.to_string());
+      trace_->write(ev);
+    }
     send(ip, Message{ConnectQuery{channel_.id}});
   }
 }
@@ -283,6 +332,12 @@ void Peer::gossip_round() {
   for (const auto& [ip, nb] : neighbors_) ips.push_back(ip);
   auto picked = rng_.sample(
       ips, static_cast<std::size_t>(std::max(config_.gossip_fanout, 1)));
+  if (trace_ != nullptr) {
+    obs::TraceEvent ev(simulator_.now(), "gossip_query");
+    ev.field("peer", identity_.ip.to_string())
+        .field("fanout", static_cast<std::uint64_t>(picked.size()));
+    trace_->write(ev);
+  }
   PeerListQuery q{channel_.id, my_peer_list()};
   for (const auto& ip : picked) {
     ++counters_.gossip_queries_sent;
@@ -298,6 +353,13 @@ void Peer::sweep_timeouts() {
   for (auto it = pending_connects_.begin(); it != pending_connects_.end();) {
     if (now - it->second > config_.connect_timeout) {
       ++counters_.connects_timed_out;
+      if (trace_ != nullptr) {
+        obs::TraceEvent ev(now, "connect_result");
+        ev.field("peer", identity_.ip.to_string())
+            .field("from", it->first.to_string())
+            .field("outcome", "timeout");
+        trace_->write(ev);
+      }
       it = pending_connects_.erase(it);
     } else {
       ++it;
@@ -355,11 +417,13 @@ void Peer::maybe_start_playback() {
         live_edge_ > buffer_chunks ? live_edge_ - buffer_chunks : 1;
   }
   playback_started_ = true;
-  schedule_periodic(simulator_, channel_.chunk_duration(), [this] {
-    if (!alive_) return false;
-    playback_tick();
-    return true;
-  });
+  schedule_periodic(simulator_, channel_.chunk_duration(),
+                    [this] {
+                      if (!alive_) return false;
+                      playback_tick();
+                      return true;
+                    },
+                    "peer.playback");
 }
 
 void Peer::playback_tick() {
@@ -415,6 +479,13 @@ void Peer::request_tick() {
     pending_data_[seq] = PendingData{target, simulator_.now()};
     ++counters_.data_requests_sent;
     ++issued;
+    if (trace_ != nullptr) {
+      obs::TraceEvent ev(simulator_.now(), "data_request");
+      ev.field("peer", identity_.ip.to_string())
+          .field("to", target.to_string())
+          .field("chunk", static_cast<std::uint64_t>(seq));
+      trace_->write(ev);
+    }
     send(target, Message{DataQuery{channel_.id, seq}},
          /*with_processing_delay=*/false);
   }
@@ -442,10 +513,13 @@ void Peer::send(net::IpAddress to, Message m, bool with_processing_delay) {
   }
   // Application-layer processing before the packet reaches the socket.
   const sim::Time proc = sim::Time::micros(rng_.uniform_int(500, 3000));
-  simulator_.schedule(proc, [this, to, m = std::move(m), bytes]() mutable {
-    if (!alive_) return;
-    network_.send(identity_.ip, to, std::move(m), bytes);
-  });
+  simulator_.schedule(
+      proc,
+      [this, to, m = std::move(m), bytes]() mutable {
+        if (!alive_) return;
+        network_.send(identity_.ip, to, std::move(m), bytes);
+      },
+      "peer.send");
 }
 
 void Peer::add_neighbor(net::IpAddress ip, double initial_latency_s,
@@ -522,6 +596,13 @@ void Peer::handle(const PeerNetwork::Delivery& delivery) {
   if (const auto* tr = std::get_if<TrackerReply>(&delivery.payload)) {
     if (tr->channel != channel_.id) return;
     ++counters_.tracker_replies;
+    if (trace_ != nullptr) {
+      obs::TraceEvent ev(simulator_.now(), "tracker_reply");
+      ev.field("peer", identity_.ip.to_string())
+          .field("from", from.to_string())
+          .field("peers", static_cast<std::uint64_t>(tr->peers.size()));
+      trace_->write(ev);
+    }
     learn_candidates(tr->peers, /*from_tracker=*/true);
     attempt_connections(tr->peers);
     return;
@@ -569,17 +650,29 @@ void Peer::handle(const PeerNetwork::Delivery& delivery) {
     const double handshake_s =
         (simulator_.now() - pending->second).as_seconds();
     pending_connects_.erase(pending);
+    const auto trace_connect = [&](const char* outcome) {
+      if (trace_ == nullptr) return;
+      obs::TraceEvent ev(simulator_.now(), "connect_result");
+      ev.field("peer", identity_.ip.to_string())
+          .field("from", from.to_string())
+          .field("outcome", outcome)
+          .field("handshake_s", handshake_s);
+      trace_->write(ev);
+    };
     if (!cr->accepted) {
       ++counters_.connects_rejected;
+      trace_connect("rejected");
       return;
     }
     if (neighbors_.size() >= static_cast<std::size_t>(config_.max_neighbors)) {
       // Lost the race: faster responders already filled the slots.
       ++counters_.connects_lost_race;
+      trace_connect("lost_race");
       send(from, Message{Goodbye{channel_.id}});
       return;
     }
     ++counters_.connects_accepted;
+    trace_connect("accepted");
     add_neighbor(from, handshake_s, cr->map);
     update_live_edge();
     // Paper: upon establishing a connection, first ask the new neighbor for
@@ -607,6 +700,13 @@ void Peer::handle(const PeerNetwork::Delivery& delivery) {
   if (const auto* plr = std::get_if<PeerListReply>(&delivery.payload)) {
     if (plr->channel != channel_.id) return;
     ++counters_.gossip_replies_received;
+    if (trace_ != nullptr) {
+      obs::TraceEvent ev(simulator_.now(), "gossip_reply");
+      ev.field("peer", identity_.ip.to_string())
+          .field("from", from.to_string())
+          .field("peers", static_cast<std::uint64_t>(plr->peers.size()));
+      trace_->write(ev);
+    }
     if (auto it = neighbors_.find(from); it != neighbors_.end()) {
       it->second.last_seen = simulator_.now();
       if (auto pend = pending_list_.find(from); pend != pending_list_.end()) {
@@ -642,6 +742,14 @@ void Peer::handle(const PeerNetwork::Delivery& delivery) {
     }
     ++counters_.data_requests_served;
     counters_.bytes_uploaded += channel_.chunk_bytes();
+    if (trace_ != nullptr) {
+      obs::TraceEvent ev(simulator_.now(), "data_serve");
+      ev.field("peer", identity_.ip.to_string())
+          .field("to", from.to_string())
+          .field("chunk", static_cast<std::uint64_t>(dq->chunk))
+          .field("bytes", channel_.chunk_bytes());
+      trace_->write(ev);
+    }
     DataReply r{channel_.id, dq->chunk, channel_.subpieces_per_chunk,
                 channel_.chunk_bytes()};
     send(from, Message{r});

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "net/ip.h"
+#include "obs/trace.h"
 #include "proto/channel.h"
 #include "proto/chunk_store.h"
 #include "proto/counters.h"
@@ -64,6 +65,13 @@ class Peer {
   /// Leaves the swarm: notifies neighbors, detaches from the network, and
   /// neutralizes all pending timers. Idempotent.
   void leave();
+
+  /// Routes this client's protocol trace events (tracker queries, gossip,
+  /// connect races, chunk request/serve) to `sink`. nullptr (the default)
+  /// disables tracing at the cost of one branch per would-be event. Set
+  /// before join() to capture the join sequence. Purely observational —
+  /// behaviour is identical with or without a sink.
+  void set_trace_sink(obs::TraceSink* sink) { trace_ = sink; }
 
   bool alive() const { return alive_; }
   net::IpAddress ip() const { return identity_.ip; }
@@ -157,6 +165,8 @@ class Peer {
   sim::Rng rng_;
   PeerConfig config_;
   std::unique_ptr<SelectionPolicy> policy_;
+
+  obs::TraceSink* trace_ = nullptr;
 
   bool alive_ = false;
   bool joined_ = false;

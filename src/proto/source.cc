@@ -38,32 +38,39 @@ void StreamSource::start() {
   } else {
     produce_chunk();  // chunk 1 exists immediately; 0 is reserved as "none"
   }
-  schedule_periodic(simulator_, config_.announce_period, [this] {
-    if (running_) announce_maps();
-    return running_;
-  });
+  schedule_periodic(simulator_, config_.announce_period,
+                    [this] {
+                      if (running_) announce_maps();
+                      return running_;
+                    },
+                    "source.announce");
   refresh_trackers();
-  schedule_periodic(simulator_, config_.tracker_refresh, [this] {
-    if (running_) refresh_trackers();
-    return running_;
-  });
+  schedule_periodic(simulator_, config_.tracker_refresh,
+                    [this] {
+                      if (running_) refresh_trackers();
+                      return running_;
+                    },
+                    "source.tracker");
 }
 
 void StreamSource::stop() { running_ = false; }
 
 void StreamSource::send(net::IpAddress to, Message m, sim::Time extra_delay) {
   const std::uint64_t bytes = wire_size(m);
-  simulator_.schedule(config_.processing_delay + extra_delay,
-                      [this, to, m = std::move(m), bytes]() mutable {
-                        network_.send(identity_.ip, to, std::move(m), bytes);
-                      });
+  simulator_.schedule(
+      config_.processing_delay + extra_delay,
+      [this, to, m = std::move(m), bytes]() mutable {
+        network_.send(identity_.ip, to, std::move(m), bytes);
+      },
+      "source.send");
 }
 
 void StreamSource::produce_chunk() {
   if (!running_) return;
   ++chunks_produced_;
   store_.insert(chunks_produced_);
-  simulator_.schedule(channel_.chunk_duration(), [this] { produce_chunk(); });
+  simulator_.schedule(channel_.chunk_duration(), [this] { produce_chunk(); },
+                      "source.produce");
 }
 
 void StreamSource::announce_maps() {
@@ -139,6 +146,14 @@ void StreamSource::handle(const PeerNetwork::Delivery& delivery) {
     touch_neighbor(from);
     if (!store_.has(dq->chunk)) return;  // too old or not yet produced
     ++requests_served_;
+    if (trace_ != nullptr) {
+      obs::TraceEvent ev(simulator_.now(), "source_serve");
+      ev.field("source", identity_.ip.to_string())
+          .field("to", from.to_string())
+          .field("chunk", static_cast<std::uint64_t>(dq->chunk))
+          .field("bytes", channel_.chunk_bytes());
+      trace_->write(ev);
+    }
     DataReply r{channel_.id, dq->chunk, channel_.subpieces_per_chunk,
                 channel_.chunk_bytes()};
     send(from, Message{r}, sim::Time::zero());

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "net/ip.h"
+#include "obs/trace.h"
 #include "proto/channel.h"
 #include "proto/chunk_store.h"
 #include "proto/host.h"
@@ -50,6 +51,10 @@ class StreamSource {
   /// Stops producing (the channel "ends"); the host stays attached.
   void stop();
 
+  /// Emits one "source_serve" event per served data request to `sink`;
+  /// nullptr (the default) disables tracing. Purely observational.
+  void set_trace_sink(obs::TraceSink* sink) { trace_ = sink; }
+
   net::IpAddress ip() const { return identity_.ip; }
   ChunkSeq live_edge() const { return store_.highest(); }
   std::uint64_t chunks_produced() const { return chunks_produced_; }
@@ -71,6 +76,7 @@ class StreamSource {
   std::vector<net::IpAddress> trackers_;
   sim::Rng rng_;
   Config config_;
+  obs::TraceSink* trace_ = nullptr;
 
   bool running_ = false;
   ChunkStore store_;

@@ -83,14 +83,22 @@ void TrackerServer::handle(const PeerNetwork::Delivery& delivery) {
   }
   refresh(channel, delivery.from);
   ++queries_served_;
+  if (trace_ != nullptr) {
+    obs::TraceEvent ev(simulator_.now(), "tracker_serve");
+    ev.field("tracker", identity_.ip.to_string())
+        .field("to", delivery.from.to_string())
+        .field("channel", static_cast<std::uint64_t>(channel))
+        .field("peers", static_cast<std::uint64_t>(reply.peers.size()));
+    trace_->write(ev);
+  }
 
   const std::uint64_t bytes = wire_size(Message{reply});
-  simulator_.schedule(config_.processing_delay,
-                      [this, to = delivery.from, reply = std::move(reply),
-                       bytes]() mutable {
-                        network_.send(identity_.ip, to, Message{std::move(reply)},
-                                      bytes);
-                      });
+  simulator_.schedule(
+      config_.processing_delay,
+      [this, to = delivery.from, reply = std::move(reply), bytes]() mutable {
+        network_.send(identity_.ip, to, Message{std::move(reply)}, bytes);
+      },
+      "tracker.serve");
 }
 
 }  // namespace ppsim::proto

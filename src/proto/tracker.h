@@ -7,6 +7,7 @@
 #include "net/asn_db.h"
 #include "net/ip.h"
 #include "net/transport.h"
+#include "obs/trace.h"
 #include "proto/host.h"
 #include "proto/message.h"
 #include "sim/rng.h"
@@ -50,6 +51,10 @@ class TrackerServer {
 
   net::IpAddress ip() const { return identity_.ip; }
 
+  /// Emits one "tracker_serve" event per answered query to `sink`; nullptr
+  /// (the default) disables tracing. Purely observational.
+  void set_trace_sink(obs::TraceSink* sink) { trace_ = sink; }
+
   /// Number of live (unexpired) members of a channel as of now.
   std::size_t member_count(ChannelId channel);
 
@@ -70,6 +75,7 @@ class TrackerServer {
   HostIdentity identity_;
   sim::Rng rng_;
   Config config_;
+  obs::TraceSink* trace_ = nullptr;
   std::uint64_t queries_served_ = 0;
   // channel -> member entries (channel populations are small enough that
   // linear expiry scans are cheaper than index maintenance)

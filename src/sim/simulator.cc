@@ -1,20 +1,34 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 #include <memory>
 
+#include "sim/observer.h"
 #include "sim/time.h"
 
 namespace ppsim::sim {
 
-TimerHandle Simulator::schedule_at(Time when, Callback cb) {
+TimerHandle Simulator::schedule_at(Time when, Callback cb,
+                                   const char* category) {
   assert(cb);
   if (when < now_) when = now_;
   std::uint64_t seq = next_seq_++;
-  queue_.push(Event{when, seq, std::move(cb)});
+  queue_.push(Event{when, seq, category, std::move(cb)});
   pending_.insert(seq);
   return TimerHandle{seq};
+}
+
+void Simulator::add_observer(SimObserver* observer) {
+  assert(observer != nullptr);
+  observers_.push_back(observer);
+}
+
+void Simulator::remove_observer(SimObserver* observer) {
+  observers_.erase(
+      std::remove(observers_.begin(), observers_.end(), observer),
+      observers_.end());
 }
 
 bool Simulator::cancel(TimerHandle h) {
@@ -33,12 +47,22 @@ std::uint64_t Simulator::run_until(Time until) {
     const Event& top = queue_.top();
     if (top.when > until) break;
     // Move the event out before popping so the callback may schedule/cancel.
-    Event ev{top.when, top.seq, std::move(const_cast<Event&>(top).cb)};
+    Event ev{top.when, top.seq, top.category,
+             std::move(const_cast<Event&>(top).cb)};
     queue_.pop();
     if (!cancelled_.empty() && cancelled_.erase(ev.seq) > 0) continue;
     pending_.erase(ev.seq);
     now_ = ev.when;
-    ev.cb();
+    if (observers_.empty()) {
+      ev.cb();
+    } else {
+      const char* category = ev.category == nullptr ? "" : ev.category;
+      const std::size_t depth = queue_.size();
+      for (SimObserver* obs : observers_)
+        obs->on_event_begin(now_, ev.seq, category, depth);
+      ev.cb();
+      for (SimObserver* obs : observers_) obs->on_event_end(now_, category);
+    }
     ++ran;
     ++events_executed_;
   }
@@ -57,8 +81,9 @@ std::uint64_t Simulator::run() {
   return run_until(Time::micros(INT64_MAX));
 }
 
-void schedule_periodic(Simulator& simulator, Time period,
-                       std::function<bool()> tick) {
+TimerHandle schedule_periodic(Simulator& simulator, Time period,
+                              std::function<bool()> tick,
+                              const char* category) {
   assert(period > Time::zero());
   // Self-rescheduling chain; stops when tick() returns false. Ownership is
   // one-directional: each pending event's callback holds the shared state,
@@ -71,14 +96,18 @@ void schedule_periodic(Simulator& simulator, Time period,
     Simulator* sim;
     Time period;
     std::function<bool()> tick;
-    static void arm(const std::shared_ptr<State>& state) {
-      state->sim->schedule(state->period, [state] {
-        if (state->tick()) arm(state);
-      });
+    const char* category;
+    static TimerHandle arm(const std::shared_ptr<State>& state) {
+      return state->sim->schedule(
+          state->period,
+          [state] {
+            if (state->tick()) arm(state);
+          },
+          state->category);
     }
   };
-  State::arm(
-      std::make_shared<State>(State{&simulator, period, std::move(tick)}));
+  return State::arm(std::make_shared<State>(
+      State{&simulator, period, std::move(tick), category}));
 }
 
 std::string Time::to_string() const {

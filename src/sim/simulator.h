@@ -10,6 +10,8 @@
 
 namespace ppsim::sim {
 
+class SimObserver;
+
 /// Opaque handle to a scheduled event; lets callers cancel pending timers.
 class TimerHandle {
  public:
@@ -40,13 +42,18 @@ class Simulator {
 
   /// Schedules `cb` to run `delay` after the current time. Negative delays
   /// are clamped to zero (fire "now", after already-pending events at now).
-  TimerHandle schedule(Time delay, Callback cb) {
+  /// `category` labels the event for observers (tracing/profiling); it must
+  /// point at storage outliving the simulator — in practice a string
+  /// literal — and has no effect on the run itself.
+  TimerHandle schedule(Time delay, Callback cb,
+                       const char* category = nullptr) {
     return schedule_at(delay.is_negative() ? now_ : now_ + delay,
-                       std::move(cb));
+                       std::move(cb), category);
   }
 
   /// Schedules `cb` at an absolute time (clamped to `now()` if in the past).
-  TimerHandle schedule_at(Time when, Callback cb);
+  TimerHandle schedule_at(Time when, Callback cb,
+                          const char* category = nullptr);
 
   /// Cancels a pending event. Returns true if the event had not yet fired.
   /// Cancellation is O(1): the event is tombstoned and skipped on pop.
@@ -65,10 +72,18 @@ class Simulator {
   std::uint64_t events_executed() const { return events_executed_; }
   std::size_t pending_events() const { return pending_.size(); }
 
+  /// Registers an observer notified around every executed event. Observers
+  /// are purely passive (see SimObserver); with none registered the event
+  /// loop takes the plain fast path. Not owned; callers remove (or outlive
+  /// the simulator) before destroying the observer.
+  void add_observer(SimObserver* observer);
+  void remove_observer(SimObserver* observer);
+
  private:
   struct Event {
     Time when;
     std::uint64_t seq;
+    const char* category;  // observer label; nullptr = untagged
     Callback cb;
     bool operator>(const Event& o) const {
       if (when != o.when) return when > o.when;
@@ -86,12 +101,17 @@ class Simulator {
   // instead of planting a stale tombstone.
   std::unordered_set<std::uint64_t> pending_;
   std::unordered_set<std::uint64_t> cancelled_;  // tombstones, consumed on pop
+  std::vector<SimObserver*> observers_;
 };
 
-/// Convenience: reschedules itself with a fixed period until `cancel` or the
-/// owner drops the handle chain. Returns the handle of the *first* firing;
-/// periodic tasks that must be stoppable should instead keep their own flag.
-void schedule_periodic(Simulator& simulator, Time period,
-                       std::function<bool()> tick);
+/// Convenience: runs `tick` every `period` until it returns false. Returns
+/// the handle of the *first* firing: cancelling it before that firing stops
+/// the whole chain, but once the first tick has fired the chain re-arms
+/// under fresh handles, so periodic tasks that must stay stoppable should
+/// keep their own flag (and return false from `tick`). `category` labels
+/// every firing of the chain for observers.
+TimerHandle schedule_periodic(Simulator& simulator, Time period,
+                              std::function<bool()> tick,
+                              const char* category = nullptr);
 
 }  // namespace ppsim::sim

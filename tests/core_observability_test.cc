@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/experiment.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/sampler.h"
+#include "obs/trace.h"
+#include "workload/scenario.h"
+
+namespace ppsim::core {
+namespace {
+
+ExperimentConfig small_config(std::uint64_t seed = 7) {
+  ExperimentConfig config;
+  config.scenario = workload::unpopular_channel();
+  config.scenario.viewers = 25;
+  config.scenario.duration = sim::Time::minutes(3);
+  config.scenario.seed = seed;
+  config.probes = {tele_probe()};
+  return config;
+}
+
+TEST(Observability, MetricsMatrixReconcilesWithTrafficGroundTruth) {
+  ExperimentConfig config = small_config();
+  obs::MetricsRegistry metrics;
+  config.observability.metrics = &metrics;
+
+  const ExperimentResult result = run_experiment(config);
+  ASSERT_GT(result.traffic.total(), 0u);
+
+  // Every per-ISP-pair counter must equal the ground-truth matrix cell
+  // exactly: both are incremented by the same global-tap delivery.
+  for (const auto src : net::kAllIspCategories) {
+    for (const auto dst : net::kAllIspCategories) {
+      const obs::Counter* c = metrics.find_counter(
+          "bytes_uploaded",
+          {{"src_isp", std::string(net::to_string(src))},
+           {"dst_isp", std::string(net::to_string(dst))}});
+      ASSERT_NE(c, nullptr);
+      EXPECT_EQ(c->value(),
+                result.traffic.bytes[static_cast<std::size_t>(src)]
+                                    [static_cast<std::size_t>(dst)])
+          << net::to_string(src) << " -> " << net::to_string(dst);
+    }
+  }
+}
+
+TEST(Observability, CounterTotalsReconcileWithDeliveredBytes) {
+  ExperimentConfig config = small_config();
+  const ExperimentResult result = run_experiment(config);
+
+  const std::uint64_t delivered = result.traffic.total();
+  ASSERT_GT(delivered, 0u);
+  // The two accountings bracket each other but are not identical: the
+  // matrix counts every delivered DataReply (duplicates included) except
+  // those whose sender churned out before delivery (the global tap cannot
+  // attribute an ISP to a detached sender), while peers count a download
+  // only on first insert. Both slippages are rare, so the totals must
+  // agree closely without being equal.
+  const double down = static_cast<double>(
+      result.counter_totals.bytes_downloaded);
+  EXPECT_GT(result.counter_totals.bytes_downloaded, 0u);
+  EXPECT_GT(result.counter_totals.bytes_uploaded, 0u);
+  EXPECT_NEAR(down / static_cast<double>(delivered), 1.0, 0.01);
+
+  // Per-ISP splits sum to the totals, field by field.
+  proto::PeerCounters recomposed;
+  for (const auto& c : result.counters_by_isp) recomposed += c;
+  for_each_field(recomposed, [&, i = std::size_t{0}](
+                                 const char* name,
+                                 const std::uint64_t& v) mutable {
+    std::uint64_t total_v = 0;
+    for_each_field(result.counter_totals,
+                   [&, j = std::size_t{0}](const char*,
+                                           const std::uint64_t& tv) mutable {
+                     if (j == i) total_v = tv;
+                     ++j;
+                   });
+    EXPECT_EQ(v, total_v) << name;
+    ++i;
+  });
+}
+
+TEST(Observability, SamplerProducesMonotoneBoundedSeries) {
+  ExperimentConfig config = small_config();
+  config.observability.sample_period = sim::Time::seconds(15);
+  const ExperimentResult result = run_experiment(config);
+
+  // 3 simulated minutes at 15 s cadence -> 12 samples (one at t=180 fires
+  // exactly at the horizon).
+  ASSERT_GE(result.samples.size(), 11u);
+  sim::Time prev_t = sim::Time::zero();
+  std::uint64_t prev_bytes = 0;
+  for (const auto& s : result.samples) {
+    EXPECT_GT(s.t, prev_t);
+    prev_t = s.t;
+    const std::uint64_t cum = obs::matrix_total(s.bytes);
+    EXPECT_GE(cum, prev_bytes);
+    prev_bytes = cum;
+    EXPECT_GE(s.same_isp_share_cum, 0.0);
+    EXPECT_LE(s.same_isp_share_cum, 1.0);
+    EXPECT_GE(s.same_isp_share_interval, 0.0);
+    EXPECT_LE(s.same_isp_share_interval, 1.0);
+    EXPECT_GE(s.neighbor_same_isp_share, 0.0);
+    EXPECT_LE(s.neighbor_same_isp_share, 1.0);
+    EXPECT_GE(s.avg_continuity, 0.0);
+    EXPECT_LE(s.avg_continuity, 1.0);
+  }
+  // The final cumulative snapshot cannot exceed the end-of-run matrix.
+  EXPECT_LE(prev_bytes, result.traffic.total());
+}
+
+TEST(Observability, SamplingDoesNotPerturbTheSimulation) {
+  ExperimentConfig plain = small_config();
+  const ExperimentResult base = run_experiment(plain);
+
+  ExperimentConfig sampled = small_config();
+  obs::MetricsRegistry metrics;
+  obs::CountingTraceSink trace;
+  sampled.observability.metrics = &metrics;
+  sampled.observability.trace = &trace;
+  sampled.observability.sample_period = sim::Time::seconds(10);
+  const ExperimentResult observed = run_experiment(sampled);
+
+  // Observability is passive: the traffic matrix, counters, and session
+  // list must be identical with and without it.
+  EXPECT_EQ(base.traffic.bytes, observed.traffic.bytes);
+  EXPECT_EQ(base.swarm.peers_spawned, observed.swarm.peers_spawned);
+  EXPECT_EQ(base.swarm.departures, observed.swarm.departures);
+  EXPECT_EQ(base.counter_totals.bytes_downloaded,
+            observed.counter_totals.bytes_downloaded);
+  EXPECT_EQ(base.counter_totals.data_requests_sent,
+            observed.counter_totals.data_requests_sent);
+  ASSERT_EQ(base.sessions.size(), observed.sessions.size());
+  EXPECT_GT(trace.total(), 0u);
+}
+
+TEST(Observability, TraceCoversTheProtocolVocabulary) {
+  ExperimentConfig config = small_config();
+  obs::CountingTraceSink trace;
+  config.observability.trace = &trace;
+  run_experiment(config);
+
+  EXPECT_GT(trace.count("peer_join"), 0u);
+  EXPECT_GT(trace.count("tracker_query"), 0u);
+  EXPECT_GT(trace.count("tracker_reply"), 0u);
+  EXPECT_GT(trace.count("tracker_serve"), 0u);
+  EXPECT_GT(trace.count("gossip_query"), 0u);
+  EXPECT_GT(trace.count("gossip_reply"), 0u);
+  EXPECT_GT(trace.count("connect_attempt"), 0u);
+  EXPECT_GT(trace.count("connect_result"), 0u);
+  EXPECT_GT(trace.count("data_request"), 0u);
+  EXPECT_GT(trace.count("data_serve"), 0u);
+  EXPECT_GT(trace.count("source_serve"), 0u);
+  EXPECT_GT(trace.count("peer_leave"), 0u);
+}
+
+TEST(Observability, ProfilerSeesCategorizedEvents) {
+  ExperimentConfig config = small_config();
+  obs::RunProfiler profiler;
+  config.observability.profiler = &profiler;
+  const ExperimentResult result = run_experiment(config);
+
+  EXPECT_EQ(profiler.events_total(), result.swarm.events_executed);
+  EXPECT_GT(profiler.max_queue_depth(), 0u);
+  // Never assert on wall-clock magnitudes — only on structure.
+  EXPECT_GE(profiler.wall_seconds_total(), 0.0);
+  const auto& cats = profiler.categories();
+  EXPECT_TRUE(cats.count("net.deliver") == 1);
+  EXPECT_TRUE(cats.count("peer.playback") == 1);
+  std::uint64_t events_sum = 0;
+  for (const auto& [name, stats] : cats) events_sum += stats.events;
+  EXPECT_EQ(events_sum, profiler.events_total());
+
+  std::ostringstream os;
+  profiler.write_ndjson(os);
+  EXPECT_NE(os.str().find("\"category\":\"total\""), std::string::npos);
+}
+
+TEST(Observability, MultiChannelPlumbsObservabilityToo) {
+  MultiChannelConfig config;
+  workload::ScenarioSpec sc = workload::unpopular_channel();
+  sc.viewers = 12;
+  config.channels.push_back(ChannelPlan{sc, {}});
+  workload::ScenarioSpec sc2 = workload::unpopular_channel();
+  sc2.viewers = 12;
+  sc2.channel.id = 2;
+  config.channels.push_back(ChannelPlan{sc2, {}});
+  config.duration = sim::Time::minutes(2);
+  config.seed = 11;
+  obs::MetricsRegistry metrics;
+  config.observability.metrics = &metrics;
+  config.observability.sample_period = sim::Time::seconds(30);
+
+  const ExperimentResult result = run_multi_channel(config);
+  EXPECT_GT(result.samples.size(), 0u);
+  std::uint64_t matrix_metric_total = 0;
+  for (const auto src : net::kAllIspCategories) {
+    for (const auto dst : net::kAllIspCategories) {
+      const obs::Counter* c = metrics.find_counter(
+          "bytes_uploaded",
+          {{"src_isp", std::string(net::to_string(src))},
+           {"dst_isp", std::string(net::to_string(dst))}});
+      ASSERT_NE(c, nullptr);
+      matrix_metric_total += c->value();
+    }
+  }
+  EXPECT_EQ(matrix_metric_total, result.traffic.total());
+}
+
+}  // namespace
+}  // namespace ppsim::core

@@ -1,0 +1,120 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ppsim::obs {
+namespace {
+
+TEST(MetricsRegistry, CounterRegistersOnceAndAccumulates) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("requests");
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Same identity returns the same instance.
+  EXPECT_EQ(&reg.counter("requests"), &c);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricsRegistry, LabelsDistinguishInstances) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("bytes", {{"isp", "TELE"}});
+  Counter& b = reg.counter("bytes", {{"isp", "CNC"}});
+  EXPECT_NE(&a, &b);
+  a.inc(10);
+  b.inc(20);
+  EXPECT_EQ(reg.find_counter("bytes", {{"isp", "TELE"}})->value(), 10u);
+  EXPECT_EQ(reg.find_counter("bytes", {{"isp", "CNC"}})->value(), 20u);
+}
+
+TEST(MetricsRegistry, LabelOrderDoesNotMatter) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("m", {{"a", "1"}, {"b", "2"}});
+  Counter& b = reg.counter("m", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricsRegistry, FindReturnsNullForUnknown) {
+  MetricsRegistry reg;
+  reg.counter("known");
+  EXPECT_EQ(reg.find_counter("unknown"), nullptr);
+  EXPECT_EQ(reg.find_gauge("known"), nullptr);  // wrong kind
+  EXPECT_EQ(reg.find_counter("known", {{"k", "v"}}), nullptr);
+}
+
+TEST(MetricsRegistry, GaugeLastWriteWins) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("continuity");
+  g.set(0.5);
+  g.set(0.97);
+  EXPECT_DOUBLE_EQ(reg.find_gauge("continuity")->value(), 0.97);
+}
+
+TEST(Histogram, BucketsAreUpperInclusiveWithOverflow) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.observe(0.5);    // <= 1
+  h.observe(1.0);    // <= 1 (inclusive upper edge)
+  h.observe(5.0);    // <= 10
+  h.observe(1000.0); // overflow
+  ASSERT_EQ(h.bucket_counts().size(), 4u);
+  EXPECT_EQ(h.bucket_counts()[0], 2u);
+  EXPECT_EQ(h.bucket_counts()[1], 1u);
+  EXPECT_EQ(h.bucket_counts()[2], 0u);
+  EXPECT_EQ(h.bucket_counts()[3], 1u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1006.5);
+}
+
+TEST(MetricsRegistry, HistogramRegistersAndReuses) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("latency", {0.1, 1.0});
+  h.observe(0.05);
+  EXPECT_EQ(&reg.histogram("latency", {0.1, 1.0}), &h);
+  EXPECT_EQ(reg.find_histogram("latency")->count(), 1u);
+}
+
+TEST(MetricsRegistry, NdjsonIsStableAndSorted) {
+  MetricsRegistry reg;
+  // Register in non-sorted order; dump must come out sorted by identity.
+  reg.counter("zz").inc(1);
+  reg.counter("aa", {{"isp", "TELE"}}).inc(7);
+  reg.gauge("mid").set(1.5);
+
+  std::ostringstream first;
+  reg.write_ndjson(first);
+  std::ostringstream second;
+  reg.write_ndjson(second);
+  EXPECT_EQ(first.str(), second.str());
+
+  const std::string dump = first.str();
+  const auto aa = dump.find("\"aa\"");
+  const auto mid = dump.find("\"mid\"");
+  const auto zz = dump.find("\"zz\"");
+  ASSERT_NE(aa, std::string::npos);
+  ASSERT_NE(mid, std::string::npos);
+  ASSERT_NE(zz, std::string::npos);
+  EXPECT_LT(aa, mid);
+  EXPECT_LT(mid, zz);
+  EXPECT_NE(dump.find("{\"metric\":\"aa\",\"type\":\"counter\",\"labels\":"
+                      "{\"isp\":\"TELE\"},\"value\":7}"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistry, NdjsonHistogramRow) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("d", {1.0});
+  h.observe(0.5);
+  h.observe(2.0);
+  std::ostringstream os;
+  reg.write_ndjson(os);
+  const std::string dump = os.str();
+  EXPECT_NE(dump.find("\"type\":\"histogram\""), std::string::npos);
+  EXPECT_NE(dump.find("\"count\":2"), std::string::npos);
+  EXPECT_NE(dump.find("\"le\":\"+inf\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppsim::obs

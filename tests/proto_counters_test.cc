@@ -1,0 +1,99 @@
+#include "proto/counters.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace ppsim::proto {
+namespace {
+
+// Fills every field with a distinct value derived from its position, so a
+// field that aggregation drops or double-counts is caught by value.
+PeerCounters filled(std::uint64_t base) {
+  PeerCounters c;
+  std::vector<std::uint64_t*> fields;
+  for_each_field(c, [&](const char*, const std::uint64_t& v) {
+    fields.push_back(const_cast<std::uint64_t*>(&v));
+  });
+  for (std::size_t i = 0; i < fields.size(); ++i)
+    *fields[i] = base + i * 1000;
+  return c;
+}
+
+TEST(PeerCounters, ForEachFieldVisitsEveryFieldExactlyOnce) {
+  const PeerCounters c = filled(1);
+  std::vector<std::string> names;
+  std::uint64_t sum = 0;
+  for_each_field(c, [&](const char* name, const std::uint64_t& v) {
+    names.push_back(name);
+    sum += v;
+  });
+  EXPECT_EQ(names.size(), sizeof(PeerCounters) / sizeof(std::uint64_t));
+  // Names are unique.
+  auto sorted = names;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+              sorted.end());
+  // The visited references really alias the struct's storage: summing the
+  // raw memory gives the same total.
+  std::uint64_t raw[sizeof(PeerCounters) / sizeof(std::uint64_t)];
+  std::memcpy(raw, &c, sizeof c);
+  std::uint64_t raw_sum = 0;
+  for (auto v : raw) raw_sum += v;
+  EXPECT_EQ(sum, raw_sum);
+}
+
+TEST(PeerCounters, PlusEqualsAddsEveryField) {
+  PeerCounters a = filled(10);
+  const PeerCounters b = filled(7);
+  a += b;
+
+  std::vector<std::uint64_t> got;
+  for_each_field(a, [&](const char*, const std::uint64_t& v) {
+    got.push_back(v);
+  });
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], (10 + i * 1000) + (7 + i * 1000)) << "field index " << i;
+  }
+}
+
+TEST(PeerCounters, PlusEqualsFromZeroIsCopy) {
+  PeerCounters zero;
+  const PeerCounters b = filled(3);
+  zero += b;
+  for_each_field(zero, [&, i = std::size_t{0}](
+                           const char*, const std::uint64_t& v) mutable {
+    EXPECT_EQ(v, 3 + i * 1000);
+    ++i;
+  });
+}
+
+TEST(PeerCounters, BinaryPlusDoesNotMutateOperands) {
+  const PeerCounters a = filled(1);
+  const PeerCounters b = filled(2);
+  const PeerCounters c = a + b;
+  EXPECT_EQ(c.tracker_queries_sent, 3u);
+  EXPECT_EQ(a.tracker_queries_sent, 1u);
+  EXPECT_EQ(b.tracker_queries_sent, 2u);
+  EXPECT_EQ(c.chunks_missed,
+            a.chunks_missed + b.chunks_missed);
+}
+
+TEST(PeerCounters, ContinuityUnaffectedByAggregationIdentity) {
+  PeerCounters a;
+  a.chunks_played = 90;
+  a.chunks_missed = 10;
+  PeerCounters b;
+  b.chunks_played = 50;
+  b.chunks_missed = 50;
+  a += b;
+  EXPECT_EQ(a.chunks_played, 140u);
+  EXPECT_EQ(a.chunks_missed, 60u);
+  EXPECT_DOUBLE_EQ(a.continuity(), 0.7);
+}
+
+}  // namespace
+}  // namespace ppsim::proto

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
+#include "sim/observer.h"
 #include "sim/time.h"
 
 namespace ppsim::sim {
@@ -247,6 +249,132 @@ TEST(SimulatorTest, ScheduleAtPastClampsToNow) {
   });
   simulator.run();
   EXPECT_TRUE(ran);
+}
+
+// Records every observer hook invocation for assertions.
+class RecordingObserver final : public SimObserver {
+ public:
+  struct Begin {
+    Time now;
+    std::uint64_t seq;
+    std::string category;
+    std::size_t queue_depth;
+  };
+  void on_event_begin(Time now, std::uint64_t seq, const char* category,
+                      std::size_t queue_depth) override {
+    begins.push_back(Begin{now, seq, category, queue_depth});
+  }
+  void on_event_end(Time now, const char* category) override {
+    ends.push_back({now, category});
+  }
+  std::vector<Begin> begins;
+  std::vector<std::pair<Time, std::string>> ends;
+};
+
+TEST(SimulatorObserver, SeesEveryEventWithItsCategory) {
+  Simulator simulator;
+  RecordingObserver obs;
+  simulator.add_observer(&obs);
+  simulator.schedule(Time::seconds(1), [] {}, "first");
+  simulator.schedule(Time::seconds(2), [] {});  // untagged -> ""
+  simulator.run();
+
+  ASSERT_EQ(obs.begins.size(), 2u);
+  ASSERT_EQ(obs.ends.size(), 2u);
+  EXPECT_EQ(obs.begins[0].now, Time::seconds(1));
+  EXPECT_EQ(obs.begins[0].category, "first");
+  EXPECT_EQ(obs.begins[1].category, "");
+  EXPECT_EQ(obs.ends[0].second, "first");
+  // Begin/end pair on the same event: same category, same timestamp.
+  EXPECT_EQ(obs.ends[0].first, obs.begins[0].now);
+  // Sequence numbers reflect scheduling order.
+  EXPECT_LT(obs.begins[0].seq, obs.begins[1].seq);
+}
+
+TEST(SimulatorObserver, QueueDepthExcludesTheFiringEvent) {
+  Simulator simulator;
+  RecordingObserver obs;
+  simulator.add_observer(&obs);
+  simulator.schedule(Time::seconds(1), [] {}, "a");
+  simulator.schedule(Time::seconds(2), [] {}, "b");
+  simulator.schedule(Time::seconds(3), [] {}, "c");
+  simulator.run();
+  ASSERT_EQ(obs.begins.size(), 3u);
+  EXPECT_EQ(obs.begins[0].queue_depth, 2u);
+  EXPECT_EQ(obs.begins[1].queue_depth, 1u);
+  EXPECT_EQ(obs.begins[2].queue_depth, 0u);
+}
+
+TEST(SimulatorObserver, RemoveObserverStopsDelivery) {
+  Simulator simulator;
+  RecordingObserver obs;
+  simulator.add_observer(&obs);
+  simulator.schedule(Time::seconds(1), [] {}, "seen");
+  simulator.run();
+  simulator.remove_observer(&obs);
+  simulator.schedule(Time::seconds(1), [] {}, "unseen");
+  simulator.run();
+  ASSERT_EQ(obs.begins.size(), 1u);
+  EXPECT_EQ(obs.begins[0].category, "seen");
+}
+
+TEST(SimulatorObserver, MultipleObserversAllNotified) {
+  Simulator simulator;
+  RecordingObserver a, b;
+  simulator.add_observer(&a);
+  simulator.add_observer(&b);
+  simulator.schedule(Time::seconds(1), [] {}, "x");
+  simulator.run();
+  EXPECT_EQ(a.begins.size(), 1u);
+  EXPECT_EQ(b.begins.size(), 1u);
+}
+
+TEST(SimulatorTest, PeriodicReturnsHandleOfFirstFiring) {
+  Simulator simulator;
+  int ticks = 0;
+  TimerHandle h = schedule_periodic(simulator, Time::seconds(10), [&] {
+    ++ticks;
+    return true;
+  });
+  // Cancelling before the first firing stops the whole chain: no tick ever
+  // runs and nothing is left pending.
+  EXPECT_TRUE(simulator.cancel(h));
+  simulator.run();
+  EXPECT_EQ(ticks, 0);
+  EXPECT_EQ(simulator.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, PeriodicHandleStaleAfterFirstFiring) {
+  Simulator simulator;
+  int ticks = 0;
+  TimerHandle h = schedule_periodic(simulator, Time::seconds(10), [&] {
+    ++ticks;
+    return ticks < 3;
+  });
+  simulator.run_until(Time::seconds(10));
+  EXPECT_EQ(ticks, 1);
+  // After the first firing the chain re-arms under fresh handles, so the
+  // returned handle is stale: cancel fails and the chain keeps ticking.
+  EXPECT_FALSE(simulator.cancel(h));
+  simulator.run();
+  EXPECT_EQ(ticks, 3);
+}
+
+TEST(SimulatorTest, PeriodicCarriesItsCategoryToObservers) {
+  Simulator simulator;
+  RecordingObserver obs;
+  simulator.add_observer(&obs);
+  int ticks = 0;
+  schedule_periodic(
+      simulator, Time::seconds(5),
+      [&] {
+        ++ticks;
+        return ticks < 3;
+      },
+      "tick.cat");
+  simulator.run();
+  ASSERT_EQ(obs.begins.size(), 3u);
+  for (const auto& b : obs.begins) EXPECT_EQ(b.category, "tick.cat");
 }
 
 TEST(SimulatorTest, ManyEventsStressOrdering) {

@@ -5,12 +5,17 @@
 // captures.
 //
 //   ppsim-analyze <trace-file> [--probe-ip A.B.C.D] [--section NAME ...]
+//   ppsim-analyze --samples <samples.ndjson>
 //
 // The probe IP is inferred from the records' local address when not given.
 // Sections: returned, sources, data, response, contrib, rtt, all.
+// --samples switches to time-series mode: it reads the NDJSON written by
+// `ppsim --samples-out` and prints the Figure-6-style locality series, no
+// simulation or packet trace involved.
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -19,12 +24,38 @@
 #include "capture/trace_io.h"
 #include "core/report.h"
 #include "net/asn_db.h"
+#include "obs/sampler.h"
+
+namespace {
+
+int analyze_samples(const std::string& path) {
+  using namespace ppsim;
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::size_t dropped = 0;
+  const auto samples = obs::read_samples_ndjson(in, &dropped);
+  if (samples.empty()) {
+    std::fprintf(stderr, "error: %s holds no valid samples\n", path.c_str());
+    return 1;
+  }
+  std::printf("samples: %s (%zu rows", path.c_str(), samples.size());
+  if (dropped > 0) std::printf(", %zu malformed dropped", dropped);
+  std::printf(")\n\n");
+  core::print_locality_timeseries(std::cout, samples);
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace ppsim;
 
   std::string path;
   std::string probe_ip_text;
+  std::string samples_path;
   std::vector<std::string> sections;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -32,10 +63,13 @@ int main(int argc, char** argv) {
       probe_ip_text = argv[++i];
     } else if (arg == "--section" && i + 1 < argc) {
       sections.push_back(argv[++i]);
+    } else if (arg == "--samples" && i + 1 < argc) {
+      samples_path = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: ppsim-analyze <trace-file> [--probe-ip A.B.C.D] "
-          "[--section returned|sources|data|response|contrib|rtt|all ...]\n");
+          "[--section returned|sources|data|response|contrib|rtt|all ...]\n"
+          "       ppsim-analyze --samples <samples.ndjson>\n");
       return 0;
     } else if (!arg.empty() && arg[0] != '-') {
       path = arg;
@@ -44,6 +78,7 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  if (!samples_path.empty()) return analyze_samples(samples_path);
   if (path.empty()) {
     std::fprintf(stderr, "error: no trace file given (see --help)\n");
     return 2;
