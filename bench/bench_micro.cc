@@ -7,8 +7,10 @@
 
 #include "analysis/fit.h"
 #include "net/asn_db.h"
+#include "net/impairment.h"
 #include "net/latency.h"
 #include "net/prefix_alloc.h"
+#include "net/transport.h"
 #include "sim/observer.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
@@ -85,6 +87,46 @@ void BM_SimulatorScheduleRunObserved(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_SimulatorScheduleRunObserved)->Arg(100000);
+
+// Transport send+deliver throughput with no impairment overlay installed:
+// the baseline every fault-free experiment runs at.
+void transport_send_loop(benchmark::State& state,
+                         const net::ImpairmentOverlay* overlay) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    net::Network<int> network(simulator, net::LatencyModel{}, sim::Rng(42));
+    network.set_impairments(overlay);
+    network.attach(net::IpAddress(1, 0, 0, 1), net::IspId{0},
+                   net::IspCategory::kTele, net::AccessProfile{1e9, 1e9},
+                   [](const net::Network<int>::Delivery&) {});
+    network.attach(net::IpAddress(1, 0, 0, 2), net::IspId{0},
+                   net::IspCategory::kTele, net::AccessProfile{1e9, 1e9},
+                   [](const net::Network<int>::Delivery&) {});
+    for (int i = 0; i < n; ++i) {
+      network.send(net::IpAddress(1, 0, 0, 1), net::IpAddress(1, 0, 0, 2), i,
+                   200);
+    }
+    benchmark::DoNotOptimize(simulator.run());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_TransportSend(benchmark::State& state) {
+  transport_send_loop(state, nullptr);
+}
+BENCHMARK(BM_TransportSend)->Arg(10000);
+
+// Same loop with an installed-but-inactive overlay: the state every run
+// with a fault plan spends outside its windows, and the worst case of a
+// fault-capable build running fault-free. CI's bench guard compares this
+// against BM_TransportSend — the two must stay within noise, because an
+// inactive overlay costs one pointer test plus one bool load per send.
+void BM_TransportSendIdleOverlay(benchmark::State& state) {
+  net::ImpairmentOverlay overlay;  // no windows applied: active() == false
+  transport_send_loop(state, &overlay);
+}
+BENCHMARK(BM_TransportSendIdleOverlay)->Arg(10000);
 
 void BM_AsnLookup(benchmark::State& state) {
   auto registry = net::IspRegistry::standard_topology();

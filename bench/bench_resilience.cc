@@ -1,0 +1,52 @@
+// Resilience under injected faults (beyond the paper): runs the canned
+// "tracker blackout + cross-ISP throttling" plan against the popular
+// channel and prints the per-window recovery timeline — continuity dip
+// depth, time-to-recover, and the intra-ISP-share trajectory before /
+// during / after each window. The paper measured PPLive on good days; this
+// bench asks how the same emergent-locality swarm behaves on a bad one
+// (docs/FAULTS.md).
+
+#include <cstdio>
+#include <iostream>
+
+#include "faults/plan.h"
+#include "faults/resilience.h"
+#include "figures_common.h"
+
+int main(int argc, char** argv) {
+  using namespace ppsim;
+  bench::Scale scale = bench::parse_flags(argc, argv);
+  scale.minutes = std::max(scale.minutes, 6);
+  bench::print_banner(std::cout,
+                      "Resilience: tracker blackout + cross-ISP throttling",
+                      scale);
+
+  auto config = bench::popular_config(scale, {core::tele_probe()});
+  config.scenario.duration = sim::Time::minutes(scale.minutes);
+  config.faults.plan = faults::tracker_blackout_throttle_plan();
+  config.observability.sample_period = sim::Time::seconds(10);
+
+  auto result = core::run_experiment(config);
+
+  std::printf("windows applied %llu, reverted %llu, peers crashed %llu\n",
+              static_cast<unsigned long long>(result.fault_windows_applied),
+              static_cast<unsigned long long>(result.fault_windows_reverted),
+              static_cast<unsigned long long>(result.fault_peers_crashed));
+  std::printf("swarm continuity %.1f%% over %llu viewers, %llu drops\n\n",
+              100.0 * result.swarm.avg_continuity,
+              static_cast<unsigned long long>(result.swarm.peers_spawned),
+              static_cast<unsigned long long>(result.swarm.packets_dropped));
+
+  const auto rows = faults::analyze_resilience(config.faults.plan,
+                                               result.samples);
+  faults::print_fault_timeline(std::cout, rows);
+
+  std::printf(
+      "\nExpected shape: continuity dips while the trackers are dark and\n"
+      "the TELE<->CNC paths are throttled, then recovers within a couple of\n"
+      "gossip periods once the windows lift — membership knowledge flows\n"
+      "through neighbors, so the swarm outlives its infrastructure. The\n"
+      "intra-ISP share *rises* during the throttle window: impaired\n"
+      "cross-ISP paths lose the latency races even harder.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Fault injection: run a swarm through a scripted outage and read the
+// resilience timeline.
+//
+// The plan is built in code here; the equivalent text form (loadable with
+// `ppsim --fault-plan`, format in docs/FAULTS.md) is printed first so the
+// two entry points stay connected. The canned schedule overlaps a
+// full tracker blackout with a TELE<->CNC throttle, then crashes 20% of
+// the audience at once.
+
+#include <iostream>
+
+#include "core/experiment.h"
+#include "faults/plan.h"
+#include "faults/resilience.h"
+#include "workload/scenario.h"
+
+int main() {
+  using namespace ppsim;
+
+  core::ExperimentConfig config;
+  config.scenario = workload::unpopular_channel();
+  config.scenario.viewers = 120;
+  config.scenario.duration = sim::Time::minutes(8);
+  config.scenario.seed = 7;
+  config.faults.plan = faults::tracker_blackout_throttle_plan();
+  config.observability.sample_period = sim::Time::seconds(15);
+
+  std::cout << "Fault plan (text form, loadable with --fault-plan):\n\n";
+  faults::write_fault_plan(std::cout, config.faults.plan);
+
+  core::ExperimentResult result = core::run_experiment(config);
+
+  std::cout << "\nRun finished: " << result.fault_windows_applied
+            << " fault windows applied, " << result.fault_windows_reverted
+            << " reverted, " << result.fault_peers_crashed
+            << " peers crashed.\n"
+            << "Swarm continuity over the whole run: "
+            << static_cast<int>(result.swarm.avg_continuity * 100) << "%\n\n";
+
+  const auto rows =
+      faults::analyze_resilience(config.faults.plan, result.samples);
+  faults::print_fault_timeline(std::cout, rows);
+
+  std::cout << "\nReading the table: the cross-ISP throttle should *raise* "
+               "the intra-ISP\nshare while active (the locality mechanisms "
+               "steer around the damaged\npath) and the swarm should recover "
+               "baseline continuity within a couple\nof sample periods of "
+               "each window closing.\n";
+  return 0;
+}

@@ -10,6 +10,8 @@
 #include "capture/trace_io.h"
 #include "core/session_export.h"
 #include "core/report.h"
+#include "faults/plan.h"
+#include "faults/resilience.h"
 #include "obs/sampler.h"
 #include "obs/trace.h"
 #include "workload/scenario.h"
@@ -70,6 +72,13 @@ std::string cli_usage() {
       "                                (default 10; needs --samples-out)\n"
       "  --profile                     print a per-event-category wall-clock\n"
       "                                profile after the run\n"
+      "  --fault-plan FILE             arm a fault-injection plan\n"
+      "                                (docs/FAULTS.md); prints a per-window\n"
+      "                                resilience timeline when sampling is\n"
+      "                                also enabled\n"
+      "  --fault-seed S                victim-sampling seed for churn/\n"
+      "                                brownout windows (default: derived\n"
+      "                                from --seed)\n"
       "  --help\n";
 }
 
@@ -186,6 +195,14 @@ CliParseResult parse_cli(int argc, const char* const* argv) {
       }
     } else if (arg == "--profile") {
       o.profile = true;
+    } else if (arg == "--fault-plan") {
+      auto v = need_value(i, "--fault-plan");
+      if (!v) return out;
+      o.fault_plan = *v;
+    } else if (arg == "--fault-seed") {
+      auto v = need_value(i, "--fault-seed");
+      if (!v) return out;
+      o.fault_seed = std::strtoull(v->c_str(), nullptr, 10);
     } else {
       out.error = "unknown option: " + arg;
       return out;
@@ -197,6 +214,10 @@ CliParseResult parse_cli(int argc, const char* const* argv) {
   }
   if (o.trace_sim_events && o.trace_out.empty()) {
     out.error = "--trace-sim-events requires --trace-out";
+    return out;
+  }
+  if (o.fault_seed != 0 && o.fault_plan.empty()) {
+    out.error = "--fault-seed requires --fault-plan";
     return out;
   }
   return out;
@@ -229,6 +250,16 @@ CliConfigResult build_config(const CliOptions& options) {
   config.strategy = *strategy;
   config.locality_aware_trackers = options.smart_trackers;
   config.keep_traces = !options.dump_trace.empty();
+
+  if (!options.fault_plan.empty()) {
+    faults::PlanParseResult plan = faults::load_fault_plan(options.fault_plan);
+    if (!plan.ok()) {
+      out.error = "fault plan " + options.fault_plan + ": " + plan.error;
+      return out;
+    }
+    config.faults.plan = std::move(plan.plan);
+    config.faults.fault_seed = options.fault_seed;
+  }
   return out;
 }
 
@@ -322,6 +353,17 @@ int run_cli(const CliOptions& options, std::ostream& out) {
   if (wants("swarm")) {
     print_traffic_matrix(out, result.traffic);
     print_peer_counters(out, result.counter_totals);
+  }
+  if (!built.config.faults.plan.empty()) {
+    out << "faults: windows applied " << result.fault_windows_applied
+        << ", reverted " << result.fault_windows_reverted
+        << ", peers crashed " << result.fault_peers_crashed << "\n";
+    if (!result.samples.empty()) {
+      const auto rows =
+          faults::analyze_resilience(built.config.faults.plan, result.samples);
+      faults::print_fault_timeline(out, rows);
+    }
+    out << "\n";
   }
   if (!options.dump_sessions.empty()) {
     if (write_sessions_csv_file(options.dump_sessions, result.sessions)) {

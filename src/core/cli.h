@@ -31,6 +31,9 @@ struct CliOptions {
   int sample_period_s = 0;    // 0 = default (10s) when samples_out is set
   bool trace_sim_events = false;  // add per-sim-event rows to trace_out
   bool profile = false;           // print per-category wall-clock profile
+  // Fault injection (docs/FAULTS.md); off by default.
+  std::string fault_plan;         // plan file path; empty = no faults
+  std::uint64_t fault_seed = 0;   // 0 = derive from the run seed
   bool help = false;
 };
 

@@ -4,6 +4,8 @@
 #include <unordered_set>
 
 #include "capture/trace.h"
+#include "faults/driver.h"
+#include "net/impairment.h"
 #include "net/latency.h"
 #include "net/prefix_alloc.h"
 #include "net/transport.h"
@@ -54,7 +56,11 @@ namespace {
 /// trackers, one stream source and audience per channel. Peers are kept
 /// alive (even after leaving) until the run ends, because pending timer
 /// callbacks hold raw pointers to them.
-class Runner {
+///
+/// Doubles as the fault driver's FaultHost: it owns every seam a fault
+/// window touches (tracker/bootstrap dark bits, the audience roster for
+/// churn bursts and brownouts).
+class Runner : public faults::FaultHost {
  public:
   explicit Runner(const MultiChannelConfig& config)
       : config_(config),
@@ -66,6 +72,40 @@ class Runner {
                  master_rng_.fork(0x6E6574)) {}
 
   ExperimentResult run();
+
+  // --- faults::FaultHost (driven by the armed FaultDriver, if any) ---
+  void set_tracker_dark(int group, bool dark) override {
+    if (group < 0) {
+      for (auto& tracker : trackers_) tracker->set_dark(dark);
+    } else if (static_cast<std::size_t>(group) < trackers_.size()) {
+      trackers_[static_cast<std::size_t>(group)]->set_dark(dark);
+    }
+  }
+
+  void set_bootstrap_dark(bool dark) override { bootstrap_->set_dark(dark); }
+
+  std::vector<net::IpAddress> alive_audience_ips() const override {
+    std::vector<net::IpAddress> out;
+    out.reserve(session_peers_.size());
+    for (const auto* peer : session_peers_)
+      if (peer->alive()) out.push_back(peer->ip());
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  void crash_peer(net::IpAddress ip) override {
+    for (std::size_t i = 0; i < session_peers_.size(); ++i) {
+      proto::Peer* peer = session_peers_[i];
+      if (peer->ip() != ip || !peer->alive()) continue;
+      peer->crash();
+      sessions_[i].left = simulator_.now();
+      sessions_[i].completed = true;
+      // A crashed viewer restarts the application like any other departure,
+      // so the audience stays stationary through a burst.
+      on_departure(session_channels_[i]);
+      return;
+    }
+  }
 
  private:
   static net::LatencyModel make_latency_model(std::uint64_t seed) {
@@ -112,10 +152,11 @@ class Runner {
   std::vector<std::unique_ptr<proto::StreamSource>> sources_;
 
   std::vector<std::unique_ptr<proto::Peer>> peers_;
-  // sessions_[i] belongs to the audience peer in session_peers_[i]; probes
-  // are excluded.
+  // sessions_[i] belongs to the audience peer in session_peers_[i], watching
+  // channel session_channels_[i]; probes are excluded.
   std::vector<SessionRecord> sessions_;
-  std::vector<const proto::Peer*> session_peers_;
+  std::vector<proto::Peer*> session_peers_;
+  std::vector<std::size_t> session_channels_;
   struct Probe {
     std::string label;
     proto::ChannelId channel = 0;
@@ -126,6 +167,10 @@ class Runner {
 
   TrafficMatrix traffic_;
   std::uint64_t departures_ = 0;
+
+  // Fault injection (inert unless config_.faults.plan has windows).
+  net::ImpairmentOverlay impairments_;
+  std::unique_ptr<faults::FaultDriver> fault_driver_;
 
   // Observability (all inert unless config_.observability enables them).
   obs::TrafficSampler sampler_;
@@ -354,6 +399,7 @@ void Runner::spawn_viewer(std::size_t channel_idx, net::IspCategory category,
   const std::size_t session_idx = sessions_.size();
   sessions_.push_back(record);
   session_peers_.push_back(raw);
+  session_channels_.push_back(channel_idx);
   raw->join();
 
   // Departure + stationary replacement (possibly on another channel).
@@ -434,6 +480,23 @@ ExperimentResult Runner::run() {
   schedule_audience();
   schedule_probes();
 
+  // Arm the fault plan up front so every window boundary sits on the
+  // simulator clock before the first event runs. Without a plan, no
+  // overlay is installed and the transport path is untouched.
+  if (!config_.faults.plan.empty()) {
+    network_.set_impairments(&impairments_);
+    faults::FaultDriver::Options fault_options;
+    fault_options.seed =
+        config_.faults.fault_seed != 0
+            ? config_.faults.fault_seed
+            : sim::hash_combine(config_.seed, 0x6661756C7473ULL);
+    fault_options.trace = config_.observability.trace;
+    fault_options.metrics = config_.observability.metrics;
+    fault_driver_ = std::make_unique<faults::FaultDriver>(
+        simulator_, impairments_, *this, config_.faults.plan, fault_options);
+    fault_driver_->arm();
+  }
+
   if (config_.observability.profiler != nullptr)
     simulator_.add_observer(config_.observability.profiler);
   std::unique_ptr<obs::SimEventTracer> sim_tracer;
@@ -491,8 +554,16 @@ ExperimentResult Runner::run() {
   result.swarm.packets_delivered = network_.stats().packets_delivered;
   result.swarm.packets_dropped =
       network_.stats().uplink_drops + network_.stats().core_drops +
-      network_.stats().downlink_drops + network_.stats().dead_destination_drops;
+      network_.stats().downlink_drops + network_.stats().dead_destination_drops +
+      network_.stats().blackout_drops + network_.stats().brownout_drops +
+      network_.stats().degrade_drops;
   result.swarm.events_executed = simulator_.events_executed();
+
+  if (fault_driver_ != nullptr) {
+    result.fault_windows_applied = fault_driver_->windows_applied();
+    result.fault_windows_reverted = fault_driver_->windows_reverted();
+    result.fault_peers_crashed = fault_driver_->peers_crashed();
+  }
 
   for (std::size_t i = 0; i < sessions_.size(); ++i) {
     SessionRecord rec = sessions_[i];
@@ -523,6 +594,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   multi.seed = config.scenario.seed;
   multi.interconnects = config.interconnects;
   multi.observability = config.observability;
+  multi.faults = config.faults;
   Runner runner(multi);
   return runner.run();
 }

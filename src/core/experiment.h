@@ -6,6 +6,7 @@
 
 #include "baseline/policies.h"
 #include "capture/analyzer.h"
+#include "faults/plan.h"
 #include "net/interconnect.h"
 #include "net/asn_db.h"
 #include "net/isp.h"
@@ -40,6 +41,18 @@ struct ObservabilityConfig {
   /// When positive, snapshot the traffic matrix / neighbor composition /
   /// continuity every sample_period into ExperimentResult::samples.
   sim::Time sample_period = sim::Time::zero();
+};
+
+/// Declarative fault schedule for a run (src/faults, docs/FAULTS.md).
+/// Empty by default — a config without a plan runs byte-identically to
+/// builds that predate the fault subsystem.
+struct FaultPlanConfig {
+  faults::FaultPlan plan;
+  /// Seeds the fault driver's private RNG (victim sampling for churn
+  /// bursts / brownouts). 0 (the default) derives one deterministically
+  /// from the run seed, so same (seed, plan) => same fault trajectory; a
+  /// nonzero value varies the victims while holding the run seed fixed.
+  std::uint64_t fault_seed = 0;
 };
 
 /// A probe host: an instrumented client in a chosen ISP, equivalent to the
@@ -84,6 +97,8 @@ struct MultiChannelConfig {
   std::optional<net::InterconnectConfig> interconnects;
   /// Opt-in metrics/trace/sampling/profiling sinks; off by default.
   ObservabilityConfig observability;
+  /// Scheduled impairments; empty (no faults) by default.
+  FaultPlanConfig faults;
 };
 
 struct ExperimentConfig {
@@ -107,6 +122,8 @@ struct ExperimentConfig {
   std::optional<net::InterconnectConfig> interconnects;
   /// Opt-in metrics/trace/sampling/profiling sinks; off by default.
   ObservabilityConfig observability;
+  /// Scheduled impairments; empty (no faults) by default.
+  FaultPlanConfig faults;
 };
 
 /// Swarm-wide ground truth gathered through the network's global tap —
@@ -175,6 +192,10 @@ struct ExperimentResult {
   /// Periodic swarm snapshots; empty unless observability.sample_period
   /// was set (the Figure-6-style time-series source).
   std::vector<obs::TrafficSample> samples;
+  /// Fault-driver summary; all zero when no fault plan was configured.
+  std::uint64_t fault_windows_applied = 0;
+  std::uint64_t fault_windows_reverted = 0;
+  std::uint64_t fault_peers_crashed = 0;
 };
 
 /// Builds the topology, servers, audience, and probes; runs the simulation

@@ -1,0 +1,59 @@
+#include "net/impairment.h"
+
+#include <algorithm>
+
+namespace ppsim::net {
+
+std::size_t ImpairmentOverlay::pair_index(IspCategory a, IspCategory b) {
+  auto ai = static_cast<std::size_t>(a);
+  auto bi = static_cast<std::size_t>(b);
+  if (ai > bi) std::swap(ai, bi);
+  return ai * kNumIspCategories + bi;
+}
+
+void ImpairmentOverlay::set_category_blocked(IspCategory c, bool blocked) {
+  blocked_[static_cast<std::size_t>(c)] = blocked;
+  recompute_active();
+}
+
+void ImpairmentOverlay::set_pair_degradation(IspCategory a, IspCategory b,
+                                             PairDegradation d) {
+  pairs_[pair_index(a, b)] = d;
+  recompute_active();
+}
+
+void ImpairmentOverlay::clear_pair_degradation(IspCategory a, IspCategory b) {
+  pairs_[pair_index(a, b)].reset();
+  recompute_active();
+}
+
+void ImpairmentOverlay::set_uplink_loss(IpAddress ip, double loss) {
+  if (loss <= 0.0) {
+    uplink_loss_.erase(ip);
+  } else {
+    uplink_loss_[ip] = std::min(loss, 1.0);
+  }
+  recompute_active();
+}
+
+void ImpairmentOverlay::clear_uplink_loss(IpAddress ip) {
+  uplink_loss_.erase(ip);
+  recompute_active();
+}
+
+void ImpairmentOverlay::clear_all() {
+  blocked_.fill(false);
+  for (auto& slot : pairs_) slot.reset();
+  uplink_loss_.clear();
+  active_ = false;
+}
+
+void ImpairmentOverlay::recompute_active() {
+  active_ = !uplink_loss_.empty() ||
+            std::any_of(blocked_.begin(), blocked_.end(),
+                        [](bool b) { return b; }) ||
+            std::any_of(pairs_.begin(), pairs_.end(),
+                        [](const auto& slot) { return slot.has_value(); });
+}
+
+}  // namespace ppsim::net

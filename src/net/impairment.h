@@ -1,0 +1,85 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <map>
+#include <optional>
+
+#include "net/ip.h"
+#include "net/isp.h"
+#include "sim/time.h"
+
+namespace ppsim::net {
+
+/// Runtime-mutable overlay of scheduled network impairments, consulted by
+/// Network<> on its send path. The overlay itself is policy-free state; the
+/// fault driver (src/faults) mutates it at fault-window boundaries on the
+/// simulator clock.
+///
+/// Three impairment families, matching the fault plan's network-side kinds:
+///
+///  - *category blackouts*: every packet to or from a blacked-out ISP
+///    category vanishes in the access network (regional outage);
+///  - *pair degradation*: packets between two categories suffer extra loss
+///    and extra one-way delay (cross-ISP link congestion / throttling);
+///  - *uplink brownouts*: a specific host's uplink drops a fraction of its
+///    packets (flapping ADSL).
+///
+/// Hot-path contract: when nothing is impaired, active() is false and the
+/// transport pays exactly one branch per send — the overlay must never draw
+/// randomness or allocate on lookup. All mutation is O(small) and keeps the
+/// `active_` flag in sync so send() can skip the detailed checks wholesale.
+class ImpairmentOverlay {
+ public:
+  struct PairDegradation {
+    double extra_loss = 0.0;                     // added drop probability
+    sim::Time extra_one_way = sim::Time::zero();  // added propagation delay
+  };
+
+  /// True while any impairment is installed; the transport's one-branch
+  /// fast-path check.
+  bool active() const { return active_; }
+
+  // --- regional blackouts ---
+  void set_category_blocked(IspCategory c, bool blocked);
+  bool category_blocked(IspCategory c) const {
+    return blocked_[static_cast<std::size_t>(c)];
+  }
+
+  // --- cross-category link degradation (unordered pair) ---
+  void set_pair_degradation(IspCategory a, IspCategory b, PairDegradation d);
+  void clear_pair_degradation(IspCategory a, IspCategory b);
+  /// nullptr when the pair is unimpaired.
+  const PairDegradation* pair_degradation(IspCategory a, IspCategory b) const {
+    const auto& slot = pairs_[pair_index(a, b)];
+    return slot.has_value() ? &*slot : nullptr;
+  }
+
+  // --- per-host uplink brownouts ---
+  /// loss <= 0 clears the entry.
+  void set_uplink_loss(IpAddress ip, double loss);
+  void clear_uplink_loss(IpAddress ip);
+  /// 0.0 when the host's uplink is healthy.
+  double uplink_loss(IpAddress ip) const {
+    auto it = uplink_loss_.find(ip);
+    return it == uplink_loss_.end() ? 0.0 : it->second;
+  }
+
+  /// Reverts every installed impairment (end of a fault schedule).
+  void clear_all();
+
+ private:
+  static std::size_t pair_index(IspCategory a, IspCategory b);
+  void recompute_active();
+
+  std::array<bool, kNumIspCategories> blocked_{};
+  std::array<std::optional<PairDegradation>,
+             kNumIspCategories * kNumIspCategories>
+      pairs_{};
+  // Ordered map: iteration order (tests, debugging) must not depend on hash
+  // seeds — this type sits inside the linted determinism core.
+  std::map<IpAddress, double> uplink_loss_;
+  bool active_ = false;
+};
+
+}  // namespace ppsim::net

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "net/bandwidth.h"
+#include "net/impairment.h"
 #include "net/interconnect.h"
 #include "net/ip.h"
 #include "net/isp.h"
@@ -108,6 +109,16 @@ class Network {
     return interconnects_.has_value() ? &*interconnects_ : nullptr;
   }
 
+  /// Installs (or clears, with nullptr) the fault-injection overlay. The
+  /// overlay is borrowed, not owned — the caller (the fault driver's host)
+  /// must keep it alive for the network's lifetime. With no overlay, or an
+  /// installed-but-inactive one, the send path pays a single branch.
+  void set_impairments(const ImpairmentOverlay* overlay) {
+    impairments_ = overlay;
+  }
+
+  const ImpairmentOverlay* impairments() const { return impairments_; }
+
   /// Installs (or clears, with nullptr) the capture tap for a host.
   void set_tap(IpAddress ip, Tap tap) {
     auto it = hosts_.find(ip);
@@ -155,13 +166,35 @@ class Network {
     // Core propagation is computed against the destination's *current*
     // endpoint; if the destination is gone we still charge the sender's
     // uplink (already done) and drop.
-    auto dit = hosts_.find(to);
-    if (dit == hosts_.end()) {
-      ++stats_.dead_destination_drops;
-      return true;  // left the sender successfully
+    Host* dst = live_host_or_count_drop(to, kAnyEpoch);
+    if (dst == nullptr) return true;  // left the sender successfully
+    const Endpoint dst_ep = dst->endpoint;
+    const std::uint64_t dst_epoch = dst->epoch;
+
+    // Scheduled fault impairments, if armed. Checked before the baseline
+    // loss draw so an impairment drop never consumes the baseline's random
+    // number — a window that impairs only *other* hosts leaves this
+    // sender's stream untouched.
+    const ImpairmentOverlay::PairDegradation* degraded = nullptr;
+    if (impairments_ != nullptr && impairments_->active()) {
+      if (impairments_->category_blocked(sender.endpoint.category) ||
+          impairments_->category_blocked(dst_ep.category)) {
+        ++stats_.blackout_drops;
+        return true;
+      }
+      const double brownout = impairments_->uplink_loss(from);
+      if (brownout > 0.0 && rng_.chance(brownout)) {
+        ++stats_.brownout_drops;
+        return true;
+      }
+      degraded = impairments_->pair_degradation(sender.endpoint.category,
+                                                dst_ep.category);
+      if (degraded != nullptr && degraded->extra_loss > 0.0 &&
+          rng_.chance(degraded->extra_loss)) {
+        ++stats_.degrade_drops;
+        return true;
+      }
     }
-    const Endpoint dst_ep = dit->second.endpoint;
-    const std::uint64_t dst_epoch = dit->second.epoch;
 
     if (rng_.chance(latency_.loss_probability(sender.endpoint, dst_ep))) {
       ++stats_.core_drops;
@@ -181,8 +214,9 @@ class Network {
       core_entry = crossing.departure;
     }
 
-    const sim::Time propagation =
-        latency_.sample_one_way(sender.endpoint, dst_ep, rng_);
+    sim::Time propagation = latency_.sample_one_way(sender.endpoint, dst_ep,
+                                                    rng_);
+    if (degraded != nullptr) propagation = propagation + degraded->extra_one_way;
     const sim::Time core_arrival = core_entry + propagation;
     const sim::Time sent_at = simulator_.now();
 
@@ -205,6 +239,10 @@ class Network {
     std::uint64_t core_drops = 0;
     std::uint64_t downlink_drops = 0;
     std::uint64_t dead_destination_drops = 0;
+    // Fault-injection drops (zero unless an ImpairmentOverlay is active).
+    std::uint64_t blackout_drops = 0;
+    std::uint64_t brownout_drops = 0;
+    std::uint64_t degrade_drops = 0;
   };
   const Stats& stats() const { return stats_; }
 
@@ -217,14 +255,33 @@ class Network {
     std::uint64_t epoch = 0;
   };
 
+  /// Sentinel for live_host_or_count_drop: accept any incarnation of the
+  /// destination IP. Real epochs start at 1 (epoch_counter_ pre-increments),
+  /// so 0 can never pin a concrete incarnation.
+  static constexpr std::uint64_t kAnyEpoch = 0;
+
+  /// The single definition of a dead-destination drop. A packet dies here
+  /// when its destination IP is unattached, or — once the packet has been
+  /// bound to an incarnation (`epoch != kAnyEpoch`, i.e. after the send-time
+  /// lookup) — when the IP was re-attached by a different host since. Each
+  /// packet traverses at most one of the three call sites per lifetime
+  /// (send-time lookup, core arrival, downlink exit); a drop ends the
+  /// packet, so the categories are mutually exclusive by construction.
+  Host* live_host_or_count_drop(IpAddress to, std::uint64_t epoch) {
+    auto it = hosts_.find(to);
+    if (it == hosts_.end() ||
+        (epoch != kAnyEpoch && it->second.epoch != epoch)) {
+      ++stats_.dead_destination_drops;
+      return nullptr;
+    }
+    return &it->second;
+  }
+
   void deliver(IpAddress from, IpAddress to, std::uint64_t dst_epoch,
                sim::Time sent_at, std::uint64_t wire_bytes, Payload payload) {
-    auto it = hosts_.find(to);
-    if (it == hosts_.end() || it->second.epoch != dst_epoch) {
-      ++stats_.dead_destination_drops;
-      return;
-    }
-    Host& host = it->second;
+    Host* hostp = live_host_or_count_drop(to, dst_epoch);
+    if (hostp == nullptr) return;
+    Host& host = *hostp;
     auto admission = host.link.down().enqueue(simulator_.now(), wire_bytes);
     if (!admission.admitted) {
       ++stats_.downlink_drops;
@@ -234,12 +291,9 @@ class Network {
         admission.departure,
         [this, from, to, dst_epoch, sent_at, wire_bytes,
          payload = std::move(payload)]() mutable {
-          auto hit = hosts_.find(to);
-          if (hit == hosts_.end() || hit->second.epoch != dst_epoch) {
-            ++stats_.dead_destination_drops;
-            return;
-          }
-          Host& h = hit->second;
+          Host* hp = live_host_or_count_drop(to, dst_epoch);
+          if (hp == nullptr) return;
+          Host& h = *hp;
           ++stats_.packets_delivered;
           if (global_tap_) {
             auto fit = hosts_.find(from);
@@ -266,6 +320,7 @@ class Network {
   Stats stats_;
   GlobalTap global_tap_;
   std::optional<InterconnectFabric> interconnects_;
+  const ImpairmentOverlay* impairments_ = nullptr;
 };
 
 }  // namespace ppsim::net

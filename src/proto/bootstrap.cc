@@ -30,6 +30,7 @@ void BootstrapServer::reply(net::IpAddress to, Message m) {
 }
 
 void BootstrapServer::handle(const PeerNetwork::Delivery& delivery) {
+  if (dark_) return;  // fault window: unreachable, request lost
   if (std::holds_alternative<ChannelListQuery>(delivery.payload)) {
     ChannelListReply r;
     r.channels.reserve(channels_.size());

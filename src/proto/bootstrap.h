@@ -39,6 +39,11 @@ class BootstrapServer {
   net::IpAddress ip() const { return identity_.ip; }
   std::uint64_t joins_served() const { return joins_served_; }
 
+  /// Fault-injection seam: a dark bootstrap drops every request silently;
+  /// joining clients keep retrying until the window closes.
+  void set_dark(bool dark) { dark_ = dark; }
+  bool dark() const { return dark_; }
+
  private:
   void handle(const PeerNetwork::Delivery& delivery);
   void reply(net::IpAddress to, Message m);
@@ -49,6 +54,7 @@ class BootstrapServer {
   sim::Time processing_delay_;
   // Ordered so the channel list is served in a stable order.
   std::map<ChannelId, ChannelEntry> channels_;
+  bool dark_ = false;
   std::uint64_t rotation_ = 0;
   std::uint64_t joins_served_ = 0;
 };

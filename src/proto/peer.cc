@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <limits>
 
 namespace ppsim::proto {
@@ -47,6 +48,21 @@ void Peer::leave() {
   alive_ = false;
   // Detach after the goodbyes were handed to the uplink; the network keeps
   // per-packet state, so detaching now still lets them out.
+  network_.detach(identity_.ip);
+}
+
+void Peer::crash() {
+  if (!alive_) return;
+  if (trace_ != nullptr) {
+    obs::TraceEvent ev(simulator_.now(), "peer_crash");
+    ev.field("peer", identity_.ip.to_string())
+        .field("bytes_down", counters_.bytes_downloaded)
+        .field("continuity", counters_.continuity());
+    trace_->write(ev);
+  }
+  // No goodbyes: neighbors learn of the crash only through their idle
+  // timeouts, which is what makes correlated crash bursts stressful.
+  alive_ = false;
   network_.detach(identity_.ip);
 }
 
@@ -196,8 +212,18 @@ void Peer::optimize_neighborhood() {
 void Peer::schedule_tracker_round() {
   const bool healthy =
       neighbors_.size() >= static_cast<std::size_t>(config_.healthy_neighbors);
-  const sim::Time period = healthy ? config_.tracker_period_steady
-                                   : config_.tracker_period_initial;
+  sim::Time period = healthy ? config_.tracker_period_steady
+                             : config_.tracker_period_initial;
+  // Dark-tracker backoff: once several consecutive all-group sweeps have
+  // gone unanswered (the region is unreachable, not just lossy), probe at
+  // an exponentially growing period instead of hammering the initial
+  // cadence. Any tracker reply resets the streak.
+  if (tracker_silent_rounds_ >= config_.tracker_backoff_after) {
+    const double factor = std::pow(
+        config_.tracker_backoff_factor,
+        tracker_silent_rounds_ - config_.tracker_backoff_after + 1);
+    period = std::min(sim::scale(period, factor), config_.tracker_backoff_max);
+  }
   simulator_.schedule(
       period,
       [this] {
@@ -207,6 +233,7 @@ void Peer::schedule_tracker_round() {
             static_cast<std::size_t>(config_.healthy_neighbors);
         // Unhealthy peers sweep every tracker group; healthy ones ping a
         // single tracker to stay registered (and discoverable).
+        if (!now_healthy) ++tracker_silent_rounds_;
         query_trackers(/*all=*/!now_healthy);
         schedule_tracker_round();
       },
@@ -392,6 +419,36 @@ void Peer::sweep_timeouts() {
     ++counters_.neighbors_dropped_idle;
     drop_neighbor(ip, /*notify=*/true);
   }
+
+  // Blackout recovery: an established peer stripped of every neighbor (a
+  // regional outage took them all) mounts an emergency re-acquisition
+  // instead of waiting out the regular tracker round — an immediate
+  // all-group sweep plus a connect burst from the candidate pool.
+  if (neighbors_.empty()) {
+    if (had_neighbors_ && !isolated_) {
+      isolated_ = true;
+      isolated_since_ = now;
+    }
+    if (isolated_ && now - isolated_since_ >= config_.reacquire_timeout &&
+        now - last_reacquire_ >= config_.reacquire_cooldown) {
+      last_reacquire_ = now;
+      ++emergency_reacquires_;
+      if (trace_ != nullptr) {
+        obs::TraceEvent ev(now, "peer_reacquire");
+        ev.field("peer", identity_.ip.to_string())
+            .field("isolated_s", (now - isolated_since_).as_seconds())
+            .field("pool", static_cast<std::uint64_t>(pool_set_.size()));
+        trace_->write(ev);
+      }
+      query_trackers(/*all=*/true);
+      std::vector<net::IpAddress> pool(pool_fifo_.begin(), pool_fifo_.end());
+      try_connect(policy_->choose(
+          {}, pool, excluded_targets(),
+          static_cast<std::size_t>(config_.connect_batch), rng_));
+    }
+  } else {
+    isolated_ = false;
+  }
 }
 
 void Peer::update_live_edge() {
@@ -535,6 +592,8 @@ void Peer::add_neighbor(net::IpAddress ip, double initial_latency_s,
   nb.service_s = nb.rtt_s + 0.05;
   nb.map = std::move(map);
   neighbors_[ip] = std::move(nb);
+  had_neighbors_ = true;
+  isolated_ = false;
 }
 
 void Peer::drop_neighbor(net::IpAddress ip, bool notify) {
@@ -596,6 +655,7 @@ void Peer::handle(const PeerNetwork::Delivery& delivery) {
   if (const auto* tr = std::get_if<TrackerReply>(&delivery.payload)) {
     if (tr->channel != channel_.id) return;
     ++counters_.tracker_replies;
+    tracker_silent_rounds_ = 0;  // the region answers; stop backing off
     if (trace_ != nullptr) {
       obs::TraceEvent ev(simulator_.now(), "tracker_reply");
       ev.field("peer", identity_.ip.to_string())

@@ -66,6 +66,12 @@ class Peer {
   /// neutralizes all pending timers. Idempotent.
   void leave();
 
+  /// Crashes: detaches abruptly with no goodbyes — the fault-injection
+  /// (churn burst) and power-failure departure path. Neighbors only find
+  /// out via their own idle timeouts. Idempotent, same lifetime rules as
+  /// leave().
+  void crash();
+
   /// Routes this client's protocol trace events (tracker queries, gossip,
   /// connect races, chunk request/serve) to `sink`. nullptr (the default)
   /// disables tracing at the cost of one branch per would-be event. Set
@@ -81,6 +87,14 @@ class Peer {
 
   std::size_t neighbor_count() const { return neighbors_.size(); }
   std::vector<net::IpAddress> neighbor_ips() const;
+
+  /// Resilience introspection (not part of PeerCounters: these only move
+  /// under injected faults, and the metrics export must stay byte-stable
+  /// for fault-free runs).
+  /// All-group tracker sweeps issued since the last tracker reply.
+  int tracker_silent_rounds() const { return tracker_silent_rounds_; }
+  /// Emergency neighbor re-acquisitions mounted after total isolation.
+  std::uint64_t emergency_reacquires() const { return emergency_reacquires_; }
   std::size_t candidate_pool_size() const { return pool_set_.size(); }
   bool playback_started() const { return playback_started_; }
   ChunkSeq playback_position() const { return playback_next_; }
@@ -195,6 +209,16 @@ class Peer {
   // so neighborhood optimization never ties a measured-near peer against a
   // far one at the default and evicts on the tie-break.
   std::map<net::IpAddress, double> recent_rtt_;
+
+  // Resilience state (see the matching PeerConfig knobs): tracker-query
+  // backoff while a tracker region is dark, and emergency re-acquisition
+  // after a blackout empties the neighborhood.
+  int tracker_silent_rounds_ = 0;
+  bool had_neighbors_ = false;
+  bool isolated_ = false;
+  sim::Time isolated_since_;
+  sim::Time last_reacquire_ = sim::Time::minutes(-60);
+  std::uint64_t emergency_reacquires_ = 0;
 
   ChunkStore store_;
   ChunkSeq live_edge_ = 0;

@@ -52,6 +52,24 @@ struct PeerConfig {
   sim::Time buffermap_period = sim::Time::seconds(2);
   std::uint32_t chunk_retention = 256;  // chunks kept & advertised
 
+  // --- resilience (fault tolerance; docs/FAULTS.md) ---
+  /// Consecutive all-group tracker sweeps with no reply before the query
+  /// period starts backing off (a dark tracker region should be probed,
+  /// not hammered at the initial cadence). Any tracker reply resets it.
+  int tracker_backoff_after = 3;
+  /// Per-additional-silent-round multiplier on the query period once the
+  /// backoff engages, capped at tracker_backoff_max.
+  double tracker_backoff_factor = 2.0;
+  sim::Time tracker_backoff_max = sim::Time::minutes(4);
+  /// An established peer (had neighbors before) that has been completely
+  /// isolated for this long mounts an emergency re-acquisition: an
+  /// immediate all-group tracker sweep plus a connect burst from the
+  /// candidate pool. Recovers neighborhoods after a regional blackout
+  /// faster than the regular 30 s tracker round alone.
+  sim::Time reacquire_timeout = sim::Time::seconds(12);
+  /// Minimum spacing between emergency re-acquisitions.
+  sim::Time reacquire_cooldown = sim::Time::seconds(30);
+
   // --- connectivity ---
   /// Client sits behind a NAT/firewall without traversal: it can initiate
   /// connections but silently ignores ConnectQuery from strangers (2008

@@ -47,6 +47,7 @@ std::size_t TrackerServer::member_count(ChannelId channel) {
 void TrackerServer::handle(const PeerNetwork::Delivery& delivery) {
   const auto* query = std::get_if<TrackerQuery>(&delivery.payload);
   if (query == nullptr) return;  // trackers speak only the tracker protocol
+  if (dark_) return;             // fault window: unreachable, query lost
 
   const ChannelId channel = query->channel;
   expire(channel);

@@ -55,6 +55,12 @@ class TrackerServer {
   /// (the default) disables tracing. Purely observational.
   void set_trace_sink(obs::TraceSink* sink) { trace_ = sink; }
 
+  /// Fault-injection seam: a dark tracker silently drops every query — the
+  /// server is unreachable, exactly as a client experiences a regional
+  /// tracker outage over UDP. Membership entries keep aging out while dark.
+  void set_dark(bool dark) { dark_ = dark; }
+  bool dark() const { return dark_; }
+
   /// Number of live (unexpired) members of a channel as of now.
   std::size_t member_count(ChannelId channel);
 
@@ -76,6 +82,7 @@ class TrackerServer {
   sim::Rng rng_;
   Config config_;
   obs::TraceSink* trace_ = nullptr;
+  bool dark_ = false;
   std::uint64_t queries_served_ = 0;
   // channel -> member entries (channel populations are small enough that
   // linear expiry scans are cheaper than index maintenance)

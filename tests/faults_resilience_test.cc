@@ -1,0 +1,125 @@
+// Resilience analysis over synthetic time-series: dip depth,
+// time-to-recover, and the intra-ISP-share trajectory are computed from
+// obs::TrafficSample rows without running any simulation.
+
+#include "faults/resilience.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ppsim::faults {
+namespace {
+
+obs::TrafficSample sample_at(int t_s, double continuity, double share) {
+  obs::TrafficSample s;
+  s.t = sim::Time::seconds(t_s);
+  s.avg_continuity = continuity;
+  s.same_isp_share_interval = share;
+  return s;
+}
+
+FaultPlan one_window(int start_s, int end_s) {
+  FaultPlan plan;
+  FaultWindow w;
+  w.kind = FaultKind::kBlackout;
+  w.start = sim::Time::seconds(start_s);
+  w.end = sim::Time::seconds(end_s);
+  w.label = "test-window";
+  plan.windows.push_back(w);
+  return plan;
+}
+
+TEST(ResilienceTest, DipAndRecoveryMeasured) {
+  // Healthy at 0.9, dips to 0.5 during a 60-120 s window, back over the
+  // threshold at t=150.
+  std::vector<obs::TrafficSample> samples;
+  for (int t = 10; t <= 60; t += 10) samples.push_back(sample_at(t, 0.9, 0.6));
+  samples.push_back(sample_at(80, 0.7, 0.8));
+  samples.push_back(sample_at(100, 0.5, 0.8));
+  samples.push_back(sample_at(120, 0.6, 0.8));
+  samples.push_back(sample_at(140, 0.8, 0.7));
+  samples.push_back(sample_at(150, 0.88, 0.6));
+
+  const auto rows = analyze_resilience(one_window(60, 120), samples);
+  ASSERT_EQ(rows.size(), 1u);
+  const WindowResilience& r = rows[0];
+  EXPECT_TRUE(r.has_samples);
+  EXPECT_NEAR(r.baseline_continuity, 0.9, 1e-9);
+  EXPECT_NEAR(r.min_continuity, 0.5, 1e-9);
+  EXPECT_NEAR(r.dip_depth, 0.4, 1e-9);
+  ASSERT_TRUE(r.recovered);
+  // First sample at/after the window end that clears 0.95 * 0.9 = 0.855 is
+  // t=150, i.e. 30 s after the window closed.
+  EXPECT_NEAR(r.time_to_recover_s, 30.0, 1e-9);
+  // Intra-ISP share rose under impairment and relaxed afterwards.
+  EXPECT_GT(r.share_during, r.share_before);
+  EXPECT_LT(r.share_after, r.share_during);
+}
+
+TEST(ResilienceTest, NeverRecoveredWindow) {
+  std::vector<obs::TrafficSample> samples;
+  for (int t = 10; t <= 60; t += 10) samples.push_back(sample_at(t, 0.9, 0.5));
+  for (int t = 70; t <= 200; t += 10)
+    samples.push_back(sample_at(t, 0.3, 0.5));
+  const auto rows = analyze_resilience(one_window(60, 120), samples);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_TRUE(rows[0].has_samples);
+  EXPECT_FALSE(rows[0].recovered);
+  EXPECT_NEAR(rows[0].min_continuity, 0.3, 1e-9);
+}
+
+TEST(ResilienceTest, NoDipMeansInstantRecovery) {
+  std::vector<obs::TrafficSample> samples;
+  for (int t = 10; t <= 200; t += 10)
+    samples.push_back(sample_at(t, 0.95, 0.5));
+  const auto rows = analyze_resilience(one_window(60, 120), samples);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_TRUE(rows[0].recovered);
+  EXPECT_NEAR(rows[0].dip_depth, 0.0, 1e-9);
+  EXPECT_NEAR(rows[0].time_to_recover_s, 0.0, 1e-9);
+}
+
+TEST(ResilienceTest, UncoveredWindowFlagged) {
+  std::vector<obs::TrafficSample> samples;
+  for (int t = 10; t <= 50; t += 10) samples.push_back(sample_at(t, 0.9, 0.5));
+  // Window entirely after the series ends.
+  const auto rows = analyze_resilience(one_window(300, 360), samples);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_FALSE(rows[0].has_samples);
+  // An empty series covers nothing.
+  const auto empty_rows = analyze_resilience(one_window(60, 120), {});
+  ASSERT_EQ(empty_rows.size(), 1u);
+  EXPECT_FALSE(empty_rows[0].has_samples);
+}
+
+TEST(ResilienceTest, LookbackOptionBoundsBaseline) {
+  std::vector<obs::TrafficSample> samples;
+  samples.push_back(sample_at(10, 0.2, 0.5));  // ancient history
+  samples.push_back(sample_at(55, 0.9, 0.5));
+  samples.push_back(sample_at(130, 0.9, 0.5));
+  ResilienceOptions options;
+  options.lookback = sim::Time::seconds(10);
+  const auto rows =
+      analyze_resilience(one_window(60, 120), samples, options);
+  ASSERT_EQ(rows.size(), 1u);
+  // Only the t=55 sample is inside the 10 s lookback.
+  EXPECT_NEAR(rows[0].baseline_continuity, 0.9, 1e-9);
+}
+
+TEST(ResilienceTest, TimelineTablePrints) {
+  std::vector<obs::TrafficSample> samples;
+  for (int t = 10; t <= 200; t += 10)
+    samples.push_back(sample_at(t, t < 60 || t > 130 ? 0.9 : 0.6, 0.5));
+  const auto rows = analyze_resilience(one_window(60, 120), samples);
+  std::ostringstream os;
+  print_fault_timeline(os, rows);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("blackout"), std::string::npos);
+  EXPECT_NE(text.find("test-window"), std::string::npos);
+  EXPECT_NE(text.find("60-120"), std::string::npos);
+  EXPECT_NE(text.find("share b/d/a"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppsim::faults

@@ -1,0 +1,309 @@
+// ImpairmentOverlay unit tests plus transport-level fault behaviour: what
+// an active overlay does to the send path, and — the drop-accounting audit
+// — that every lost packet lands in exactly one Stats category.
+
+#include "net/impairment.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/transport.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace ppsim::net {
+namespace {
+
+using TestNetwork = Network<std::string>;
+
+LatencyModel lossless_latency() {
+  LatencyConfig cfg;
+  cfg.intra_isp_loss = 0;
+  cfg.china_cross_loss = 0;
+  cfg.transoceanic_loss = 0;
+  cfg.foreign_cross_loss = 0;
+  cfg.packet_sigma = 0;
+  cfg.pair_sigma = 0;
+  return LatencyModel(cfg);
+}
+
+TEST(ImpairmentOverlayTest, DefaultIsInactive) {
+  ImpairmentOverlay overlay;
+  EXPECT_FALSE(overlay.active());
+  EXPECT_FALSE(overlay.category_blocked(IspCategory::kTele));
+  EXPECT_EQ(overlay.pair_degradation(IspCategory::kTele, IspCategory::kCnc),
+            nullptr);
+  EXPECT_EQ(overlay.uplink_loss(IpAddress(1)), 0.0);
+}
+
+TEST(ImpairmentOverlayTest, ActivityTracksContents) {
+  ImpairmentOverlay overlay;
+  overlay.set_category_blocked(IspCategory::kCnc, true);
+  EXPECT_TRUE(overlay.active());
+  overlay.set_category_blocked(IspCategory::kCnc, false);
+  EXPECT_FALSE(overlay.active());
+
+  overlay.set_pair_degradation(IspCategory::kTele, IspCategory::kCnc,
+                               {0.5, sim::Time::millis(10)});
+  EXPECT_TRUE(overlay.active());
+  overlay.clear_pair_degradation(IspCategory::kTele, IspCategory::kCnc);
+  EXPECT_FALSE(overlay.active());
+
+  overlay.set_uplink_loss(IpAddress(7), 0.3);
+  EXPECT_TRUE(overlay.active());
+  overlay.clear_uplink_loss(IpAddress(7));
+  EXPECT_FALSE(overlay.active());
+}
+
+TEST(ImpairmentOverlayTest, PairDegradationIsUnordered) {
+  ImpairmentOverlay overlay;
+  overlay.set_pair_degradation(IspCategory::kCnc, IspCategory::kTele,
+                               {0.25, sim::Time::millis(75)});
+  const auto* d =
+      overlay.pair_degradation(IspCategory::kTele, IspCategory::kCnc);
+  ASSERT_NE(d, nullptr);
+  EXPECT_DOUBLE_EQ(d->extra_loss, 0.25);
+  EXPECT_EQ(d->extra_one_way, sim::Time::millis(75));
+}
+
+TEST(ImpairmentOverlayTest, UplinkLossClampsAndErases) {
+  ImpairmentOverlay overlay;
+  overlay.set_uplink_loss(IpAddress(1), 2.0);
+  EXPECT_DOUBLE_EQ(overlay.uplink_loss(IpAddress(1)), 1.0);
+  overlay.set_uplink_loss(IpAddress(1), 0.0);  // <= 0 erases
+  EXPECT_FALSE(overlay.active());
+}
+
+TEST(ImpairmentOverlayTest, ClearAllReverts) {
+  ImpairmentOverlay overlay;
+  overlay.set_category_blocked(IspCategory::kTele, true);
+  overlay.set_pair_degradation(IspCategory::kTele, IspCategory::kCnc,
+                               {0.5, sim::Time::zero()});
+  overlay.set_uplink_loss(IpAddress(1), 0.5);
+  overlay.clear_all();
+  EXPECT_FALSE(overlay.active());
+}
+
+class ImpairedTransportTest : public ::testing::Test {
+ protected:
+  ImpairedTransportTest()
+      : network_(simulator_, lossless_latency(), sim::Rng(1)) {
+    network_.set_impairments(&overlay_);
+  }
+
+  void attach(IpAddress ip, IspCategory cat, std::uint32_t isp,
+              std::vector<std::string>* inbox) {
+    network_.attach(ip, IspId{isp}, cat, AccessProfile{100e6, 100e6},
+                    [inbox](const TestNetwork::Delivery& d) {
+                      if (inbox) inbox->push_back(d.payload);
+                    });
+  }
+
+  sim::Simulator simulator_;
+  ImpairmentOverlay overlay_;
+  TestNetwork network_;
+};
+
+TEST_F(ImpairedTransportTest, InactiveOverlayChangesNothing) {
+  std::vector<std::string> inbox;
+  attach(IpAddress(1), IspCategory::kTele, 0, nullptr);
+  attach(IpAddress(2), IspCategory::kTele, 0, &inbox);
+  EXPECT_TRUE(network_.send(IpAddress(1), IpAddress(2), "x", 100));
+  simulator_.run();
+  EXPECT_EQ(inbox.size(), 1u);
+  EXPECT_EQ(network_.stats().blackout_drops, 0u);
+}
+
+TEST_F(ImpairedTransportTest, BlackoutDropsBothDirections) {
+  std::vector<std::string> tele_inbox, cnc_inbox;
+  attach(IpAddress(1), IspCategory::kTele, 0, &tele_inbox);
+  attach(IpAddress(2), IspCategory::kCnc, 1, &cnc_inbox);
+  overlay_.set_category_blocked(IspCategory::kCnc, true);
+  // send() still reports true: the packet left the sender, the network ate
+  // it — like real packet loss, the sender cannot tell.
+  EXPECT_TRUE(network_.send(IpAddress(1), IpAddress(2), "to", 100));
+  EXPECT_TRUE(network_.send(IpAddress(2), IpAddress(1), "from", 100));
+  simulator_.run();
+  EXPECT_TRUE(tele_inbox.empty());
+  EXPECT_TRUE(cnc_inbox.empty());
+  EXPECT_EQ(network_.stats().blackout_drops, 2u);
+
+  overlay_.set_category_blocked(IspCategory::kCnc, false);
+  network_.send(IpAddress(1), IpAddress(2), "after", 100);
+  simulator_.run();
+  EXPECT_EQ(cnc_inbox.size(), 1u);
+}
+
+TEST_F(ImpairedTransportTest, BlackoutLeavesOtherPairsAlone) {
+  std::vector<std::string> inbox;
+  attach(IpAddress(1), IspCategory::kTele, 0, nullptr);
+  attach(IpAddress(2), IspCategory::kTele, 0, &inbox);
+  overlay_.set_category_blocked(IspCategory::kCer, true);
+  network_.send(IpAddress(1), IpAddress(2), "x", 100);
+  simulator_.run();
+  EXPECT_EQ(inbox.size(), 1u);
+  EXPECT_EQ(network_.stats().blackout_drops, 0u);
+}
+
+TEST_F(ImpairedTransportTest, FullBrownoutDropsEveryUplinkPacket) {
+  std::vector<std::string> inbox;
+  attach(IpAddress(1), IspCategory::kTele, 0, nullptr);
+  attach(IpAddress(2), IspCategory::kTele, 0, &inbox);
+  overlay_.set_uplink_loss(IpAddress(1), 1.0);
+  for (int i = 0; i < 20; ++i)
+    network_.send(IpAddress(1), IpAddress(2), "x", 100);
+  // The other direction is not browned out.
+  network_.send(IpAddress(2), IpAddress(1), "y", 100);
+  simulator_.run();
+  EXPECT_TRUE(inbox.empty());
+  EXPECT_EQ(network_.stats().brownout_drops, 20u);
+  EXPECT_EQ(network_.stats().packets_delivered, 1u);
+}
+
+TEST_F(ImpairedTransportTest, PartialBrownoutDropsSome) {
+  int received = 0;
+  attach(IpAddress(1), IspCategory::kTele, 0, nullptr);
+  network_.attach(IpAddress(2), IspId{0}, IspCategory::kTele,
+                  AccessProfile{100e6, 100e6},
+                  [&](const TestNetwork::Delivery&) { ++received; });
+  overlay_.set_uplink_loss(IpAddress(1), 0.5);
+  for (int i = 0; i < 500; ++i)
+    network_.send(IpAddress(1), IpAddress(2), "x", 10);
+  simulator_.run();
+  EXPECT_GT(received, 150);
+  EXPECT_LT(received, 350);
+  EXPECT_EQ(network_.stats().brownout_drops +
+                static_cast<std::uint64_t>(received),
+            500u);
+}
+
+TEST_F(ImpairedTransportTest, DegradedPairLosesAndSlows) {
+  attach(IpAddress(1), IspCategory::kTele, 0, nullptr);
+  std::vector<sim::Time> arrivals;
+  network_.attach(IpAddress(2), IspId{1}, IspCategory::kCnc,
+                  AccessProfile{100e6, 100e6},
+                  [&](const TestNetwork::Delivery&) {
+                    arrivals.push_back(simulator_.now());
+                  });
+  // Pure-delay degradation first: same path as the baseline test in
+  // net_transport_test (70 ms one-way + 2x 80 us serialization), plus the
+  // overlay's extra one-way.
+  overlay_.set_pair_degradation(IspCategory::kTele, IspCategory::kCnc,
+                                {0.0, sim::Time::millis(75)});
+  network_.send(IpAddress(1), IpAddress(2), "x", 1000);
+  simulator_.run();
+  ASSERT_EQ(arrivals.size(), 1u);
+  const sim::Time expected = sim::Time::millis(70 + 75) +
+                             sim::Time::micros(80) + sim::Time::micros(80);
+  EXPECT_EQ(arrivals.front(), expected);
+
+  // Total-loss degradation: nothing arrives, degrade_drops accounts it.
+  overlay_.set_pair_degradation(IspCategory::kTele, IspCategory::kCnc,
+                                {1.0, sim::Time::zero()});
+  for (int i = 0; i < 10; ++i)
+    network_.send(IpAddress(1), IpAddress(2), "y", 1000);
+  simulator_.run();
+  EXPECT_EQ(arrivals.size(), 1u);
+  EXPECT_EQ(network_.stats().degrade_drops, 10u);
+}
+
+TEST_F(ImpairedTransportTest, DegradationDoesNotTouchIntraIspTraffic) {
+  std::vector<std::string> inbox;
+  attach(IpAddress(1), IspCategory::kTele, 0, nullptr);
+  attach(IpAddress(2), IspCategory::kTele, 0, &inbox);
+  overlay_.set_pair_degradation(IspCategory::kTele, IspCategory::kCnc,
+                                {1.0, sim::Time::seconds(1)});
+  network_.send(IpAddress(1), IpAddress(2), "x", 100);
+  simulator_.run();
+  EXPECT_EQ(inbox.size(), 1u);
+  EXPECT_EQ(network_.stats().degrade_drops, 0u);
+}
+
+// --- drop-accounting audit -------------------------------------------------
+// Every packet handed to send() must end in exactly one bucket:
+// delivered, or one of the drop categories. The categories are disjoint by
+// construction (a drop ends the packet); these tests pin the bookkeeping.
+
+using AuditNetwork = Network<int>;
+
+TEST(TransportDropAccountingTest, EveryPacketLandsInExactlyOneBucket) {
+  sim::Simulator simulator;
+  LatencyConfig cfg;
+  cfg.china_cross_loss = 0.2;  // some baseline core loss
+  cfg.packet_sigma = 0;
+  cfg.pair_sigma = 0;
+  AuditNetwork network(simulator, LatencyModel(cfg), sim::Rng(5));
+  ImpairmentOverlay overlay;
+  network.set_impairments(&overlay);
+  overlay.set_pair_degradation(IspCategory::kTele, IspCategory::kCnc,
+                               {0.2, sim::Time::zero()});
+  overlay.set_uplink_loss(IpAddress(1), 0.2);
+
+  network.attach(IpAddress(1), IspId{0}, IspCategory::kTele,
+                 AccessProfile{100e6, 1e6}, nullptr);  // slow uplink
+  network.attach(IpAddress(2), IspId{1}, IspCategory::kCnc,
+                 AccessProfile{1e6, 100e6},  // slow downlink
+                 [](const AuditNetwork::Delivery&) {});
+
+  for (int i = 0; i < 2000; ++i) network.send(IpAddress(1), IpAddress(2), i, 1400);
+  // A few to a dead destination as well — from the uncongested host, so the
+  // uplink queue cannot eat them before the destination lookup.
+  for (int i = 0; i < 10; ++i) network.send(IpAddress(2), IpAddress(9), i, 100);
+  simulator.run();
+
+  const auto& s = network.stats();
+  EXPECT_EQ(s.packets_sent,
+            s.packets_delivered + s.uplink_drops + s.core_drops +
+                s.downlink_drops + s.dead_destination_drops +
+                s.blackout_drops + s.brownout_drops + s.degrade_drops);
+  // The scenario exercises the interesting buckets.
+  EXPECT_GT(s.packets_delivered, 0u);
+  EXPECT_GT(s.uplink_drops, 0u);
+  EXPECT_GT(s.core_drops, 0u);
+  EXPECT_GT(s.brownout_drops, 0u);
+  EXPECT_GT(s.degrade_drops, 0u);
+  EXPECT_EQ(s.dead_destination_drops, 10u);
+}
+
+TEST(TransportDropAccountingTest, DeadDestinationCountedOncePerPacket) {
+  // Three dead-destination paths share one accounting helper: unknown at
+  // send, detached during transit, re-attached (epoch mismatch) at the
+  // downlink exit. Each packet is counted exactly once.
+  sim::Simulator simulator;
+  LatencyConfig cfg;
+  cfg.intra_isp_loss = 0;
+  cfg.packet_sigma = 0;
+  cfg.pair_sigma = 0;
+  AuditNetwork network(simulator, LatencyModel(cfg), sim::Rng(1));
+  auto attach2 = [&] {
+    network.attach(IpAddress(2), IspId{0}, IspCategory::kTele,
+                   AccessProfile{100e6, 100e6},
+                   [](const AuditNetwork::Delivery&) {});
+  };
+  network.attach(IpAddress(1), IspId{0}, IspCategory::kTele,
+                 AccessProfile{100e6, 100e6}, nullptr);
+
+  network.send(IpAddress(1), IpAddress(9), 0, 100);  // unknown at send time
+  simulator.run();
+  EXPECT_EQ(network.stats().dead_destination_drops, 1u);
+
+  attach2();
+  network.send(IpAddress(1), IpAddress(2), 1, 100);
+  network.detach(IpAddress(2));  // gone during transit
+  simulator.run();
+  EXPECT_EQ(network.stats().dead_destination_drops, 2u);
+
+  attach2();
+  network.send(IpAddress(1), IpAddress(2), 2, 100);
+  network.detach(IpAddress(2));
+  attach2();  // new incarnation: epoch mismatch at delivery
+  simulator.run();
+  EXPECT_EQ(network.stats().dead_destination_drops, 3u);
+  EXPECT_EQ(network.stats().packets_delivered, 0u);
+  EXPECT_EQ(network.stats().packets_sent, 3u);
+}
+
+}  // namespace
+}  // namespace ppsim::net

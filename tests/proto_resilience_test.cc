@@ -1,0 +1,208 @@
+// Timeout-path and fault-recovery coverage for the client: sustained 100%
+// loss must drive the connect / request / idle timers, and the peer must
+// shed dead neighbors and recover once the network heals — never wedge.
+// Also covers the two resilience behaviours added for fault injection:
+// tracker-query backoff while a region is dark, and emergency neighbor
+// re-acquisition after total isolation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "net/impairment.h"
+#include "proto_testutil.h"
+
+namespace ppsim::proto {
+namespace {
+
+using testing::MiniWorld;
+
+/// Browns out (100% uplink loss) each victim — their packets stop arriving
+/// anywhere, but they stay attached, so only timeouts (never
+/// dead-destination handling) can detect the silence.
+void brown_out(net::ImpairmentOverlay& overlay,
+               const std::vector<net::IpAddress>& victims) {
+  for (const auto& ip : victims) overlay.set_uplink_loss(ip, 1.0);
+}
+
+TEST(ProtoResilienceTest, RequestTimeoutsFireUnderTotalLoss) {
+  MiniWorld world;
+  net::ImpairmentOverlay overlay;
+  world.network().set_impairments(&overlay);
+
+  Peer& viewer = world.add_peer(net::IspCategory::kTele);
+  viewer.join();
+  world.simulator().run_until(sim::Time::minutes(2));
+  ASSERT_TRUE(viewer.playback_started());
+  const auto before = viewer.counters();
+
+  // The viewer's own uplink dies: buffer-map announcements still arrive
+  // (the live edge keeps advancing, so requests keep being issued), but
+  // every request dies on the wire and no reply can ever come back.
+  world.simulator().schedule(sim::Time::zero(), [&] {
+    brown_out(overlay, {viewer.ip()});
+  });
+  world.simulator().run_until(sim::Time::minutes(3));
+
+  // The request timer reclaimed the dead in-flight slots — repeatedly, or
+  // the pipeline caps would have wedged the scheduler after one window.
+  EXPECT_GT(viewer.counters().request_timeouts,
+            before.request_timeouts + 10);
+  EXPECT_TRUE(viewer.alive());
+
+  // The network heals: the viewer must resume downloading and playing.
+  world.simulator().schedule(sim::Time::zero(), [&] { overlay.clear_all(); });
+  const auto at_heal = viewer.counters();
+  world.simulator().run_until(sim::Time::minutes(6));
+  EXPECT_GT(viewer.counters().bytes_downloaded, at_heal.bytes_downloaded);
+  EXPECT_GT(viewer.counters().chunks_played, at_heal.chunks_played)
+      << "viewer wedged after the loss window lifted";
+}
+
+TEST(ProtoResilienceTest, IdleTimeoutShedsSilentNeighborAndRecovers) {
+  MiniWorld world;
+  net::ImpairmentOverlay overlay;
+  world.network().set_impairments(&overlay);
+
+  PeerConfig config;
+  config.neighbor_idle_timeout = sim::Time::seconds(30);
+  Peer& viewer = world.add_peer(net::IspCategory::kTele, config);
+  Peer& silent = world.add_peer(net::IspCategory::kTele, config);
+  viewer.join();
+  silent.join();
+  world.simulator().run_until(sim::Time::minutes(2));
+  auto ips = viewer.neighbor_ips();
+  ASSERT_TRUE(std::find(ips.begin(), ips.end(), silent.ip()) != ips.end());
+
+  // The neighbor's uplink dies completely — it stays attached (so packets
+  // to it are NOT dead-destination drops) but can no longer say anything.
+  world.simulator().schedule(sim::Time::zero(), [&] {
+    overlay.set_uplink_loss(silent.ip(), 1.0);
+  });
+  world.simulator().run_until(sim::Time::minutes(4));
+
+  ips = viewer.neighbor_ips();
+  EXPECT_TRUE(std::find(ips.begin(), ips.end(), silent.ip()) == ips.end())
+      << "silent neighbor was never aged out by the idle timer";
+  EXPECT_GT(viewer.counters().neighbors_dropped_idle, 0u);
+  // Shedding, not wedging: playback went on against the source.
+  EXPECT_TRUE(viewer.alive());
+  EXPECT_GT(viewer.counters().continuity(), 0.6);
+}
+
+TEST(ProtoResilienceTest, ConnectTimeoutsCountedUnderTotalLoss) {
+  MiniWorld world;
+  net::ImpairmentOverlay overlay;
+  world.network().set_impairments(&overlay);
+
+  PeerConfig config;
+  config.neighbor_idle_timeout = sim::Time::seconds(30);
+  Peer& viewer = world.add_peer(net::IspCategory::kTele, config);
+  std::vector<Peer*> crowd;
+  for (int i = 0; i < 4; ++i)
+    crowd.push_back(&world.add_peer(net::IspCategory::kTele, config));
+  viewer.join();
+  for (auto* p : crowd) p->join();
+  world.simulator().run_until(sim::Time::minutes(2));
+  const auto before = viewer.counters();
+
+  // The whole crowd goes silent. Idle timers clear the neighborhood, and
+  // every top-up attempt toward the (still-remembered) candidates must run
+  // into the connect timeout — no ConnectReply can arrive.
+  world.simulator().schedule(sim::Time::zero(), [&] {
+    std::vector<net::IpAddress> victims;
+    for (auto* p : crowd) victims.push_back(p->ip());
+    brown_out(overlay, victims);
+  });
+  world.simulator().run_until(sim::Time::minutes(5));
+
+  EXPECT_GT(viewer.counters().connects_timed_out, before.connects_timed_out)
+      << "no connect attempt timed out despite a fully silent candidate set";
+  EXPECT_TRUE(viewer.alive());
+
+  // Heal: the viewer rebuilds a neighborhood from the same candidates.
+  world.simulator().schedule(sim::Time::zero(), [&] { overlay.clear_all(); });
+  world.simulator().run_until(sim::Time::minutes(8));
+  bool reconnected = false;
+  for (auto* p : crowd) {
+    const auto ips = viewer.neighbor_ips();
+    if (std::find(ips.begin(), ips.end(), p->ip()) != ips.end())
+      reconnected = true;
+  }
+  EXPECT_TRUE(reconnected) << "viewer never re-acquired a crowd neighbor";
+}
+
+TEST(ProtoResilienceTest, TrackerBackoffWhileRegionDark) {
+  // A dark tracker region should be probed at a decaying cadence, not
+  // hammered every 30 s forever. Compare total query traffic with the
+  // backoff enabled vs disabled over the same dark period.
+  const auto queries_sent = [](int backoff_after) {
+    MiniWorld world;
+    world.tracker().set_dark(true);
+    PeerConfig config;
+    config.tracker_backoff_after = backoff_after;
+    Peer& viewer = world.add_peer(net::IspCategory::kTele, config);
+    viewer.join();
+    world.simulator().run_until(sim::Time::minutes(30));
+    EXPECT_TRUE(viewer.alive());
+    return viewer.counters().tracker_queries_sent;
+  };
+  const auto with_backoff = queries_sent(3);
+  const auto without_backoff = queries_sent(1 << 20);  // threshold never hit
+  EXPECT_LT(with_backoff, without_backoff / 2)
+      << "backoff saved less than half the query traffic";
+  EXPECT_GT(with_backoff, 2u) << "backoff must keep probing, not go mute";
+}
+
+TEST(ProtoResilienceTest, TrackerReplyResetsBackoff) {
+  MiniWorld world;
+  world.tracker().set_dark(true);
+  Peer& viewer = world.add_peer(net::IspCategory::kTele);
+  viewer.join();
+  world.simulator().run_until(sim::Time::minutes(10));
+  EXPECT_GE(viewer.tracker_silent_rounds(),
+            viewer.config().tracker_backoff_after);
+
+  world.tracker().set_dark(false);
+  world.simulator().run_until(sim::Time::minutes(25));
+  EXPECT_EQ(viewer.tracker_silent_rounds(), 0)
+      << "a tracker reply did not reset the silent-round streak";
+}
+
+TEST(ProtoResilienceTest, EmergencyReacquireAfterBlackout) {
+  // A regional blackout empties an established peer's neighborhood; once
+  // it lifts, the emergency path (all-group tracker sweep + connect burst
+  // from the pool) must rebuild it faster than doing nothing would.
+  MiniWorld world;
+  net::ImpairmentOverlay overlay;
+  world.network().set_impairments(&overlay);
+
+  PeerConfig config;
+  config.neighbor_idle_timeout = sim::Time::seconds(30);
+  Peer& viewer = world.add_peer(net::IspCategory::kTele, config);
+  std::vector<Peer*> crowd;
+  for (int i = 0; i < 4; ++i)
+    crowd.push_back(&world.add_peer(net::IspCategory::kTele, config));
+  viewer.join();
+  for (auto* p : crowd) p->join();
+  world.simulator().run_until(sim::Time::minutes(2));
+  ASSERT_GT(viewer.neighbor_count(), 0u);
+
+  // Total TELE blackout for 2 minutes: nobody in the category can send.
+  world.simulator().schedule(sim::Time::zero(), [&] {
+    overlay.set_category_blocked(net::IspCategory::kTele, true);
+  });
+  world.simulator().schedule(sim::Time::minutes(2), [&] {
+    overlay.set_category_blocked(net::IspCategory::kTele, false);
+  });
+  world.simulator().run_until(sim::Time::minutes(8));
+
+  EXPECT_GE(viewer.emergency_reacquires(), 1u)
+      << "total isolation never triggered the emergency re-acquisition";
+  EXPECT_GT(viewer.neighbor_count(), 0u)
+      << "neighborhood was not rebuilt after the blackout lifted";
+  EXPECT_TRUE(viewer.alive());
+}
+
+}  // namespace
+}  // namespace ppsim::proto

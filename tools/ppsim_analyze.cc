@@ -6,12 +6,16 @@
 //
 //   ppsim-analyze <trace-file> [--probe-ip A.B.C.D] [--section NAME ...]
 //   ppsim-analyze --samples <samples.ndjson>
+//   ppsim-analyze --samples <samples.ndjson> --fault-plan <plan.txt>
 //
 // The probe IP is inferred from the records' local address when not given.
 // Sections: returned, sources, data, response, contrib, rtt, all.
 // --samples switches to time-series mode: it reads the NDJSON written by
 // `ppsim --samples-out` and prints the Figure-6-style locality series, no
-// simulation or packet trace involved.
+// simulation or packet trace involved. Adding --fault-plan also prints the
+// per-window resilience timeline (continuity dip, time-to-recover,
+// intra-ISP-share trajectory) for the plan the samples were recorded under
+// (docs/FAULTS.md).
 
 #include <cstdio>
 #include <cstring>
@@ -23,12 +27,14 @@
 #include "capture/analyzer.h"
 #include "capture/trace_io.h"
 #include "core/report.h"
+#include "faults/plan.h"
+#include "faults/resilience.h"
 #include "net/asn_db.h"
 #include "obs/sampler.h"
 
 namespace {
 
-int analyze_samples(const std::string& path) {
+int analyze_samples(const std::string& path, const std::string& plan_path) {
   using namespace ppsim;
   std::ifstream in(path);
   if (!in) {
@@ -45,6 +51,17 @@ int analyze_samples(const std::string& path) {
   if (dropped > 0) std::printf(", %zu malformed dropped", dropped);
   std::printf(")\n\n");
   core::print_locality_timeseries(std::cout, samples);
+  if (!plan_path.empty()) {
+    faults::PlanParseResult plan = faults::load_fault_plan(plan_path);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "error: fault plan %s: %s\n", plan_path.c_str(),
+                   plan.error.c_str());
+      return 1;
+    }
+    std::printf("\n");
+    const auto rows = faults::analyze_resilience(plan.plan, samples);
+    faults::print_fault_timeline(std::cout, rows);
+  }
   return 0;
 }
 
@@ -56,6 +73,7 @@ int main(int argc, char** argv) {
   std::string path;
   std::string probe_ip_text;
   std::string samples_path;
+  std::string fault_plan_path;
   std::vector<std::string> sections;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -65,11 +83,14 @@ int main(int argc, char** argv) {
       sections.push_back(argv[++i]);
     } else if (arg == "--samples" && i + 1 < argc) {
       samples_path = argv[++i];
+    } else if (arg == "--fault-plan" && i + 1 < argc) {
+      fault_plan_path = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: ppsim-analyze <trace-file> [--probe-ip A.B.C.D] "
           "[--section returned|sources|data|response|contrib|rtt|all ...]\n"
-          "       ppsim-analyze --samples <samples.ndjson>\n");
+          "       ppsim-analyze --samples <samples.ndjson> "
+          "[--fault-plan plan.txt]\n");
       return 0;
     } else if (!arg.empty() && arg[0] != '-') {
       path = arg;
@@ -78,7 +99,12 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (!samples_path.empty()) return analyze_samples(samples_path);
+  if (!fault_plan_path.empty() && samples_path.empty()) {
+    std::fprintf(stderr, "error: --fault-plan requires --samples\n");
+    return 2;
+  }
+  if (!samples_path.empty())
+    return analyze_samples(samples_path, fault_plan_path);
   if (path.empty()) {
     std::fprintf(stderr, "error: no trace file given (see --help)\n");
     return 2;
