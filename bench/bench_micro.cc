@@ -2,15 +2,30 @@
 // event queue, the ASN longest-prefix-match trie, the latency model, and
 // the distribution fitters. These bound the simulator's throughput and the
 // analysis cost per capture.
+//
+// Besides google-benchmark's own flags, `--bench-json FILE` writes the
+// non-aggregate results as machine-readable telemetry (schema
+// "ppsim-bench-v1", docs/OBSERVABILITY.md): name, iterations, ns/op, and —
+// for scheduler-shaped benches — the peak simulator queue depth, measured
+// by an untimed replay so the timed loop stays observer-free.
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
 #include "analysis/fit.h"
+#include "figures_common.h"
 #include "net/asn_db.h"
 #include "net/impairment.h"
 #include "net/latency.h"
 #include "net/prefix_alloc.h"
 #include "net/transport.h"
+#include "obs/bench_json.h"
+#include "obs/dispatch_stats.h"
+#include "obs/health.h"
 #include "sim/observer.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
@@ -19,16 +34,37 @@ namespace {
 
 using namespace ppsim;
 
+// Runs `build` once against a fresh simulator with a DispatchStats observer
+// attached and reports the peak pending-queue depth. Used after the timed
+// loop (google-benchmark user counter) so the measured iterations never pay
+// for the observer.
+double replay_peak_queue_depth(
+    const std::function<void(sim::Simulator&)>& build) {
+  sim::Simulator simulator;
+  obs::DispatchStats stats;
+  simulator.add_observer(&stats);
+  build(simulator);
+  simulator.run();
+  return static_cast<double>(stats.peak_queue_depth());
+}
+
+void schedule_spread(sim::Simulator& simulator, int n, const char* category) {
+  for (int i = 0; i < n; ++i) {
+    simulator.schedule(sim::Time::micros((i * 7919) % 100000), [] {},
+                       category);
+  }
+}
+
 void BM_SimulatorScheduleRun(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   for (auto _ : state) {
     sim::Simulator simulator;
-    for (int i = 0; i < n; ++i) {
-      simulator.schedule(sim::Time::micros((i * 7919) % 100000), [] {});
-    }
+    schedule_spread(simulator, n, nullptr);
     benchmark::DoNotOptimize(simulator.run());
   }
   state.SetItemsProcessed(state.iterations() * n);
+  state.counters["peak_queue_depth"] = replay_peak_queue_depth(
+      [n](sim::Simulator& s) { schedule_spread(s, n, nullptr); });
 }
 BENCHMARK(BM_SimulatorScheduleRun)->Arg(1000)->Arg(100000);
 
@@ -43,6 +79,7 @@ void BM_SimulatorSelfScheduling(benchmark::State& state) {
     simulator.run();
   }
   state.SetItemsProcessed(state.iterations() * 100000);
+  state.counters["peak_queue_depth"] = 1;  // chain: one pending event ever
 }
 BENCHMARK(BM_SimulatorSelfScheduling);
 
@@ -55,13 +92,12 @@ void BM_SimulatorScheduleRunCategorized(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   for (auto _ : state) {
     sim::Simulator simulator;
-    for (int i = 0; i < n; ++i) {
-      simulator.schedule(sim::Time::micros((i * 7919) % 100000), [] {},
-                         "bench.cat");
-    }
+    schedule_spread(simulator, n, "bench.cat");
     benchmark::DoNotOptimize(simulator.run());
   }
   state.SetItemsProcessed(state.iterations() * n);
+  state.counters["peak_queue_depth"] = replay_peak_queue_depth(
+      [n](sim::Simulator& s) { schedule_spread(s, n, "bench.cat"); });
 }
 BENCHMARK(BM_SimulatorScheduleRunCategorized)->Arg(1000)->Arg(100000);
 
@@ -78,15 +114,60 @@ void BM_SimulatorScheduleRunObserved(benchmark::State& state) {
   for (auto _ : state) {
     sim::Simulator simulator;
     simulator.add_observer(&observer);
-    for (int i = 0; i < n; ++i) {
-      simulator.schedule(sim::Time::micros((i * 7919) % 100000), [] {},
-                         "bench.cat");
-    }
+    schedule_spread(simulator, n, "bench.cat");
     benchmark::DoNotOptimize(simulator.run());
   }
   state.SetItemsProcessed(state.iterations() * n);
+  state.counters["peak_queue_depth"] = replay_peak_queue_depth(
+      [n](sim::Simulator& s) { schedule_spread(s, n, "bench.cat"); });
 }
 BENCHMARK(BM_SimulatorScheduleRunObserved)->Arg(100000);
+
+// The tagged workload with an idle HealthMonitor ticking on the standard
+// "obs.sample" cadence: the steady state of every watchdog-monitored run.
+// Healthy inputs mean no transitions and no trace/metric writes, so the
+// whole cost is ten rule evaluations per simulated sample period. CI's
+// bench guard compares this against BM_SimulatorScheduleRunCategorized —
+// the two must stay within noise.
+void BM_SimulatorScheduleRunIdleHealthMonitor(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto rules = obs::default_health_rules();
+  // Workload events land in [0, 100ms); sample every 10ms. The tick must
+  // stop itself past the horizon or Simulator::run() would never drain.
+  const auto horizon = sim::Time::micros(100000);
+  auto arm = [&](sim::Simulator& simulator, obs::HealthMonitor& monitor) {
+    schedule_spread(simulator, n, "bench.cat");
+    sim::schedule_periodic(
+        simulator, sim::Time::micros(10000),
+        [&simulator, &monitor, horizon] {
+          if (simulator.now() >= horizon) return false;
+          obs::HealthInput input;
+          input.t = simulator.now();
+          input.avg_continuity = 0.99;
+          input.same_isp_share_interval = 0.8;
+          input.interval_bytes = 1 << 20;
+          input.alive_peers = 100;
+          input.isolated_peers = 0;
+          input.queue_depth = simulator.pending_events();
+          monitor.evaluate(input);
+          return true;
+        },
+        "obs.sample");
+  };
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    obs::HealthMonitor monitor(rules);
+    arm(simulator, monitor);
+    benchmark::DoNotOptimize(simulator.run());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  // The monitor must outlive replay_peak_queue_depth's run() call — the
+  // periodic tick holds a reference to it.
+  obs::HealthMonitor replay_monitor(rules);
+  state.counters["peak_queue_depth"] = replay_peak_queue_depth(
+      [&](sim::Simulator& s) { arm(s, replay_monitor); });
+}
+BENCHMARK(BM_SimulatorScheduleRunIdleHealthMonitor)->Arg(100000);
 
 // Transport send+deliver throughput with no impairment overlay installed:
 // the baseline every fault-free experiment runs at.
@@ -176,6 +257,67 @@ void BM_RngFork(benchmark::State& state) {
 }
 BENCHMARK(BM_RngFork);
 
+// Console reporter that additionally collects every non-aggregate run as a
+// BenchEntry, so `--bench-json` gets exactly what the console showed.
+class JsonCollector final : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const auto& run : report) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      obs::BenchEntry entry;
+      entry.name = run.benchmark_name();
+      entry.iterations = static_cast<std::uint64_t>(run.iterations);
+      entry.ns_per_op =
+          run.iterations > 0
+              ? run.real_accumulated_time /
+                    static_cast<double>(run.iterations) * 1e9
+              : 0.0;
+      if (const auto it = run.counters.find("peak_queue_depth");
+          it != run.counters.end()) {
+        entry.peak_queue_depth =
+            static_cast<std::uint64_t>(it->second.value);
+      }
+      entries_.push_back(std::move(entry));
+    }
+    benchmark::ConsoleReporter::ReportRuns(report);
+  }
+
+  std::vector<obs::BenchEntry> take() { return std::move(entries_); }
+
+ private:
+  std::vector<obs::BenchEntry> entries_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN with one extension: `--bench-json FILE` (filtered out of
+// argv before google-benchmark sees it) writes the collected entries via
+// the shared bench::emit_bench_json. Without the flag, behaviour — including
+// --benchmark_format=json, which a custom reporter would override — is
+// exactly stock.
+int main(int argc, char** argv) {
+  std::string bench_json;
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--bench-json") == 0 && i + 1 < argc) {
+      bench_json = argv[++i];
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data()))
+    return 1;
+  if (bench_json.empty()) {
+    benchmark::RunSpecifiedBenchmarks();
+  } else {
+    JsonCollector collector;
+    benchmark::RunSpecifiedBenchmarks(&collector);
+    if (!ppsim::bench::emit_bench_json(bench_json, collector.take()))
+      return 1;
+  }
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,7 +1,9 @@
 #include "figures_common.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <ostream>
 
 namespace ppsim::bench {
@@ -21,9 +23,25 @@ Scale parse_flags(int argc, char** argv) {
       scale.minutes = static_cast<int>(m);
     } else if (long s = intval("--seed"); s > 0) {
       scale.seed = static_cast<std::uint64_t>(s);
+    } else if (std::strcmp(argv[i], "--bench-json") == 0 && i + 1 < argc) {
+      scale.bench_json = argv[++i];
     }
   }
   return scale;
+}
+
+bool emit_bench_json(const std::string& path,
+                     std::vector<obs::BenchEntry> entries) {
+  if (path.empty()) return true;
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write bench telemetry to %s\n",
+                 path.c_str());
+    return false;
+  }
+  obs::write_bench_json(out, std::move(entries));
+  std::printf("bench telemetry written: %s\n", path.c_str());
+  return true;
 }
 
 core::ExperimentConfig popular_config(const Scale& scale,

@@ -9,11 +9,16 @@
 //   --minutes M     capture duration in simulated minutes (default 10;
 //                   the paper captured 2-hour sessions — pass 120 to match)
 //   --seed S        reproducible run seed
+//   --bench-json F  append-free machine-readable telemetry: write the
+//                   run's BENCH entries to F (schema "ppsim-bench-v1",
+//                   docs/OBSERVABILITY.md)
 
 #include <cstdint>
 #include <iosfwd>
+#include <string>
 
 #include "core/experiment.h"
+#include "obs/bench_json.h"
 #include "workload/scenario.h"
 
 namespace ppsim::bench {
@@ -23,9 +28,17 @@ struct Scale {
   int unpopular_viewers = 64;
   int minutes = 10;
   std::uint64_t seed = 20081012;  // a representative capture day (see Fig 6)
+  std::string bench_json;         // telemetry output path; empty = off
 };
 
 Scale parse_flags(int argc, char** argv);
+
+/// Shared --bench-json emitter: writes `entries` to `path` via
+/// obs::write_bench_json and prints a confirmation line. Returns false (and
+/// reports to stderr) when the file cannot be written. No-op returning true
+/// when `path` is empty, so call sites can pass scale.bench_json verbatim.
+bool emit_bench_json(const std::string& path,
+                     std::vector<obs::BenchEntry> entries);
 
 /// Experiment configs mirroring the paper's four headline workloads.
 core::ExperimentConfig popular_config(const Scale& scale,

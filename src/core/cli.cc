@@ -12,6 +12,9 @@
 #include "core/report.h"
 #include "faults/plan.h"
 #include "faults/resilience.h"
+#include "obs/bench_json.h"
+#include "obs/flight_recorder.h"
+#include "obs/health.h"
 #include "obs/sampler.h"
 #include "obs/trace.h"
 #include "workload/scenario.h"
@@ -79,6 +82,18 @@ std::string cli_usage() {
       "  --fault-seed S                victim-sampling seed for churn/\n"
       "                                brownout windows (default: derived\n"
       "                                from --seed)\n"
+      "  --health-rules FILE|default   arm watchdog rules evaluated on every\n"
+      "                                sampling tick; 'default' uses the\n"
+      "                                built-in rule set\n"
+      "                                (docs/OBSERVABILITY.md)\n"
+      "  --postmortem-dir DIR          flight recorder: dump a post-mortem\n"
+      "                                NDJSON bundle on critical watchdog\n"
+      "                                trips, peer crashes, and fault-window\n"
+      "                                onsets (needs --health-rules or\n"
+      "                                --fault-plan)\n"
+      "  --bench-json FILE             write per-category run telemetry in\n"
+      "                                the BENCH json format (implies\n"
+      "                                profiling)\n"
       "  --help\n";
 }
 
@@ -203,6 +218,18 @@ CliParseResult parse_cli(int argc, const char* const* argv) {
       auto v = need_value(i, "--fault-seed");
       if (!v) return out;
       o.fault_seed = std::strtoull(v->c_str(), nullptr, 10);
+    } else if (arg == "--health-rules") {
+      auto v = need_value(i, "--health-rules");
+      if (!v) return out;
+      o.health_rules = *v;
+    } else if (arg == "--postmortem-dir") {
+      auto v = need_value(i, "--postmortem-dir");
+      if (!v) return out;
+      o.postmortem_dir = *v;
+    } else if (arg == "--bench-json") {
+      auto v = need_value(i, "--bench-json");
+      if (!v) return out;
+      o.bench_json = *v;
     } else {
       out.error = "unknown option: " + arg;
       return out;
@@ -218,6 +245,13 @@ CliParseResult parse_cli(int argc, const char* const* argv) {
   }
   if (o.fault_seed != 0 && o.fault_plan.empty()) {
     out.error = "--fault-seed requires --fault-plan";
+    return out;
+  }
+  // Without a fault plan or watchdogs nothing can trigger a dump, so a
+  // lone --postmortem-dir is a configuration mistake, not a quiet no-op.
+  if (!o.postmortem_dir.empty() && o.health_rules.empty() &&
+      o.fault_plan.empty()) {
+    out.error = "--postmortem-dir requires --health-rules or --fault-plan";
     return out;
   }
   return out;
@@ -259,6 +293,20 @@ CliConfigResult build_config(const CliOptions& options) {
     }
     config.faults.plan = std::move(plan.plan);
     config.faults.fault_seed = options.fault_seed;
+  }
+
+  if (!options.health_rules.empty()) {
+    if (options.health_rules == "default") {
+      out.health_rules = obs::default_health_rules();
+    } else {
+      obs::HealthRulesParseResult rules =
+          obs::load_health_rules(options.health_rules);
+      if (!rules.ok()) {
+        out.error = "health rules " + options.health_rules + ": " + rules.error;
+        return out;
+      }
+      out.health_rules = std::move(rules.rules);
+    }
   }
   return out;
 }
@@ -302,10 +350,31 @@ int run_cli(const CliOptions& options, std::ostream& out) {
   if (!options.metrics_out.empty()) ob.metrics = &metrics;
   if (trace_sink.has_value()) ob.trace = &*trace_sink;
   ob.trace_sim_events = options.trace_sim_events;
-  if (options.profile) ob.profiler = &profiler;
+  if (options.profile || !options.bench_json.empty()) ob.profiler = &profiler;
   if (!options.samples_out.empty())
     ob.sample_period = sim::Time::seconds(
         options.sample_period_s > 0 ? options.sample_period_s : 10);
+  if (!options.health_rules.empty()) {
+    // Watchdogs make the registry meaningful even without --metrics-out
+    // (trip counters, dispatch telemetry, the post-mortem snapshot).
+    ob.health_rules = &built.health_rules;
+    ob.metrics = &metrics;
+    ob.dispatch_metrics = true;
+  }
+  std::optional<obs::FlightRecorder> recorder;
+  if (!options.postmortem_dir.empty()) {
+    obs::FlightRecorder::Options recorder_options;
+    recorder_options.dir = options.postmortem_dir;
+    // The recorder tees in front of the NDJSON sink (or stands alone when
+    // no --trace-out was given) so it sees every protocol event.
+    recorder_options.downstream =
+        trace_sink.has_value() ? &*trace_sink : nullptr;
+    recorder_options.metrics = &metrics;
+    recorder.emplace(recorder_options);
+    ob.trace = &*recorder;
+    ob.recorder = &*recorder;
+    ob.metrics = &metrics;
+  }
 
   ExperimentResult result = run_experiment(built.config);
 
@@ -365,6 +434,17 @@ int run_cli(const CliOptions& options, std::ostream& out) {
     }
     out << "\n";
   }
+  if (!options.health_rules.empty()) {
+    print_health_summary(out, result.health);
+    out << "\n";
+  }
+  if (recorder.has_value()) {
+    out << "post-mortems written: " << result.postmortem_dumps;
+    if (recorder->dump_failures() > 0)
+      out << " (" << recorder->dump_failures() << " failed)";
+    if (result.postmortem_dumps > 0) out << " in " << options.postmortem_dir;
+    out << "\n";
+  }
   if (!options.dump_sessions.empty()) {
     if (write_sessions_csv_file(options.dump_sessions, result.sessions)) {
       out << "sessions written: " << options.dump_sessions << " ("
@@ -400,6 +480,37 @@ int run_cli(const CliOptions& options, std::ostream& out) {
         << result.samples.size() << " samples)\n";
   }
   if (options.profile) profiler.print(out);
+  if (!options.bench_json.empty()) {
+    // Per-category run telemetry in the shared BENCH schema: one entry per
+    // event category plus a "run.total" row carrying the peak queue depth.
+    std::vector<obs::BenchEntry> entries;
+    for (const auto& [category, cs] : profiler.categories()) {
+      obs::BenchEntry e;
+      e.name = "run." + (category.empty() ? std::string("untagged") : category);
+      e.iterations = cs.events;
+      e.ns_per_op = cs.events == 0
+                        ? 0.0
+                        : cs.wall_seconds / static_cast<double>(cs.events) * 1e9;
+      entries.push_back(std::move(e));
+    }
+    obs::BenchEntry total;
+    total.name = "run.total";
+    total.iterations = profiler.events_total();
+    total.ns_per_op =
+        profiler.events_total() == 0
+            ? 0.0
+            : profiler.wall_seconds_total() /
+                  static_cast<double>(profiler.events_total()) * 1e9;
+    total.peak_queue_depth = profiler.max_queue_depth();
+    entries.push_back(std::move(total));
+    std::ofstream f(options.bench_json);
+    if (!f) {
+      std::cerr << "error: could not write " << options.bench_json << "\n";
+      return 1;
+    }
+    obs::write_bench_json(f, std::move(entries));
+    out << "bench telemetry written: " << options.bench_json << "\n";
+  }
   return 0;
 }
 

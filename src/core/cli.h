@@ -34,6 +34,10 @@ struct CliOptions {
   // Fault injection (docs/FAULTS.md); off by default.
   std::string fault_plan;         // plan file path; empty = no faults
   std::uint64_t fault_seed = 0;   // 0 = derive from the run seed
+  // Health watchdogs & post-mortems (docs/OBSERVABILITY.md); off by default.
+  std::string health_rules;    // rule file path, or "default"; empty = off
+  std::string postmortem_dir;  // flight-recorder bundle dir; empty = off
+  std::string bench_json;      // run-telemetry BENCH json path; empty = off
   bool help = false;
 };
 
@@ -51,6 +55,9 @@ std::string cli_usage();
 /// not resolve (unknown probe/strategy/channel).
 struct CliConfigResult {
   ExperimentConfig config;
+  /// Storage for --health-rules; config.observability.health_rules is wired
+  /// to this by run_cli (the config only borrows the rule set).
+  obs::HealthRuleSet health_rules;
   std::optional<std::string> error;
 };
 CliConfigResult build_config(const CliOptions& options);

@@ -5,6 +5,7 @@
 
 #include "capture/trace.h"
 #include "faults/driver.h"
+#include "obs/dispatch_stats.h"
 #include "net/impairment.h"
 #include "net/latency.h"
 #include "net/prefix_alloc.h"
@@ -177,6 +178,11 @@ class Runner : public faults::FaultHost {
   std::array<std::array<obs::Counter*, net::kNumIspCategories>,
              net::kNumIspCategories>
       matrix_counters_{};
+  std::unique_ptr<obs::HealthMonitor> health_;
+  // Stop flag for the periodic sampling chain: schedule_periodic re-arms
+  // under fresh handles, so run() flips this after run_until and any
+  // still-pending tick unschedules itself instead of firing work.
+  bool sampling_active_ = false;
 };
 
 void Runner::build_infrastructure() {
@@ -273,6 +279,7 @@ void Runner::collect_sample() {
   double continuity_acc = 0;
   std::uint64_t viewers = 0;
   std::uint64_t alive = 0;
+  std::uint64_t isolated = 0;
   std::uint64_t same_isp_links = 0;
   std::uint64_t total_links = 0;
   for (const auto& peer : peers_) {
@@ -284,18 +291,40 @@ void Runner::collect_sample() {
       ++viewers;
     }
     const net::IspCategory own = peer->identity().category;
+    std::uint64_t links = 0;
     for (const auto& ip : peer->neighbor_ips()) {
-      ++total_links;
+      ++links;
       if (asn_db_.category_or_foreign(ip) == own) ++same_isp_links;
     }
+    total_links += links;
+    if (links == 0) ++isolated;
   }
-  sampler_.record(
+  const obs::TrafficSample& sample = sampler_.record(
       simulator_.now(), traffic_.bytes,
       total_links == 0 ? 0.0
                        : static_cast<double>(same_isp_links) /
                              static_cast<double>(total_links),
       viewers == 0 ? 0.0 : continuity_acc / static_cast<double>(viewers),
       alive);
+  if (config_.observability.recorder != nullptr)
+    config_.observability.recorder->note_sample(sample);
+  if (health_ != nullptr) {
+    obs::HealthInput input;
+    input.t = sample.t;
+    input.avg_continuity = sample.avg_continuity;
+    input.same_isp_share_interval = sample.same_isp_share_interval;
+    input.interval_bytes = sample.interval_bytes;
+    input.alive_peers = sample.alive_peers;
+    input.isolated_peers = isolated;
+    for (std::size_t i = 0; i < session_peers_.size(); ++i) {
+      const proto::Peer* peer = session_peers_[i];
+      if (peer->alive() && !peer->playback_started())
+        input.startup_waits_s.push_back(
+            (simulator_.now() - sessions_[i].joined).as_seconds());
+    }
+    input.queue_depth = simulator_.pending_events();
+    health_->evaluate(input);
+  }
 }
 
 void Runner::aggregate_counters(ExperimentResult& result) {
@@ -506,10 +535,40 @@ ExperimentResult Runner::run() {
         std::make_unique<obs::SimEventTracer>(*config_.observability.trace);
     simulator_.add_observer(sim_tracer.get());
   }
-  if (config_.observability.sample_period > sim::Time::zero()) {
+  std::unique_ptr<obs::DispatchStats> dispatch_stats;
+  if (config_.observability.dispatch_metrics &&
+      config_.observability.metrics != nullptr) {
+    dispatch_stats = std::make_unique<obs::DispatchStats>();
+    simulator_.add_observer(dispatch_stats.get());
+  }
+
+  // Watchdogs and the flight recorder ride the sampling tick; give them a
+  // default cadence when the caller enabled either without choosing one.
+  const bool wants_health = config_.observability.health_rules != nullptr &&
+                            !config_.observability.health_rules->empty();
+  sim::Time sample_period = config_.observability.sample_period;
+  if ((wants_health || config_.observability.recorder != nullptr) &&
+      sample_period <= sim::Time::zero())
+    sample_period = sim::Time::seconds(10);
+  if (wants_health) {
+    obs::HealthMonitor::Options health_options;
+    health_options.trace = config_.observability.trace;
+    health_options.metrics = config_.observability.metrics;
+    health_ = std::make_unique<obs::HealthMonitor>(
+        *config_.observability.health_rules, health_options);
+    if (obs::FlightRecorder* recorder = config_.observability.recorder) {
+      health_->set_critical_hook(
+          [recorder](sim::Time t, const obs::HealthRule& rule, double) {
+            recorder->trigger(t, "health-" + rule.display_name());
+          });
+    }
+  }
+  if (sample_period > sim::Time::zero()) {
+    sampling_active_ = true;
     sim::schedule_periodic(
-        simulator_, config_.observability.sample_period,
+        simulator_, sample_period,
         [this] {
+          if (!sampling_active_) return false;
           collect_sample();
           return true;
         },
@@ -517,10 +576,15 @@ ExperimentResult Runner::run() {
   }
 
   simulator_.run_until(config_.duration);
+  sampling_active_ = false;
 
   if (config_.observability.profiler != nullptr)
     simulator_.remove_observer(config_.observability.profiler);
   if (sim_tracer != nullptr) simulator_.remove_observer(sim_tracer.get());
+  if (dispatch_stats != nullptr) {
+    simulator_.remove_observer(dispatch_stats.get());
+    dispatch_stats->export_metrics(*config_.observability.metrics);
+  }
 
   ExperimentResult result;
   result.traffic = traffic_;
@@ -564,6 +628,10 @@ ExperimentResult Runner::run() {
     result.fault_windows_reverted = fault_driver_->windows_reverted();
     result.fault_peers_crashed = fault_driver_->peers_crashed();
   }
+
+  if (health_ != nullptr) result.health = health_->summary();
+  if (config_.observability.recorder != nullptr)
+    result.postmortem_dumps = config_.observability.recorder->dumps_written();
 
   for (std::size_t i = 0; i < sessions_.size(); ++i) {
     SessionRecord rec = sessions_[i];

@@ -10,6 +10,8 @@
 #include "net/interconnect.h"
 #include "net/asn_db.h"
 #include "net/isp.h"
+#include "obs/flight_recorder.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/sampler.h"
@@ -40,7 +42,22 @@ struct ObservabilityConfig {
   obs::RunProfiler* profiler = nullptr;
   /// When positive, snapshot the traffic matrix / neighbor composition /
   /// continuity every sample_period into ExperimentResult::samples.
+  /// Defaulted to 10s when health rules or a flight recorder are attached
+  /// and no period was chosen (the watchdogs ride the sampling tick).
   sim::Time sample_period = sim::Time::zero();
+  /// Watchdog rules evaluated on every sampling tick (obs::HealthMonitor);
+  /// nullptr/empty disables the monitor. The summary lands on
+  /// ExperimentResult::health.
+  const obs::HealthRuleSet* health_rules = nullptr;
+  /// Flight recorder for post-mortem bundles. When set, the runner feeds it
+  /// every sampling tick's TrafficSample and wires the health monitor's
+  /// critical hook to FlightRecorder::trigger. To also capture the protocol
+  /// event stream, point `trace` at the recorder (it tees downstream).
+  obs::FlightRecorder* recorder = nullptr;
+  /// Attach a deterministic obs::DispatchStats observer and export
+  /// sim_events_dispatched{category} / sim_peak_queue_depth into `metrics`
+  /// at run end. No-op without `metrics`.
+  bool dispatch_metrics = false;
 };
 
 /// Declarative fault schedule for a run (src/faults, docs/FAULTS.md).
@@ -196,6 +213,11 @@ struct ExperimentResult {
   std::uint64_t fault_windows_applied = 0;
   std::uint64_t fault_windows_reverted = 0;
   std::uint64_t fault_peers_crashed = 0;
+  /// Watchdog digest; empty (worst=ok, no rules) unless
+  /// observability.health_rules was set.
+  obs::HealthSummary health;
+  /// Post-mortem bundles written by observability.recorder this run.
+  std::uint64_t postmortem_dumps = 0;
 };
 
 /// Builds the topology, servers, audience, and probes; runs the simulation

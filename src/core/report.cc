@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <iomanip>
 #include <ostream>
 
@@ -190,6 +191,40 @@ void print_locality_timeseries(
        << pct(s.neighbor_same_isp_share) << " | " << std::setw(10)
        << pct(s.avg_continuity) << " | " << std::setw(5) << s.alive_peers
        << "\n";
+  }
+}
+
+void print_health_summary(std::ostream& os, const obs::HealthSummary& health) {
+  os << "health: worst state " << obs::to_string(health.worst) << " ("
+     << health.rules.size() << " rules)\n";
+  char line[192];
+  std::snprintf(line, sizeof(line),
+                "  %-20s %-20s %9s %6s %6s %6s  %11s  %9s %9s\n", "kind",
+                "label", "state", "trips", "crit", "clear", "first-trip",
+                "last", "worst");
+  os << line;
+  for (const auto& [rule, status] : health.rules) {
+    char first[24], last[24], worst[24];
+    if (status.trips > 0)
+      std::snprintf(first, sizeof(first), "%.0fs",
+                    status.first_trip.as_seconds());
+    else
+      std::snprintf(first, sizeof(first), "%s", "-");
+    std::snprintf(last, sizeof(last), "%.3g", status.last_value);
+    if (status.trips > 0)
+      std::snprintf(worst, sizeof(worst), "%.3g", status.worst_value);
+    else
+      std::snprintf(worst, sizeof(worst), "%s", "-");
+    std::snprintf(line, sizeof(line),
+                  "  %-20s %-20s %9s %6llu %6llu %6llu  %11s  %9s %9s\n",
+                  std::string(obs::to_string(rule.kind)).c_str(),
+                  rule.label.empty() ? "-" : rule.label.c_str(),
+                  std::string(obs::to_string(status.state)).c_str(),
+                  static_cast<unsigned long long>(status.trips),
+                  static_cast<unsigned long long>(status.criticals),
+                  static_cast<unsigned long long>(status.clears), first, last,
+                  worst);
+    os << line;
   }
 }
 

@@ -48,6 +48,11 @@ void print_peer_counters(std::ostream& os, const proto::PeerCounters& c);
 void print_locality_timeseries(std::ostream& os,
                                const std::vector<obs::TrafficSample>& samples);
 
+/// Watchdog digest: worst state plus one row per rule (state, trips,
+/// criticals, clears, first-trip time, last/worst value). See
+/// obs::HealthMonitor and docs/OBSERVABILITY.md.
+void print_health_summary(std::ostream& os, const obs::HealthSummary& health);
+
 /// Percentage with one decimal, e.g. "87.3%".
 std::string pct(double fraction);
 

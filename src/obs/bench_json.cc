@@ -1,0 +1,82 @@
+#include "obs/bench_json.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "obs/json.h"
+
+namespace ppsim::obs {
+
+void write_bench_json(std::ostream& os, std::vector<BenchEntry> entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const BenchEntry& a, const BenchEntry& b) {
+              return a.name < b.name;
+            });
+  os << "{\"bench_schema\":\"ppsim-bench-v1\",\"benchmarks\":"
+     << entries.size() << "}\n";
+  for (const BenchEntry& e : entries) {
+    os << "{\"name\":";
+    write_json_string(os, e.name);
+    os << ",\"iterations\":" << e.iterations << ",\"ns_per_op\":";
+    write_json_double(os, e.ns_per_op);
+    os << ",\"peak_queue_depth\":" << e.peak_queue_depth << "}\n";
+  }
+}
+
+namespace {
+
+bool find_number(const std::string& line, const char* key, double* out) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const std::size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  const char* start = line.c_str() + pos + needle.size();
+  char* end = nullptr;
+  const double v = std::strtod(start, &end);
+  if (end == start) return false;
+  *out = v;
+  return true;
+}
+
+bool find_string(const std::string& line, const char* key, std::string* out) {
+  const std::string needle = std::string("\"") + key + "\":\"";
+  const std::size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  const std::size_t start = pos + needle.size();
+  const std::size_t close = line.find('"', start);
+  if (close == std::string::npos) return false;
+  *out = line.substr(start, close - start);
+  return true;
+}
+
+}  // namespace
+
+std::vector<BenchEntry> read_bench_json(std::istream& is,
+                                        std::size_t* dropped) {
+  std::vector<BenchEntry> out;
+  if (dropped != nullptr) *dropped = 0;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (line.find("\"bench_schema\"") != std::string::npos) continue;
+    BenchEntry e;
+    double iters = 0, ns = 0, depth = 0;
+    const bool ok = find_string(line, "name", &e.name) &&
+                    find_number(line, "iterations", &iters) &&
+                    find_number(line, "ns_per_op", &ns) &&
+                    find_number(line, "peak_queue_depth", &depth);
+    if (!ok) {
+      if (dropped != nullptr) ++*dropped;
+      continue;
+    }
+    e.iterations = static_cast<std::uint64_t>(iters);
+    e.ns_per_op = ns;
+    e.peak_queue_depth = static_cast<std::uint64_t>(depth);
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+}  // namespace ppsim::obs

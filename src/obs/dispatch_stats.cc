@@ -1,0 +1,28 @@
+#include "obs/dispatch_stats.h"
+
+#include <algorithm>
+
+namespace ppsim::obs {
+
+void DispatchStats::on_event_begin(sim::Time /*now*/, std::uint64_t /*seq*/,
+                                   const char* /*category*/,
+                                   std::size_t queue_depth) {
+  peak_queue_depth_ = std::max(peak_queue_depth_, queue_depth);
+}
+
+void DispatchStats::on_event_end(sim::Time /*now*/, const char* category) {
+  ++events_dispatched_;
+  ++events_by_category_[category == nullptr || *category == '\0'
+                            ? "(untagged)"
+                            : category];
+}
+
+void DispatchStats::export_metrics(MetricsRegistry& registry) const {
+  for (const auto& [category, events] : events_by_category_)
+    registry.counter("sim_events_dispatched", {{"category", category}})
+        .inc(events);
+  registry.gauge("sim_peak_queue_depth")
+      .set(static_cast<double>(peak_queue_depth_));
+}
+
+}  // namespace ppsim::obs

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/metrics.h"
+#include "sim/observer.h"
+
+namespace ppsim::obs {
+
+/// Deterministic scheduler telemetry: counts executed events per category
+/// and tracks the peak pending-queue depth, with no clock reads at all —
+/// unlike RunProfiler this observer is safe anywhere the determinism lint
+/// looks, and its exported metrics are byte-stable per seed.
+class DispatchStats final : public sim::SimObserver {
+ public:
+  void on_event_begin(sim::Time now, std::uint64_t seq, const char* category,
+                      std::size_t queue_depth) override;
+  void on_event_end(sim::Time now, const char* category) override;
+
+  const std::map<std::string, std::uint64_t>& events_by_category() const {
+    return events_by_category_;
+  }
+  std::uint64_t events_dispatched() const { return events_dispatched_; }
+  std::size_t peak_queue_depth() const { return peak_queue_depth_; }
+
+  /// Writes sim_events_dispatched{category=...} counters and the
+  /// sim_peak_queue_depth gauge into `registry`.
+  void export_metrics(MetricsRegistry& registry) const;
+
+ private:
+  std::map<std::string, std::uint64_t> events_by_category_;
+  std::uint64_t events_dispatched_ = 0;
+  std::size_t peak_queue_depth_ = 0;
+};
+
+}  // namespace ppsim::obs

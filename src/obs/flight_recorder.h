@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/sampler.h"
+#include "obs/trace.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace ppsim::obs {
+
+/// A TraceSink tee with memory: forwards every event to an optional
+/// downstream sink and keeps the last `ring_capacity` events *per event
+/// name* in bounded rings (so rare control events like fault_begin are not
+/// evicted by high-volume data events). On a trigger — a critical watchdog
+/// trip via HealthMonitor's hook, a `peer_crash`, or a `fault_begin`, all
+/// auto-detected from the event stream — it dumps a post-mortem NDJSON
+/// bundle to `dir`: buffered events in arrival order, the trailing sampler
+/// window, and a metrics snapshot. Everything in the bundle is stamped with
+/// sim time only, so same-seed dumps are byte-identical.
+class FlightRecorder final : public TraceSink {
+ public:
+  struct Options {
+    std::size_t ring_capacity = 64;  // buffered events per event name
+    std::size_t sample_window = 16;  // trailing TrafficSamples kept
+    std::size_t max_dumps = 16;      // bundles per run, then triggers no-op
+    sim::Time min_dump_gap = sim::Time::seconds(30);  // sim-time debounce
+    std::string dir;                 // bundle directory; empty = dumps off
+    TraceSink* downstream = nullptr;  // forwarded every event; borrowed
+    MetricsRegistry* metrics = nullptr;  // postmortem_dumps counter; borrowed
+  };
+
+  explicit FlightRecorder(Options options);
+
+  /// TraceSink: buffer, forward, and auto-trigger on peer_crash/fault_begin.
+  void write(const TraceEvent& event) override;
+
+  /// Feeds the trailing sampler window (the runner calls this right after
+  /// TrafficSampler::record on each sampling tick).
+  void note_sample(const TrafficSample& sample);
+
+  /// Requests a post-mortem dump at sim time `now`. Honors the debounce gap
+  /// and the per-run dump budget; no-op without a configured dir. Returns
+  /// true when a bundle was written.
+  bool trigger(sim::Time now, std::string_view reason);
+
+  /// Arms a periodic self-sampling tick ("obs.sample" category) that calls
+  /// `capture` every `period` and feeds the result to note_sample. Used when
+  /// the recorder runs standalone (tests, tools) rather than riding the
+  /// experiment runner's sampler tick. The chain re-arms itself, so the
+  /// recorder keeps its own stop flag per the schedule_periodic contract:
+  /// stop_sampling() makes the next tick return false and also cancels the
+  /// first firing if it has not fired yet.
+  void start_sampling(sim::Simulator& simulator, sim::Time period,
+                      std::function<TrafficSample()> capture);
+  void stop_sampling();
+  bool sampling_active() const { return sampling_; }
+
+  std::uint64_t dumps_written() const { return dumps_written_; }
+  std::uint64_t dump_failures() const { return dump_failures_; }
+  const std::vector<std::string>& dump_paths() const { return dump_paths_; }
+  /// Events currently buffered across all rings.
+  std::size_t events_buffered() const { return events_buffered_; }
+
+ private:
+  struct Buffered {
+    std::uint64_t order;  // global arrival index, merges rings back in order
+    TraceEvent event;
+  };
+
+  void dump(sim::Time now, std::string_view reason);
+
+  Options options_;
+  std::map<std::string, std::deque<Buffered>> rings_;
+  std::deque<TrafficSample> samples_;
+  std::uint64_t arrival_ = 0;
+  std::size_t events_buffered_ = 0;
+  std::uint64_t dumps_written_ = 0;
+  std::uint64_t dump_failures_ = 0;
+  bool has_last_dump_ = false;
+  sim::Time last_dump_;
+  std::vector<std::string> dump_paths_;
+  bool sampling_ = false;
+  sim::Simulator* sampling_sim_ = nullptr;
+  sim::TimerHandle sampling_first_;
+};
+
+}  // namespace ppsim::obs

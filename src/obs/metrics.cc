@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <limits>
 #include <ostream>
 
 #include "obs/json.h"
@@ -46,6 +48,27 @@ void Histogram::observe(double v) {
   ++counts_[static_cast<std::size_t>(it - upper_bounds_.begin())];
   ++count_;
   sum_ += v;
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return std::numeric_limits<double>::quiet_NaN();
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the wanted observation, 1-based. ceil() so that e.g. the median
+  // of two observations is the first (rank 1), matching the "tightest upper
+  // bound" contract; q=0 still lands on rank 1, q=1 on rank count.
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= rank) {
+      return i < upper_bounds_.size()
+                 ? upper_bounds_[i]
+                 : std::numeric_limits<double>::infinity();
+    }
+  }
+  return std::numeric_limits<double>::infinity();
 }
 
 MetricsRegistry::Entry& MetricsRegistry::entry(std::string_view name,

@@ -52,6 +52,14 @@ class Histogram {
   std::uint64_t count() const { return count_; }
   double sum() const { return sum_; }
 
+  /// Upper bound of the bucket holding the q-quantile observation (q
+  /// clamped to [0,1]; rank = max(1, ceil(q * count)) so q=0 is the first
+  /// observation and q=1 the last). A histogram only knows buckets, so this
+  /// is the tightest upper bound, not an interpolated value: an observation
+  /// landing exactly on a bucket bound reports that bound. Returns NaN when
+  /// empty and +infinity when the rank falls in the overflow bucket.
+  double quantile(double q) const;
+
  private:
   std::vector<double> upper_bounds_;
   std::vector<std::uint64_t> counts_;

@@ -1,6 +1,7 @@
 #include "obs/profiler.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <ostream>
 #include <vector>
@@ -8,6 +9,10 @@
 #include "obs/json.h"
 
 namespace ppsim::obs {
+
+std::vector<double> RunProfiler::dispatch_time_bounds() {
+  return {1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1};
+}
 
 void RunProfiler::on_event_begin(sim::Time /*now*/, std::uint64_t /*seq*/,
                                  const char* /*category*/,
@@ -23,16 +28,29 @@ void RunProfiler::on_event_end(sim::Time /*now*/, const char* category) {
   if (it == stats_.end()) it = stats_.emplace(category, CategoryStats{}).first;
   ++it->second.events;
   it->second.wall_seconds += elapsed;
+  it->second.dispatch_time.observe(elapsed);
   ++events_total_;
   wall_seconds_total_ += elapsed;
 }
 
 void RunProfiler::write_ndjson(std::ostream& os) const {
+  // Quantiles come from bucketed histograms; the overflow bucket reports
+  // +inf, which JSON cannot carry — emit null there.
+  const auto write_quantile = [&os](double v) {
+    if (std::isfinite(v))
+      write_json_double(os, v);
+    else
+      os << "null";
+  };
   for (const auto& [name, cs] : stats_) {
     os << "{\"category\":";
     write_json_string(os, name.empty() ? "(untagged)" : name);
     os << ",\"events\":" << cs.events << ",\"wall_s\":";
     write_json_double(os, cs.wall_seconds);
+    os << ",\"p50_s\":";
+    write_quantile(cs.dispatch_time.quantile(0.5));
+    os << ",\"p99_s\":";
+    write_quantile(cs.dispatch_time.quantile(0.99));
     os << "}\n";
   }
   os << "{\"category\":\"total\",\"events\":" << events_total_
@@ -58,16 +76,28 @@ void RunProfiler::print(std::ostream& os) const {
       return a.second.wall_seconds > b.second.wall_seconds;
     return a.first < b.first;
   });
-  std::snprintf(buf, sizeof buf, "  %-24s %12s %12s %6s\n", "category",
-                "events", "wall_s", "%");
+  std::snprintf(buf, sizeof buf, "  %-24s %12s %12s %6s %10s %10s\n",
+                "category", "events", "wall_s", "%", "p50", "p99");
   os << buf;
+  const auto quantile_us = [](const Histogram& h, double q, char* out,
+                              std::size_t n) {
+    const double v = h.quantile(q);
+    if (std::isfinite(v))
+      std::snprintf(out, n, "<=%.3gus", v * 1e6);
+    else
+      std::snprintf(out, n, "%s", ">0.1s");
+  };
   for (const auto& [name, cs] : rows) {
-    std::snprintf(buf, sizeof buf, "  %-24s %12llu %12.4f %5.1f%%\n",
+    char p50[16], p99[16];
+    quantile_us(cs.dispatch_time, 0.5, p50, sizeof p50);
+    quantile_us(cs.dispatch_time, 0.99, p99, sizeof p99);
+    std::snprintf(buf, sizeof buf, "  %-24s %12llu %12.4f %5.1f%% %10s %10s\n",
                   name.empty() ? "(untagged)" : name.c_str(),
                   static_cast<unsigned long long>(cs.events), cs.wall_seconds,
                   wall_seconds_total_ <= 0
                       ? 0.0
-                      : 100.0 * cs.wall_seconds / wall_seconds_total_);
+                      : 100.0 * cs.wall_seconds / wall_seconds_total_,
+                  p50, p99);
     os << buf;
   }
 }

@@ -5,7 +5,9 @@
 #include <iosfwd>
 #include <map>
 #include <string>
+#include <vector>
 
+#include "obs/metrics.h"
 #include "sim/observer.h"
 
 namespace ppsim::obs {
@@ -21,9 +23,16 @@ namespace ppsim::obs {
 /// runs, never assert on them in tests beyond "non-negative".
 class RunProfiler final : public sim::SimObserver {
  public:
+  /// Bucket bounds (seconds) of the per-category dispatch-time histograms:
+  /// decades from 100ns to 100ms, covering a trivial callback through a
+  /// pathological one.
+  static std::vector<double> dispatch_time_bounds();
+
   struct CategoryStats {
     std::uint64_t events = 0;
     double wall_seconds = 0;
+    /// Per-event dispatch wall time; quantiles via Histogram::quantile.
+    Histogram dispatch_time{dispatch_time_bounds()};
   };
 
   void on_event_begin(sim::Time now, std::uint64_t seq, const char* category,

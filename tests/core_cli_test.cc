@@ -75,6 +75,51 @@ TEST(CliParseTest, RejectsBadValues) {
   EXPECT_TRUE(parse({"--minutes", "0"}).error.has_value());
 }
 
+TEST(CliParseTest, HealthAndPostmortemFlags) {
+  auto r = parse({"--health-rules", "default", "--postmortem-dir", "/tmp/pm",
+                  "--bench-json", "/tmp/b.json"});
+  ASSERT_FALSE(r.error.has_value()) << *r.error;
+  EXPECT_EQ(r.options.health_rules, "default");
+  EXPECT_EQ(r.options.postmortem_dir, "/tmp/pm");
+  EXPECT_EQ(r.options.bench_json, "/tmp/b.json");
+}
+
+TEST(CliParseTest, HealthAndPostmortemFlagsNeedValues) {
+  EXPECT_TRUE(parse({"--health-rules"}).error.has_value());
+  EXPECT_TRUE(parse({"--postmortem-dir"}).error.has_value());
+  EXPECT_TRUE(parse({"--bench-json"}).error.has_value());
+}
+
+TEST(CliParseTest, PostmortemDirRequiresTriggerSource) {
+  // A recorder with nothing that can trigger it would never dump.
+  auto r = parse({"--postmortem-dir", "/tmp/pm"});
+  ASSERT_TRUE(r.error.has_value());
+  EXPECT_NE(r.error->find("--postmortem-dir"), std::string::npos);
+  EXPECT_FALSE(
+      parse({"--postmortem-dir", "/tmp/pm", "--health-rules", "default"})
+          .error.has_value());
+  EXPECT_FALSE(
+      parse({"--postmortem-dir", "/tmp/pm", "--fault-plan", "/tmp/plan"})
+          .error.has_value());
+}
+
+TEST(CliBuildTest, DefaultHealthRulesResolve) {
+  auto r = parse({"--health-rules", "default"});
+  ASSERT_FALSE(r.error.has_value());
+  auto built = build_config(r.options);
+  ASSERT_FALSE(built.error.has_value());
+  EXPECT_EQ(built.health_rules.rules.size(),
+            obs::default_health_rules().rules.size());
+}
+
+TEST(CliBuildTest, MissingHealthRulesFileIsAnError) {
+  auto r = parse({"--health-rules", "/nonexistent/rules.txt"});
+  ASSERT_FALSE(r.error.has_value());
+  auto built = build_config(r.options);
+  ASSERT_TRUE(built.error.has_value());
+  EXPECT_NE(built.error->find("health rules"), std::string::npos);
+}
+
 TEST(CliBuildTest, BuildsExperimentConfig) {
   auto r = parse({"--channel", "unpopular", "--viewers", "70", "--minutes",
                   "7", "--seed", "5", "--probe", "mason", "--strategy",

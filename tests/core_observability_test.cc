@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "core/experiment.h"
+#include "obs/flight_recorder.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/sampler.h"
@@ -177,6 +181,103 @@ TEST(Observability, ProfilerSeesCategorizedEvents) {
   std::ostringstream os;
   profiler.write_ndjson(os);
   EXPECT_NE(os.str().find("\"category\":\"total\""), std::string::npos);
+}
+
+TEST(Observability, HealthSummaryRidesTheResult) {
+  ExperimentConfig config = small_config();
+  const obs::HealthRuleSet rules = obs::default_health_rules();
+  config.observability.health_rules = &rules;
+  const ExperimentResult result = run_experiment(config);
+
+  ASSERT_EQ(result.health.rules.size(), rules.rules.size());
+  // --health-rules without an explicit period implies the 10 s default:
+  // 3 simulated minutes -> 18 sampler ticks, each one monitor evaluation.
+  std::uint64_t evaluations = 0;
+  for (const auto& [rule, status] : result.health.rules)
+    evaluations = std::max(evaluations, status.evaluations);
+  EXPECT_GT(evaluations, 0u);
+  EXPECT_LE(evaluations, 18u);
+}
+
+TEST(Observability, MonitoringDoesNotPerturbTheSimulation) {
+  ExperimentConfig sampled = small_config();
+  sampled.observability.sample_period = sim::Time::seconds(10);
+  const ExperimentResult base = run_experiment(sampled);
+
+  ExperimentConfig monitored = small_config();
+  monitored.observability.sample_period = sim::Time::seconds(10);
+  const obs::HealthRuleSet rules = obs::default_health_rules();
+  obs::MetricsRegistry metrics;
+  monitored.observability.health_rules = &rules;
+  monitored.observability.metrics = &metrics;
+  const ExperimentResult observed = run_experiment(monitored);
+
+  // The monitor rides the existing sampling tick: same schedule sequence,
+  // same event count, identical simulated trajectory.
+  EXPECT_EQ(base.traffic.bytes, observed.traffic.bytes);
+  EXPECT_EQ(base.swarm.events_executed, observed.swarm.events_executed);
+  EXPECT_EQ(base.samples.size(), observed.samples.size());
+}
+
+TEST(Observability, SamplerTickStopsAtTheHorizon) {
+  ExperimentConfig config = small_config();
+  const obs::HealthRuleSet rules = obs::default_health_rules();
+  config.observability.health_rules = &rules;
+  // run_experiment returning at all proves the periodic chain stopped
+  // re-arming; the series ending exactly at the horizon proves no tick
+  // fired past it.
+  const ExperimentResult result = run_experiment(config);
+  ASSERT_EQ(result.samples.size(), 18u);
+  EXPECT_EQ(result.samples.back().t, config.scenario.duration);
+}
+
+TEST(Observability, CriticalTripDumpsByteIdenticalPostmortems) {
+  namespace fs = std::filesystem;
+  const fs::path base =
+      fs::temp_directory_path() / "ppsim_core_postmortem_test";
+  fs::remove_all(base);
+
+  // A queue-depth ceiling of 1 trips critical on the first evaluation of
+  // any live run, so the dump path is exercised deterministically.
+  obs::HealthRuleSet rules;
+  obs::HealthRule rule;
+  rule.kind = obs::HealthRuleKind::kQueueDepthCeiling;
+  rule.warn = 1;
+  rule.critical = 1;
+  rule.label = "backlog";
+  rules.rules.push_back(rule);
+
+  auto run_once = [&](const fs::path& dir) {
+    ExperimentConfig config = small_config();
+    obs::FlightRecorder::Options options;
+    options.dir = dir.string();
+    obs::FlightRecorder recorder(options);
+    config.observability.health_rules = &rules;
+    config.observability.trace = &recorder;
+    config.observability.recorder = &recorder;
+    const ExperimentResult result = run_experiment(config);
+    EXPECT_GE(result.postmortem_dumps, 1u);
+    EXPECT_EQ(result.postmortem_dumps, recorder.dumps_written());
+    EXPECT_EQ(result.health.worst, obs::HealthState::kCritical);
+    return recorder.dump_paths();
+  };
+  const auto first = run_once(base / "a");
+  const auto second = run_once(base / "b");
+
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(fs::path(first[i]).filename(), fs::path(second[i]).filename());
+    auto slurp = [](const std::string& path) {
+      std::ifstream in(path);
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      return ss.str();
+    };
+    const std::string a = slurp(first[i]);
+    EXPECT_FALSE(a.empty());
+    EXPECT_EQ(a, slurp(second[i]));
+  }
+  fs::remove_all(base);
 }
 
 TEST(Observability, MultiChannelPlumbsObservabilityToo) {

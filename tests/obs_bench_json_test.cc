@@ -1,0 +1,60 @@
+#include "obs/bench_json.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ppsim::obs {
+namespace {
+
+TEST(BenchJson, WritesSortedWithHeaderAndRoundTrips) {
+  std::vector<BenchEntry> entries = {
+      {"BM_Zeta/100", 10, 123.5, 99},
+      {"BM_Alpha", 1000, 7.25, 0},
+  };
+  std::ostringstream out;
+  write_bench_json(out, entries);
+
+  const std::string text = out.str();
+  EXPECT_EQ(text.find("{\"bench_schema\":\"ppsim-bench-v1\",\"benchmarks\":2}"),
+            0u);
+  // Sorted by name regardless of registration order.
+  EXPECT_LT(text.find("BM_Alpha"), text.find("BM_Zeta"));
+
+  std::istringstream in(text);
+  std::size_t dropped = 0;
+  const auto parsed = read_bench_json(in, &dropped);
+  EXPECT_EQ(dropped, 0u);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].name, "BM_Alpha");
+  EXPECT_EQ(parsed[0].iterations, 1000u);
+  EXPECT_DOUBLE_EQ(parsed[0].ns_per_op, 7.25);
+  EXPECT_EQ(parsed[1].name, "BM_Zeta/100");
+  EXPECT_EQ(parsed[1].peak_queue_depth, 99u);
+}
+
+TEST(BenchJson, ReaderCountsMalformedLines) {
+  std::istringstream in(
+      "{\"bench_schema\":\"ppsim-bench-v1\",\"benchmarks\":1}\n"
+      "{\"name\":\"BM_Ok\",\"iterations\":5,\"ns_per_op\":1,"
+      "\"peak_queue_depth\":0}\n"
+      "{\"iterations\":5}\n"
+      "garbage\n");
+  std::size_t dropped = 0;
+  const auto parsed = read_bench_json(in, &dropped);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].name, "BM_Ok");
+  EXPECT_EQ(dropped, 2u);
+}
+
+TEST(BenchJson, EmptyEntriesStillWriteHeader) {
+  std::ostringstream out;
+  write_bench_json(out, {});
+  EXPECT_EQ(out.str(),
+            "{\"bench_schema\":\"ppsim-bench-v1\",\"benchmarks\":0}\n");
+  std::istringstream in(out.str());
+  EXPECT_TRUE(read_bench_json(in).empty());
+}
+
+}  // namespace
+}  // namespace ppsim::obs

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
 namespace ppsim::obs {
@@ -66,6 +67,51 @@ TEST(Histogram, BucketsAreUpperInclusiveWithOverflow) {
   EXPECT_EQ(h.bucket_counts()[3], 1u);
   EXPECT_EQ(h.count(), 4u);
   EXPECT_DOUBLE_EQ(h.sum(), 1006.5);
+}
+
+TEST(Histogram, QuantileOfEmptyIsNaN) {
+  Histogram h({1.0, 10.0});
+  EXPECT_TRUE(std::isnan(h.quantile(0.5)));
+}
+
+TEST(Histogram, QuantileSingleSampleReturnsItsBucketBound) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.observe(5.0);
+  // Every quantile of a one-sample histogram is that sample's tightest
+  // upper bucket bound — including q=0 (rank clamps to the first sample).
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+}
+
+TEST(Histogram, QuantileAtExactBucketBoundaries) {
+  Histogram h({1.0, 10.0, 100.0});
+  // Samples on upper-inclusive edges land in the bound's own bucket, so the
+  // reported quantile is the edge itself, not the next bound up.
+  h.observe(1.0);
+  h.observe(10.0);
+  h.observe(100.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0 / 3.0), 1.0);   // rank 1 -> first bucket
+  EXPECT_DOUBLE_EQ(h.quantile(2.0 / 3.0), 10.0);  // rank 2 -> second
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);       // rank 3 -> third
+  // Just past a rank boundary selects the next bucket.
+  EXPECT_DOUBLE_EQ(h.quantile(0.34), 10.0);
+}
+
+TEST(Histogram, QuantileOverflowBucketIsInfinity) {
+  Histogram h({1.0});
+  h.observe(0.5);
+  h.observe(100.0);  // overflow
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.0);
+  EXPECT_TRUE(std::isinf(h.quantile(1.0)));
+}
+
+TEST(Histogram, QuantileClampsOutOfRangeQ) {
+  Histogram h({1.0, 10.0});
+  h.observe(0.5);
+  h.observe(5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(-1.0), 1.0);  // treated as q=0
+  EXPECT_DOUBLE_EQ(h.quantile(2.0), 10.0);  // treated as q=1
 }
 
 TEST(MetricsRegistry, HistogramRegistersAndReuses) {

@@ -26,8 +26,10 @@ void brown_out(net::ImpairmentOverlay& overlay,
 }
 
 TEST(ProtoResilienceTest, RequestTimeoutsFireUnderTotalLoss) {
-  MiniWorld world;
+  // The overlay must outlive the world: peers consult it on the way out
+  // (leave() sends goodbyes through the network during ~MiniWorld).
   net::ImpairmentOverlay overlay;
+  MiniWorld world;
   world.network().set_impairments(&overlay);
 
   Peer& viewer = world.add_peer(net::IspCategory::kTele);
@@ -60,8 +62,10 @@ TEST(ProtoResilienceTest, RequestTimeoutsFireUnderTotalLoss) {
 }
 
 TEST(ProtoResilienceTest, IdleTimeoutShedsSilentNeighborAndRecovers) {
-  MiniWorld world;
+  // The overlay must outlive the world: peers consult it on the way out
+  // (leave() sends goodbyes through the network during ~MiniWorld).
   net::ImpairmentOverlay overlay;
+  MiniWorld world;
   world.network().set_impairments(&overlay);
 
   PeerConfig config;
@@ -91,8 +95,10 @@ TEST(ProtoResilienceTest, IdleTimeoutShedsSilentNeighborAndRecovers) {
 }
 
 TEST(ProtoResilienceTest, ConnectTimeoutsCountedUnderTotalLoss) {
-  MiniWorld world;
+  // The overlay must outlive the world: peers consult it on the way out
+  // (leave() sends goodbyes through the network during ~MiniWorld).
   net::ImpairmentOverlay overlay;
+  MiniWorld world;
   world.network().set_impairments(&overlay);
 
   PeerConfig config;
@@ -173,8 +179,10 @@ TEST(ProtoResilienceTest, EmergencyReacquireAfterBlackout) {
   // A regional blackout empties an established peer's neighborhood; once
   // it lifts, the emergency path (all-group tracker sweep + connect burst
   // from the pool) must rebuild it faster than doing nothing would.
-  MiniWorld world;
+  // The overlay must outlive the world: peers consult it on the way out
+  // (leave() sends goodbyes through the network during ~MiniWorld).
   net::ImpairmentOverlay overlay;
+  MiniWorld world;
   world.network().set_impairments(&overlay);
 
   PeerConfig config;

@@ -7,6 +7,8 @@
 //   ppsim-analyze <trace-file> [--probe-ip A.B.C.D] [--section NAME ...]
 //   ppsim-analyze --samples <samples.ndjson>
 //   ppsim-analyze --samples <samples.ndjson> --fault-plan <plan.txt>
+//   ppsim-analyze --health <trace.ndjson>
+//   ppsim-analyze --postmortem <bundle.ndjson>
 //
 // The probe IP is inferred from the records' local address when not given.
 // Sections: returned, sources, data, response, contrib, rtt, all.
@@ -16,11 +18,19 @@
 // per-window resilience timeline (continuity dip, time-to-recover,
 // intra-ISP-share trajectory) for the plan the samples were recorded under
 // (docs/FAULTS.md).
+// --health reads a protocol-event trace (`ppsim --trace-out`) and prints
+// the per-rule watchdog timeline — trip/clear sim-times and dip depth — in
+// the same table style as the fault timeline, so watchdog runs and
+// fault-plan runs read side by side (docs/OBSERVABILITY.md).
+// --postmortem summarizes a flight-recorder bundle written under
+// `ppsim --postmortem-dir`: the trigger, buffered event counts per event
+// name, and the surrounding sampler window.
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -30,6 +40,7 @@
 #include "faults/plan.h"
 #include "faults/resilience.h"
 #include "net/asn_db.h"
+#include "obs/health.h"
 #include "obs/sampler.h"
 
 namespace {
@@ -65,6 +76,97 @@ int analyze_samples(const std::string& path, const std::string& plan_path) {
   return 0;
 }
 
+int analyze_health(const std::string& path) {
+  using namespace ppsim;
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::size_t dropped = 0;
+  const auto transitions = obs::read_health_events_ndjson(in, &dropped);
+  if (transitions.empty()) {
+    std::fprintf(stderr, "error: %s holds no health events\n", path.c_str());
+    return 1;
+  }
+  std::printf("health events: %s (%zu transitions", path.c_str(),
+              transitions.size());
+  if (dropped > 0) std::printf(", %zu malformed dropped", dropped);
+  std::printf(")\n\n");
+  obs::print_health_timeline(std::cout,
+                             obs::analyze_health_timeline(transitions));
+  return 0;
+}
+
+// Pulls the string value of "key" out of one NDJSON line, or "" when absent.
+// Same tolerant scanning idiom as obs::read_samples_ndjson.
+std::string find_json_string(const std::string& line, const char* key) {
+  const std::string needle = std::string("\"") + key + "\":\"";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return "";
+  const auto start = pos + needle.size();
+  const auto end = line.find('"', start);
+  if (end == std::string::npos) return "";
+  return line.substr(start, end - start);
+}
+
+int analyze_postmortem(const std::string& path) {
+  using namespace ppsim;
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::string line;
+  if (!std::getline(in, line) ||
+      line.find("\"postmortem\"") == std::string::npos) {
+    std::fprintf(stderr, "error: %s is not a post-mortem bundle\n",
+                 path.c_str());
+    return 1;
+  }
+  const std::string reason = find_json_string(line, "postmortem");
+  std::string trigger_t = "?";
+  if (const auto pos = line.find("\"t\":"); pos != std::string::npos) {
+    const auto start = pos + 4;
+    const auto end = line.find_first_of(",}", start);
+    if (end != std::string::npos) trigger_t = line.substr(start, end - start);
+  }
+  std::printf("post-mortem: %s\n", path.c_str());
+  std::printf("  trigger: %s at t=%ss\n", reason.c_str(), trigger_t.c_str());
+
+  // Walk the section markers; count rows and tally event names.
+  std::string section;
+  std::map<std::string, std::uint64_t> events_by_name;
+  std::uint64_t samples = 0, metrics = 0;
+  while (std::getline(in, line)) {
+    const std::string marker = find_json_string(line, "section");
+    if (!marker.empty()) {
+      section = marker;
+      continue;
+    }
+    if (section == "events") {
+      ++events_by_name[find_json_string(line, "ev")];
+    } else if (section == "samples") {
+      ++samples;
+    } else if (section == "metrics") {
+      ++metrics;
+    }
+  }
+  std::uint64_t events = 0;
+  for (const auto& [name, n] : events_by_name) events += n;
+  std::printf("  buffered events: %llu\n",
+              static_cast<unsigned long long>(events));
+  for (const auto& [name, n] : events_by_name)
+    std::printf("    %-24s %8llu\n",
+                name.empty() ? "(unnamed)" : name.c_str(),
+                static_cast<unsigned long long>(n));
+  std::printf("  sampler window rows: %llu\n",
+              static_cast<unsigned long long>(samples));
+  std::printf("  metric rows: %llu\n",
+              static_cast<unsigned long long>(metrics));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -74,6 +176,8 @@ int main(int argc, char** argv) {
   std::string probe_ip_text;
   std::string samples_path;
   std::string fault_plan_path;
+  std::string health_path;
+  std::string postmortem_path;
   std::vector<std::string> sections;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -85,12 +189,18 @@ int main(int argc, char** argv) {
       samples_path = argv[++i];
     } else if (arg == "--fault-plan" && i + 1 < argc) {
       fault_plan_path = argv[++i];
+    } else if (arg == "--health" && i + 1 < argc) {
+      health_path = argv[++i];
+    } else if (arg == "--postmortem" && i + 1 < argc) {
+      postmortem_path = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: ppsim-analyze <trace-file> [--probe-ip A.B.C.D] "
           "[--section returned|sources|data|response|contrib|rtt|all ...]\n"
           "       ppsim-analyze --samples <samples.ndjson> "
-          "[--fault-plan plan.txt]\n");
+          "[--fault-plan plan.txt]\n"
+          "       ppsim-analyze --health <trace.ndjson>\n"
+          "       ppsim-analyze --postmortem <bundle.ndjson>\n");
       return 0;
     } else if (!arg.empty() && arg[0] != '-') {
       path = arg;
@@ -103,6 +213,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: --fault-plan requires --samples\n");
     return 2;
   }
+  if (!health_path.empty()) return analyze_health(health_path);
+  if (!postmortem_path.empty()) return analyze_postmortem(postmortem_path);
   if (!samples_path.empty())
     return analyze_samples(samples_path, fault_plan_path);
   if (path.empty()) {

@@ -218,7 +218,8 @@ struct FileText {
 
 bool in_core_dirs(const std::string& rel) {
   return rel.starts_with("sim/") || rel.starts_with("proto/") ||
-         rel.starts_with("net/") || rel.starts_with("faults/");
+         rel.starts_with("net/") || rel.starts_with("faults/") ||
+         rel.starts_with("obs/");
 }
 
 void check_wall_clock(const FileText& f, std::vector<Finding>* findings) {
