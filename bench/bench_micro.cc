@@ -26,6 +26,7 @@
 #include "obs/bench_json.h"
 #include "obs/dispatch_stats.h"
 #include "obs/health.h"
+#include "obs/span_tracker.h"
 #include "sim/observer.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
@@ -168,6 +169,42 @@ void BM_SimulatorScheduleRunIdleHealthMonitor(benchmark::State& state) {
       [&](sim::Simulator& s) { arm(s, replay_monitor); });
 }
 BENCHMARK(BM_SimulatorScheduleRunIdleHealthMonitor)->Arg(100000);
+
+// The tagged workload with a SpanTracker fed one non-milestone, span-free
+// trace event per "obs.sample" tick: the steady state of a causal-traced
+// run between protocol bursts. Such events fall straight through the
+// milestone dispatch without growing any tracker state, so the whole cost
+// is the name comparison chain. CI's bench guard compares this against
+// BM_SimulatorScheduleRunCategorized — the two must stay within noise.
+void BM_SimulatorScheduleRunIdleSpanTracker(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto horizon = sim::Time::micros(100000);
+  auto arm = [&](sim::Simulator& simulator, obs::SpanTracker& tracker) {
+    schedule_spread(simulator, n, "bench.cat");
+    sim::schedule_periodic(
+        simulator, sim::Time::micros(10000),
+        [&simulator, &tracker, horizon] {
+          if (simulator.now() >= horizon) return false;
+          tracker.write(obs::TraceEvent(simulator.now(), "bench.tick")
+                            .field("peer", "10.0.0.1"));
+          return true;
+        },
+        "obs.sample");
+  };
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    obs::SpanTracker tracker;
+    arm(simulator, tracker);
+    benchmark::DoNotOptimize(simulator.run());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  // The tracker must outlive replay_peak_queue_depth's run() call — the
+  // periodic tick holds a reference to it.
+  obs::SpanTracker replay_tracker;
+  state.counters["peak_queue_depth"] = replay_peak_queue_depth(
+      [&](sim::Simulator& s) { arm(s, replay_tracker); });
+}
+BENCHMARK(BM_SimulatorScheduleRunIdleSpanTracker)->Arg(100000);
 
 // Transport send+deliver throughput with no impairment overlay installed:
 // the baseline every fault-free experiment runs at.

@@ -94,6 +94,13 @@ std::string cli_usage() {
       "  --bench-json FILE             write per-category run telemetry in\n"
       "                                the BENCH json format (implies\n"
       "                                profiling)\n"
+      "  --causal-trace                causal tracing: span/parent ids on\n"
+      "                                trace events, referral provenance,\n"
+      "                                and a lineage + startup-critical-path\n"
+      "                                report section\n"
+      "  --spans-out FILE              write referral lineage and startup\n"
+      "                                critical paths as NDJSON (implies\n"
+      "                                --causal-trace)\n"
       "  --help\n";
 }
 
@@ -230,6 +237,13 @@ CliParseResult parse_cli(int argc, const char* const* argv) {
       auto v = need_value(i, "--bench-json");
       if (!v) return out;
       o.bench_json = *v;
+    } else if (arg == "--causal-trace") {
+      o.causal_trace = true;
+    } else if (arg == "--spans-out") {
+      auto v = need_value(i, "--spans-out");
+      if (!v) return out;
+      o.spans_out = *v;
+      o.causal_trace = true;
     } else {
       out.error = "unknown option: " + arg;
       return out;
@@ -361,6 +375,22 @@ int run_cli(const CliOptions& options, std::ostream& out) {
     ob.metrics = &metrics;
     ob.dispatch_metrics = true;
   }
+  std::optional<obs::SpanTracker> span_tracker;
+  if (options.causal_trace) {
+    // ISP resolver over the same standard topology the runner builds, so
+    // lineage labels match the rest of the report.
+    auto asn_db = std::make_shared<net::AsnDatabase>(
+        net::AsnDatabase::from_registry(net::IspRegistry::standard_topology()));
+    obs::SpanTracker::Options span_options;
+    span_options.isp_of = [asn_db](std::string_view ip) -> std::string {
+      const auto parsed = net::IpAddress::parse(std::string(ip));
+      if (!parsed.has_value()) return {};
+      return std::string(net::to_string(asn_db->category_or_foreign(*parsed)));
+    };
+    span_tracker.emplace(std::move(span_options));
+    ob.spans = &*span_tracker;
+    ob.causal_trace = true;
+  }
   std::optional<obs::FlightRecorder> recorder;
   if (!options.postmortem_dir.empty()) {
     obs::FlightRecorder::Options recorder_options;
@@ -438,6 +468,11 @@ int run_cli(const CliOptions& options, std::ostream& out) {
     print_health_summary(out, result.health);
     out << "\n";
   }
+  if (span_tracker.has_value()) {
+    print_referral_lineage(out, result.lineage, result.referral_share);
+    print_critical_paths(out, result.critical_paths);
+    out << "\n";
+  }
   if (recorder.has_value()) {
     out << "post-mortems written: " << result.postmortem_dumps;
     if (recorder->dump_failures() > 0)
@@ -478,6 +513,18 @@ int run_cli(const CliOptions& options, std::ostream& out) {
     obs::write_samples_ndjson(f, result.samples);
     out << "samples written: " << options.samples_out << " ("
         << result.samples.size() << " samples)\n";
+  }
+  if (!options.spans_out.empty()) {
+    std::ofstream f(options.spans_out);
+    if (!f) {
+      std::cerr << "error: could not write " << options.spans_out << "\n";
+      return 1;
+    }
+    span_tracker->write_ndjson(f);
+    out << "spans written: " << options.spans_out << " ("
+        << span_tracker->span_count() << " spans, "
+        << span_tracker->referrals().size() << " referrals, "
+        << result.critical_paths.size() << " critical paths)\n";
   }
   if (options.profile) profiler.print(out);
   if (!options.bench_json.empty()) {

@@ -38,6 +38,9 @@ struct CliOptions {
   std::string health_rules;    // rule file path, or "default"; empty = off
   std::string postmortem_dir;  // flight-recorder bundle dir; empty = off
   std::string bench_json;      // run-telemetry BENCH json path; empty = off
+  // Causal tracing (docs/OBSERVABILITY.md); off by default.
+  bool causal_trace = false;  // span ids + provenance + lineage report
+  std::string spans_out;      // spans NDJSON path; implies causal_trace
   bool help = false;
 };
 

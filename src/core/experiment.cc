@@ -147,6 +147,14 @@ class Runner : public faults::FaultHost {
   sim::Simulator simulator_;
   proto::PeerNetwork network_;
 
+  // trace_dest_ is where protocol emitters actually point: the configured
+  // trace sink, the span tracker, or a tee over both — resolved once at the
+  // top of run(). Declared before every emitter (peers included) because
+  // ~Peer still emits through it; members below destruct first.
+  obs::TraceSink* trace_dest_ = nullptr;
+  std::unique_ptr<obs::TeeTraceSink> trace_tee_;
+  bool causal_ = false;
+
   std::unique_ptr<proto::BootstrapServer> bootstrap_;
   std::vector<std::unique_ptr<proto::TrackerServer>> trackers_;
   std::unordered_set<net::IpAddress> tracker_ips_;
@@ -253,9 +261,17 @@ void Runner::build_infrastructure() {
     }
   }
 
-  if (obs::TraceSink* trace = config_.observability.trace) {
+  if (obs::TraceSink* trace = trace_dest_) {
     for (auto& tracker : trackers_) tracker->set_trace_sink(trace);
     for (auto& source : sources_) source->set_trace_sink(trace);
+    // The bootstrap only emits (bootstrap_serve) under causal tracing, so
+    // wiring its sink here cannot perturb pre-causal trace files.
+    if (causal_) bootstrap_->set_trace_sink(trace);
+  }
+  if (causal_) {
+    bootstrap_->set_causal_tracing(true);
+    for (auto& tracker : trackers_) tracker->set_causal_tracing(true);
+    for (auto& source : sources_) source->set_causal_tracing(true);
   }
 
   network_.set_global_tap([this](const net::Endpoint& from,
@@ -418,7 +434,8 @@ void Runner::spawn_viewer(std::size_t channel_idx, net::IspCategory category,
       simulator_, network_, identity, scenario.channel, bootstrap_->ip(),
       rng.fork(1), peer_config, std::move(policy));
   proto::Peer* raw = peer.get();
-  raw->set_trace_sink(config_.observability.trace);
+  raw->set_trace_sink(trace_dest_);
+  if (causal_) raw->set_causal_tracing(true);
   peers_.push_back(std::move(peer));
   SessionRecord record;
   record.channel = scenario.channel.id;
@@ -491,7 +508,8 @@ void Runner::schedule_probes() {
           config_.channels[c].scenario.channel, bootstrap_->ip(),
           prng.fork(1), config_.peer_config, std::move(policy));
       proto::Peer* raw = peer.get();
-      raw->set_trace_sink(config_.observability.trace);
+      raw->set_trace_sink(trace_dest_);
+      if (causal_) raw->set_causal_tracing(true);
       auto trace = capture::attach_sniffer(network_, identity.ip);
       peers_.push_back(std::move(peer));
       probes_.push_back(Probe{spec.label,
@@ -503,6 +521,22 @@ void Runner::schedule_probes() {
 }
 
 ExperimentResult Runner::run() {
+  // Resolve the effective trace destination before any emitter is built.
+  // Attaching a span tracker implies causal tracing: spans without span ids
+  // would be an empty artifact.
+  causal_ = config_.observability.causal_trace ||
+            config_.observability.spans != nullptr;
+  trace_dest_ = config_.observability.trace;
+  if (obs::SpanTracker* spans = config_.observability.spans) {
+    if (trace_dest_ != nullptr) {
+      trace_tee_ = std::make_unique<obs::TeeTraceSink>(
+          std::initializer_list<obs::TraceSink*>{trace_dest_, spans});
+      trace_dest_ = trace_tee_.get();
+    } else {
+      trace_dest_ = spans;
+    }
+  }
+
   if (config_.interconnects.has_value())
     network_.set_interconnects(*config_.interconnects);
   build_infrastructure();
@@ -519,7 +553,7 @@ ExperimentResult Runner::run() {
         config_.faults.fault_seed != 0
             ? config_.faults.fault_seed
             : sim::hash_combine(config_.seed, 0x6661756C7473ULL);
-    fault_options.trace = config_.observability.trace;
+    fault_options.trace = trace_dest_;
     fault_options.metrics = config_.observability.metrics;
     fault_driver_ = std::make_unique<faults::FaultDriver>(
         simulator_, impairments_, *this, config_.faults.plan, fault_options);
@@ -531,6 +565,8 @@ ExperimentResult Runner::run() {
   std::unique_ptr<obs::SimEventTracer> sim_tracer;
   if (config_.observability.trace != nullptr &&
       config_.observability.trace_sim_events) {
+    // sim_event rows go to the trace file only; the span tracker has no use
+    // for them and would just count them.
     sim_tracer =
         std::make_unique<obs::SimEventTracer>(*config_.observability.trace);
     simulator_.add_observer(sim_tracer.get());
@@ -552,7 +588,7 @@ ExperimentResult Runner::run() {
     sample_period = sim::Time::seconds(10);
   if (wants_health) {
     obs::HealthMonitor::Options health_options;
-    health_options.trace = config_.observability.trace;
+    health_options.trace = trace_dest_;
     health_options.metrics = config_.observability.metrics;
     health_ = std::make_unique<obs::HealthMonitor>(
         *config_.observability.health_rules, health_options);
@@ -632,6 +668,12 @@ ExperimentResult Runner::run() {
   if (health_ != nullptr) result.health = health_->summary();
   if (config_.observability.recorder != nullptr)
     result.postmortem_dumps = config_.observability.recorder->dumps_written();
+
+  if (const obs::SpanTracker* spans = config_.observability.spans) {
+    result.lineage = spans->lineage();
+    result.referral_share = spans->referral_share_series();
+    result.critical_paths = spans->critical_paths();
+  }
 
   for (std::size_t i = 0; i < sessions_.size(); ++i) {
     SessionRecord rec = sessions_[i];

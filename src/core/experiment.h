@@ -15,6 +15,7 @@
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/sampler.h"
+#include "obs/span_tracker.h"
 #include "obs/trace.h"
 #include "proto/counters.h"
 #include "proto/peer_config.h"
@@ -58,6 +59,18 @@ struct ObservabilityConfig {
   /// sim_events_dispatched{category} / sim_peak_queue_depth into `metrics`
   /// at run end. No-op without `metrics`.
   bool dispatch_metrics = false;
+  /// Causal tracing (docs/OBSERVABILITY.md): every protocol entity
+  /// allocates span ids for its outgoing discovery/data messages, trace
+  /// events gain span/parent (and referral-provenance) fields, and the
+  /// startup milestone events (join_reply, chunk_delivered,
+  /// playback_start, bootstrap_serve) are emitted. Off by default so runs
+  /// without it stay byte-identical to builds that predate causal tracing.
+  bool causal_trace = false;
+  /// Online span-tree consumer. When set, the runner enables causal_trace
+  /// implicitly and tees the span tracker behind `trace` (if any), so both
+  /// sinks observe the identical event sequence. Its lineage /
+  /// referral-share / critical-path summaries land on ExperimentResult.
+  obs::SpanTracker* spans = nullptr;
 };
 
 /// Declarative fault schedule for a run (src/faults, docs/FAULTS.md).
@@ -218,6 +231,12 @@ struct ExperimentResult {
   obs::HealthSummary health;
   /// Post-mortem bundles written by observability.recorder this run.
   std::uint64_t postmortem_dumps = 0;
+  /// Causal-tracing summaries; all empty unless observability.spans was
+  /// set. critical_paths decompose each playback-reaching peer's startup
+  /// delay into stages that sum exactly to the measured delay.
+  obs::LineageSummary lineage;
+  std::vector<obs::ReferralShareBucket> referral_share;
+  std::vector<obs::CriticalPath> critical_paths;
 };
 
 /// Builds the topology, servers, audience, and probes; runs the simulation

@@ -228,4 +228,75 @@ void print_health_summary(std::ostream& os, const obs::HealthSummary& health) {
   }
 }
 
+void print_referral_lineage(
+    std::ostream& os, const obs::LineageSummary& lineage,
+    const std::vector<obs::ReferralShareBucket>& share) {
+  os << "Referral lineage (" << lineage.total.referrals
+     << " established neighbors)\n";
+  char line[112];
+  std::snprintf(line, sizeof line, "  %-10s %10s %10s %8s\n", "via",
+                "referrals", "same-ISP", "share");
+  os << line;
+  for (const auto& [via, st] : lineage.by_via) {
+    std::snprintf(line, sizeof line, "  %-10s %10llu %10llu %8s\n",
+                  via.c_str(), static_cast<unsigned long long>(st.referrals),
+                  static_cast<unsigned long long>(st.same_isp),
+                  pct(st.share()).c_str());
+    os << line;
+  }
+  std::snprintf(line, sizeof line, "  %-10s %10llu %10llu %8s\n", "total",
+                static_cast<unsigned long long>(lineage.total.referrals),
+                static_cast<unsigned long long>(lineage.total.same_isp),
+                pct(lineage.total.share()).c_str());
+  os << line;
+  if (share.empty()) return;
+  os << "  same-ISP referral share over time:\n";
+  for (const auto& b : share) {
+    std::snprintf(line, sizeof line,
+                  "    [%6.0fs,%6.0fs)  n=%6llu  same=%6llu  share=%s\n",
+                  b.t_start.as_seconds(), b.t_end.as_seconds(),
+                  static_cast<unsigned long long>(b.referrals),
+                  static_cast<unsigned long long>(b.same_isp),
+                  pct(b.share()).c_str());
+    os << line;
+  }
+}
+
+void print_critical_paths(std::ostream& os,
+                          const std::vector<obs::CriticalPath>& paths) {
+  os << "Startup critical paths (" << paths.size()
+     << " peers reached playback)\n";
+  if (paths.empty()) return;
+  // Bucketless percentile over the real samples: rank = ceil(q*n), clamped.
+  const auto percentile = [](std::vector<double> v, double q) {
+    std::sort(v.begin(), v.end());
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(v.size())));
+    return v[std::min(std::max<std::size_t>(rank, 1), v.size()) - 1];
+  };
+  char line[112];
+  std::snprintf(line, sizeof line, "  %-16s %9s %9s %9s %10s\n", "stage",
+                "p50(s)", "p90(s)", "p99(s)", "mean(s)");
+  os << line;
+  const auto row = [&](const char* name, const std::vector<double>& v) {
+    double sum = 0;
+    for (double x : v) sum += x;
+    std::snprintf(line, sizeof line, "  %-16s %9.3f %9.3f %9.3f %10.3f\n",
+                  name, percentile(v, 0.5), percentile(v, 0.9),
+                  percentile(v, 0.99),
+                  sum / static_cast<double>(v.size()));
+    os << line;
+  };
+  for (std::size_t i = 0; i < obs::kStartupStageNames.size(); ++i) {
+    std::vector<double> v;
+    v.reserve(paths.size());
+    for (const auto& p : paths) v.push_back(p.stages[i].as_seconds());
+    row(obs::kStartupStageNames[i], v);
+  }
+  std::vector<double> totals;
+  totals.reserve(paths.size());
+  for (const auto& p : paths) totals.push_back(p.startup.as_seconds());
+  row("startup(total)", totals);
+}
+
 }  // namespace ppsim::core

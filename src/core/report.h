@@ -53,6 +53,19 @@ void print_locality_timeseries(std::ostream& os,
 /// obs::HealthMonitor and docs/OBSERVABILITY.md.
 void print_health_summary(std::ostream& os, const obs::HealthSummary& health);
 
+/// Causal-tracing lineage: one row per introduction channel (bootstrap /
+/// tracker / gossip / inbound) with referral counts and same-ISP share,
+/// plus the same-ISP-referral-fraction time series when non-empty.
+void print_referral_lineage(
+    std::ostream& os, const obs::LineageSummary& lineage,
+    const std::vector<obs::ReferralShareBucket>& share);
+
+/// Causal-tracing startup critical paths: per-stage p50/p90/p99/mean over
+/// every peer that reached playback. Stage rows telescope — their per-peer
+/// values sum exactly to the measured startup delay.
+void print_critical_paths(std::ostream& os,
+                          const std::vector<obs::CriticalPath>& paths);
+
 /// Percentage with one decimal, e.g. "87.3%".
 std::string pct(double fraction);
 

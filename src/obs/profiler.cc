@@ -81,6 +81,12 @@ void RunProfiler::print(std::ostream& os) const {
   os << buf;
   const auto quantile_us = [](const Histogram& h, double q, char* out,
                               std::size_t n) {
+    if (h.count() == 0) {
+      // Empty histogram (pre-registered category that never fired):
+      // quantile() is NaN, which must not leak into the table.
+      std::snprintf(out, n, "%s", "-");
+      return;
+    }
     const double v = h.quantile(q);
     if (std::isfinite(v))
       std::snprintf(out, n, "<=%.3gus", v * 1e6);

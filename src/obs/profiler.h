@@ -39,6 +39,13 @@ class RunProfiler final : public sim::SimObserver {
                       std::size_t queue_depth) override;
   void on_event_end(sim::Time now, const char* category) override;
 
+  /// Pre-registers a category so it shows up in print()/write_ndjson() even
+  /// if no event of that kind ever executes. Zero-sample rows report "-"
+  /// (text) / null (NDJSON) quantiles rather than garbage.
+  void preregister_category(std::string_view category) {
+    stats_.try_emplace(std::string(category));
+  }
+
   const std::map<std::string, CategoryStats, std::less<>>& categories()
       const {
     return stats_;

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <iosfwd>
 #include <string>
 #include <string_view>
@@ -86,6 +87,24 @@ class NdjsonTraceSink final : public TraceSink {
  private:
   std::ostream& os_;
   std::uint64_t events_written_ = 0;
+};
+
+/// Fans one event stream out to several sinks in a fixed order. Sinks are
+/// borrowed, not owned; null entries are skipped. This is how the flight
+/// recorder / NDJSON sink and the span tracker share one emission stream —
+/// every sink observes the exact same event sequence, a property the sink-
+/// composition tests pin byte-for-byte.
+class TeeTraceSink final : public TraceSink {
+ public:
+  TeeTraceSink(std::initializer_list<TraceSink*> sinks) : sinks_(sinks) {}
+  void write(const TraceEvent& event) override {
+    for (TraceSink* sink : sinks_) {
+      if (sink != nullptr) sink->write(event);
+    }
+  }
+
+ private:
+  std::vector<TraceSink*> sinks_;
 };
 
 /// Counts events per name (std::map, deterministic order); used by tests

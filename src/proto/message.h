@@ -16,17 +16,33 @@ namespace ppsim::proto {
 /// bootstrap/channel discovery, tracker membership, neighbor-referral
 /// peer-list gossip, connection handshake, buffer maps, and chunk data.
 
+/// Causal-tracing context carried by every protocol message. `id` names the
+/// operation this message belongs to; `parent` names the operation that
+/// caused it (the received message or local action it reacted to). Ids come
+/// from Simulator::allocate_span_id() — a deterministic monotonic counter —
+/// and are only assigned when causal tracing is enabled; both stay 0
+/// otherwise. Spans are trace metadata, not wire payload: they do not
+/// contribute to wire_size() and never influence protocol behavior.
+struct SpanContext {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;
+};
+
 /// Step (1): client asks the bootstrap/channel server for active channels.
-struct ChannelListQuery {};
+struct ChannelListQuery {
+  SpanContext span{};
+};
 
 /// Step (2): the channel list.
 struct ChannelListReply {
   std::vector<ChannelId> channels;
+  SpanContext span{};
 };
 
 /// Step (3): client asks for a channel's playlink + tracker set.
 struct JoinQuery {
   ChannelId channel = 0;
+  SpanContext span{};
 };
 
 /// Step (4): playlink (stream source) and one tracker per tracker group.
@@ -34,12 +50,14 @@ struct JoinReply {
   ChannelId channel = 0;
   net::IpAddress source;
   std::vector<net::IpAddress> trackers;
+  SpanContext span{};
 };
 
 /// Client -> tracker: request active peers; also (re)announces the sender
 /// as an active member of the channel.
 struct TrackerQuery {
   ChannelId channel = 0;
+  SpanContext span{};
 };
 
 /// Tracker -> client: random sample of active members (no locality logic;
@@ -47,6 +65,7 @@ struct TrackerQuery {
 struct TrackerReply {
   ChannelId channel = 0;
   std::vector<net::IpAddress> peers;
+  SpanContext span{};
 };
 
 /// Steps (5)/(7): gossip query to a connected neighbor. The requester
@@ -54,29 +73,34 @@ struct TrackerReply {
 struct PeerListQuery {
   ChannelId channel = 0;
   std::vector<net::IpAddress> my_peers;
+  SpanContext span{};
 };
 
 /// Steps (6)/(8): up to 60 of the replier's recently-connected neighbors.
 struct PeerListReply {
   ChannelId channel = 0;
   std::vector<net::IpAddress> peers;
+  SpanContext span{};
 };
 
 /// Connection handshake.
 struct ConnectQuery {
   ChannelId channel = 0;
+  SpanContext span{};
 };
 
 struct ConnectReply {
   ChannelId channel = 0;
   bool accepted = false;
   BufferMap map;  // replier's availability, so data can flow immediately
+  SpanContext span{};
 };
 
 /// Periodic availability announcement to connected neighbors.
 struct BufferMapAnnounce {
   ChannelId channel = 0;
   BufferMap map;
+  SpanContext span{};
 };
 
 /// Request for one chunk (carried on the wire as subpieces_per_chunk
@@ -84,6 +108,7 @@ struct BufferMapAnnounce {
 struct DataQuery {
   ChannelId channel = 0;
   ChunkSeq chunk = 0;
+  SpanContext span{};
 };
 
 struct DataReply {
@@ -91,11 +116,13 @@ struct DataReply {
   ChunkSeq chunk = 0;
   std::uint32_t subpieces = 0;
   std::uint32_t payload_bytes = 0;
+  SpanContext span{};
 };
 
 /// Graceful departure notice to neighbors.
 struct Goodbye {
   ChannelId channel = 0;
+  SpanContext span{};
 };
 
 using Message =

@@ -69,12 +69,14 @@ void Peer::crash() {
 void Peer::join() {
   if (!alive_ || joined_) return;
   joined_ = true;
+  if (causal_) join_span_ = simulator_.allocate_span_id();
   if (trace_ != nullptr) {
     obs::TraceEvent ev(simulator_.now(), "peer_join");
     ev.field("peer", identity_.ip.to_string())
         .field("isp", net::to_string(identity_.category))
         .field("channel", static_cast<std::uint64_t>(channel_.id))
         .field("nat", config_.behind_nat);
+    if (causal_) ev.field("span", join_span_);
     trace_->write(ev);
   }
   // DNS resolution of the bootstrap/channel server names.
@@ -85,7 +87,10 @@ void Peer::join() {
 
 void Peer::contact_bootstrap() {
   if (!alive_) return;
-  send(bootstrap_, Message{JoinQuery{channel_.id}});
+  JoinQuery q{channel_.id};
+  if (causal_)
+    q.span = SpanContext{simulator_.allocate_span_id(), join_span_};
+  send(bootstrap_, Message{q});
   // Retry until the join reply arrives (UDP may drop it).
   simulator_.schedule(
       sim::Time::seconds(3),
@@ -99,9 +104,21 @@ void Peer::on_join_reply(const JoinReply& r) {
   if (!trackers_.empty()) return;  // duplicate reply (retry raced)
   source_ = r.source;
   trackers_ = r.trackers;
+  if (causal_) {
+    join_reply_span_ = r.span.id;
+    if (trace_ != nullptr) {
+      obs::TraceEvent ev(simulator_.now(), "join_reply");
+      ev.field("peer", identity_.ip.to_string())
+          .field("trackers", static_cast<std::uint64_t>(trackers_.size()))
+          .field("span", r.span.id)
+          .field("parent", r.span.parent);
+      trace_->write(ev);
+    }
+  }
 
   // The source is a first-class candidate: new joiners may pull from it
   // until real neighbors are found.
+  note_origins({r.source}, "bootstrap", bootstrap_, join_reply_span_);
   learn_candidates({source_}, /*from_tracker=*/false);
 
   query_trackers(/*all=*/true);
@@ -242,23 +259,29 @@ void Peer::schedule_tracker_round() {
 
 void Peer::query_trackers(bool all) {
   if (trackers_.empty()) return;
+  // One span per round: the queries of a sweep are copies of the same
+  // operation, so each reply parents back to the round that asked.
+  TrackerQuery q{channel_.id};
+  if (causal_)
+    q.span = SpanContext{simulator_.allocate_span_id(), join_reply_span_};
   if (trace_ != nullptr) {
     obs::TraceEvent ev(simulator_.now(), "tracker_query");
     ev.field("peer", identity_.ip.to_string())
         .field("all", all)
         .field("trackers",
                static_cast<std::uint64_t>(all ? trackers_.size() : 1));
+    if (causal_) ev.field("span", q.span.id).field("parent", q.span.parent);
     trace_->write(ev);
   }
   if (all) {
     for (const auto& t : trackers_) {
-      send(t, Message{TrackerQuery{channel_.id}});
+      send(t, Message{q});
       ++counters_.tracker_queries_sent;
     }
   } else {
     const auto& t =
         trackers_[static_cast<std::size_t>(rng_.next_below(trackers_.size()))];
-    send(t, Message{TrackerQuery{channel_.id}});
+    send(t, Message{q});
     ++counters_.tracker_queries_sent;
   }
 }
@@ -275,10 +298,21 @@ void Peer::learn_candidates(const std::vector<net::IpAddress>& ips,
       pool_fifo_.push_back(ip);
       while (pool_fifo_.size() >
              static_cast<std::size_t>(config_.candidate_pool_limit)) {
+        if (causal_) origins_.erase(pool_fifo_.front());
         pool_set_.erase(pool_fifo_.front());
         pool_fifo_.pop_front();
       }
     }
+  }
+}
+
+void Peer::note_origins(const std::vector<net::IpAddress>& ips,
+                        const char* via, net::IpAddress introducer,
+                        std::uint64_t span) {
+  if (!causal_) return;
+  for (const auto& ip : ips) {
+    if (ip == identity_.ip || ip.is_unspecified()) continue;
+    origins_.emplace(ip, CandidateOrigin{span, introducer, via});
   }
 }
 
@@ -325,13 +359,28 @@ void Peer::try_connect(const std::vector<net::IpAddress>& targets) {
     if (neighbors_.contains(ip) || pending_connects_.contains(ip)) continue;
     pending_connects_[ip] = simulator_.now();
     ++counters_.connects_attempted;
+    ConnectQuery q{channel_.id};
+    CandidateOrigin origin;
+    if (causal_) {
+      if (auto it = origins_.find(ip); it != origins_.end())
+        origin = it->second;
+      q.span = SpanContext{simulator_.allocate_span_id(),
+                           origin.span != 0 ? origin.span : join_span_};
+      pending_connect_spans_[ip] = PendingConnectSpan{q.span.id, origin};
+    }
     if (trace_ != nullptr) {
       obs::TraceEvent ev(simulator_.now(), "connect_attempt");
       ev.field("peer", identity_.ip.to_string())
           .field("to", ip.to_string());
+      if (causal_) {
+        ev.field("span", q.span.id)
+            .field("parent", q.span.parent)
+            .field("via", origin.via)
+            .field("introducer", origin.introducer.to_string());
+      }
       trace_->write(ev);
     }
-    send(ip, Message{ConnectQuery{channel_.id}});
+    send(ip, Message{q});
   }
 }
 
@@ -359,13 +408,16 @@ void Peer::gossip_round() {
   for (const auto& [ip, nb] : neighbors_) ips.push_back(ip);
   auto picked = rng_.sample(
       ips, static_cast<std::size_t>(std::max(config_.gossip_fanout, 1)));
+  PeerListQuery q{channel_.id, my_peer_list()};
+  if (causal_)
+    q.span = SpanContext{simulator_.allocate_span_id(), join_span_};
   if (trace_ != nullptr) {
     obs::TraceEvent ev(simulator_.now(), "gossip_query");
     ev.field("peer", identity_.ip.to_string())
         .field("fanout", static_cast<std::uint64_t>(picked.size()));
+    if (causal_) ev.field("span", q.span.id).field("parent", q.span.parent);
     trace_->write(ev);
   }
-  PeerListQuery q{channel_.id, my_peer_list()};
   for (const auto& ip : picked) {
     ++counters_.gossip_queries_sent;
     pending_list_[ip] = simulator_.now();
@@ -385,8 +437,18 @@ void Peer::sweep_timeouts() {
         ev.field("peer", identity_.ip.to_string())
             .field("from", it->first.to_string())
             .field("outcome", "timeout");
+        if (causal_) {
+          PendingConnectSpan pcs;
+          if (auto ps = pending_connect_spans_.find(it->first);
+              ps != pending_connect_spans_.end())
+            pcs = ps->second;
+          ev.field("span", pcs.span)
+              .field("via", pcs.origin.via)
+              .field("introducer", pcs.origin.introducer.to_string());
+        }
         trace_->write(ev);
       }
+      if (causal_) pending_connect_spans_.erase(it->first);
       it = pending_connects_.erase(it);
     } else {
       ++it;
@@ -474,6 +536,15 @@ void Peer::maybe_start_playback() {
         live_edge_ > buffer_chunks ? live_edge_ - buffer_chunks : 1;
   }
   playback_started_ = true;
+  if (causal_ && trace_ != nullptr) {
+    obs::TraceEvent ev(simulator_.now(), "playback_start");
+    ev.field("peer", identity_.ip.to_string())
+        .field("position", static_cast<std::uint64_t>(playback_next_))
+        .field("edge", static_cast<std::uint64_t>(live_edge_))
+        .field("span", simulator_.allocate_span_id())
+        .field("parent", join_span_);
+    trace_->write(ev);
+  }
   schedule_periodic(simulator_, channel_.chunk_duration(),
                     [this] {
                       if (!alive_) return false;
@@ -536,15 +607,23 @@ void Peer::request_tick() {
     pending_data_[seq] = PendingData{target, simulator_.now()};
     ++counters_.data_requests_sent;
     ++issued;
+    DataQuery q{channel_.id, seq};
+    if (causal_) {
+      // Parent on the handshake that established the serving neighbor, so
+      // the data plane chains back to the referral that made it possible.
+      q.span = SpanContext{
+          simulator_.allocate_span_id(),
+          nb.intro_span != 0 ? nb.intro_span : join_span_};
+    }
     if (trace_ != nullptr) {
       obs::TraceEvent ev(simulator_.now(), "data_request");
       ev.field("peer", identity_.ip.to_string())
           .field("to", target.to_string())
           .field("chunk", static_cast<std::uint64_t>(seq));
+      if (causal_) ev.field("span", q.span.id).field("parent", q.span.parent);
       trace_->write(ev);
     }
-    send(target, Message{DataQuery{channel_.id, seq}},
-         /*with_processing_delay=*/false);
+    send(target, Message{q}, /*with_processing_delay=*/false);
   }
 }
 
@@ -661,8 +740,11 @@ void Peer::handle(const PeerNetwork::Delivery& delivery) {
       ev.field("peer", identity_.ip.to_string())
           .field("from", from.to_string())
           .field("peers", static_cast<std::uint64_t>(tr->peers.size()));
+      if (causal_)
+        ev.field("span", tr->span.id).field("parent", tr->span.parent);
       trace_->write(ev);
     }
+    note_origins(tr->peers, "tracker", from, tr->span.id);
     learn_candidates(tr->peers, /*from_tracker=*/true);
     attempt_connections(tr->peers);
     return;
@@ -684,6 +766,12 @@ void Peer::handle(const PeerNetwork::Delivery& delivery) {
       if (!neighbors_.contains(from)) {
         add_neighbor(from, /*initial_latency_s=*/0.6, BufferMap{});
         ++counters_.inbound_accepted;
+        if (causal_) {
+          Neighbor& n = neighbors_[from];
+          n.intro_span = cq->span.id;
+          n.intro_via = "inbound";
+          n.introducer = from;
+        }
       }
     } else {
       ++counters_.inbound_rejected;
@@ -699,6 +787,8 @@ void Peer::handle(const PeerNetwork::Delivery& delivery) {
                                        : store_.base());
       r.map = store_.snapshot(base);
     }
+    if (causal_)
+      r.span = SpanContext{simulator_.allocate_span_id(), cq->span.id};
     send(from, Message{std::move(r)});
     return;
   }
@@ -710,6 +800,14 @@ void Peer::handle(const PeerNetwork::Delivery& delivery) {
     const double handshake_s =
         (simulator_.now() - pending->second).as_seconds();
     pending_connects_.erase(pending);
+    PendingConnectSpan pcs;
+    if (causal_) {
+      if (auto ps = pending_connect_spans_.find(from);
+          ps != pending_connect_spans_.end()) {
+        pcs = ps->second;
+        pending_connect_spans_.erase(ps);
+      }
+    }
     const auto trace_connect = [&](const char* outcome) {
       if (trace_ == nullptr) return;
       obs::TraceEvent ev(simulator_.now(), "connect_result");
@@ -717,6 +815,12 @@ void Peer::handle(const PeerNetwork::Delivery& delivery) {
           .field("from", from.to_string())
           .field("outcome", outcome)
           .field("handshake_s", handshake_s);
+      if (causal_) {
+        ev.field("span", cr->span.id)
+            .field("parent", cr->span.parent)
+            .field("via", pcs.origin.via)
+            .field("introducer", pcs.origin.introducer.to_string());
+      }
       trace_->write(ev);
     };
     if (!cr->accepted) {
@@ -734,13 +838,22 @@ void Peer::handle(const PeerNetwork::Delivery& delivery) {
     ++counters_.connects_accepted;
     trace_connect("accepted");
     add_neighbor(from, handshake_s, cr->map);
+    if (causal_) {
+      Neighbor& n = neighbors_[from];
+      n.intro_span = pcs.span;
+      n.intro_via = pcs.origin.via;
+      n.introducer = pcs.origin.introducer;
+    }
     update_live_edge();
     // Paper: upon establishing a connection, first ask the new neighbor for
     // its peer list, then request data (data flows on the next tick).
     if (policy_->use_neighbor_referral()) {
       ++counters_.gossip_queries_sent;
       pending_list_[from] = simulator_.now();
-      send(from, Message{PeerListQuery{channel_.id, my_peer_list()}});
+      PeerListQuery plq{channel_.id, my_peer_list()};
+      if (causal_)
+        plq.span = SpanContext{simulator_.allocate_span_id(), cr->span.id};
+      send(from, Message{std::move(plq)});
     }
     return;
   }
@@ -749,10 +862,13 @@ void Peer::handle(const PeerNetwork::Delivery& delivery) {
     if (plq->channel != channel_.id) return;
     ++counters_.gossip_queries_answered;
     // The requester encloses its own list; both sides learn.
+    note_origins(plq->my_peers, "gossip", from, plq->span.id);
     learn_candidates(plq->my_peers, /*from_tracker=*/false);
     if (auto it = neighbors_.find(from); it != neighbors_.end())
       it->second.last_seen = simulator_.now();
     PeerListReply r{channel_.id, my_peer_list()};
+    if (causal_)
+      r.span = SpanContext{simulator_.allocate_span_id(), plq->span.id};
     send(from, Message{std::move(r)});
     return;
   }
@@ -765,6 +881,8 @@ void Peer::handle(const PeerNetwork::Delivery& delivery) {
       ev.field("peer", identity_.ip.to_string())
           .field("from", from.to_string())
           .field("peers", static_cast<std::uint64_t>(plr->peers.size()));
+      if (causal_)
+        ev.field("span", plr->span.id).field("parent", plr->span.parent);
       trace_->write(ev);
     }
     if (auto it = neighbors_.find(from); it != neighbors_.end()) {
@@ -776,6 +894,7 @@ void Peer::handle(const PeerNetwork::Delivery& delivery) {
         pending_list_.erase(pend);
       }
     }
+    note_origins(plr->peers, "gossip", from, plr->span.id);
     learn_candidates(plr->peers, /*from_tracker=*/false);
     // The observed PPLive behaviour: connect to listed peers immediately.
     attempt_connections(plr->peers);
@@ -802,16 +921,19 @@ void Peer::handle(const PeerNetwork::Delivery& delivery) {
     }
     ++counters_.data_requests_served;
     counters_.bytes_uploaded += channel_.chunk_bytes();
+    DataReply r{channel_.id, dq->chunk, channel_.subpieces_per_chunk,
+                channel_.chunk_bytes()};
+    if (causal_)
+      r.span = SpanContext{simulator_.allocate_span_id(), dq->span.id};
     if (trace_ != nullptr) {
       obs::TraceEvent ev(simulator_.now(), "data_serve");
       ev.field("peer", identity_.ip.to_string())
           .field("to", from.to_string())
           .field("chunk", static_cast<std::uint64_t>(dq->chunk))
           .field("bytes", channel_.chunk_bytes());
+      if (causal_) ev.field("span", r.span.id).field("parent", r.span.parent);
       trace_->write(ev);
     }
-    DataReply r{channel_.id, dq->chunk, channel_.subpieces_per_chunk,
-                channel_.chunk_bytes()};
     send(from, Message{r});
     return;
   }
@@ -836,6 +958,15 @@ void Peer::handle(const PeerNetwork::Delivery& delivery) {
     if (store_.insert(dr->chunk)) {
       counters_.bytes_downloaded += dr->payload_bytes;
       live_edge_ = std::max(live_edge_, dr->chunk);
+      if (causal_ && trace_ != nullptr) {
+        obs::TraceEvent ev(simulator_.now(), "chunk_delivered");
+        ev.field("peer", identity_.ip.to_string())
+            .field("from", from.to_string())
+            .field("chunk", static_cast<std::uint64_t>(dr->chunk))
+            .field("span", dr->span.id)
+            .field("parent", dr->span.parent);
+        trace_->write(ev);
+      }
     } else {
       ++counters_.duplicate_chunks;
     }

@@ -79,6 +79,14 @@ class Peer {
   /// behaviour is identical with or without a sink.
   void set_trace_sink(obs::TraceSink* sink) { trace_ = sink; }
 
+  /// Enables causal tracing (docs/OBSERVABILITY.md): outgoing discovery and
+  /// data messages carry span ids allocated from the simulator's monotonic
+  /// counter, existing trace events gain span/parent (and, for connects,
+  /// referral-provenance) fields, and the startup milestones emit
+  /// join_reply / chunk_delivered / playback_start events. Off by default
+  /// so untraced runs stay byte-identical. Set before join().
+  void set_causal_tracing(bool on) { causal_ = on; }
+
   bool alive() const { return alive_; }
   net::IpAddress ip() const { return identity_.ip; }
   const HostIdentity& identity() const { return identity_; }
@@ -132,6 +140,13 @@ class Peer {
     BufferMap map;
     std::uint64_t bytes_from = 0;
     std::uint64_t requests_to = 0;
+    /// Causal tracing only (zero/empty otherwise): the handshake span that
+    /// established this neighbor, and who referred it. Data requests to the
+    /// neighbor are parented on intro_span, tying the data plane back to
+    /// the referral that made it possible.
+    std::uint64_t intro_span = 0;
+    const char* intro_via = "";
+    net::IpAddress introducer;
   };
 
   struct PendingData {
@@ -148,6 +163,8 @@ class Peer {
   // --- membership ---
   void learn_candidates(const std::vector<net::IpAddress>& ips,
                         bool from_tracker);
+  void note_origins(const std::vector<net::IpAddress>& ips, const char* via,
+                    net::IpAddress introducer, std::uint64_t span);
   void attempt_connections(const std::vector<net::IpAddress>& fresh);
   void topup_connections();
   void try_connect(const std::vector<net::IpAddress>& targets);
@@ -181,6 +198,28 @@ class Peer {
   std::unique_ptr<SelectionPolicy> policy_;
 
   obs::TraceSink* trace_ = nullptr;
+  bool causal_ = false;
+
+  // --- causal-tracing state (populated only when causal_) ---
+  /// How a candidate was introduced: the introducing message's span and the
+  /// referrer, kept so the eventual ConnectQuery can be parented on it.
+  /// First introduction wins — lineage answers "who told us about this peer
+  /// first". Entries are evicted alongside the candidate pool.
+  struct CandidateOrigin {
+    std::uint64_t span = 0;
+    net::IpAddress introducer;
+    const char* via = "unknown";  // "bootstrap" | "tracker" | "gossip"
+  };
+  /// Origin snapshot taken when a handshake is launched, so the result
+  /// event can report provenance even if the pool entry was evicted.
+  struct PendingConnectSpan {
+    std::uint64_t span = 0;  // the ConnectQuery's span
+    CandidateOrigin origin;
+  };
+  std::map<net::IpAddress, CandidateOrigin> origins_;
+  std::map<net::IpAddress, PendingConnectSpan> pending_connect_spans_;
+  std::uint64_t join_span_ = 0;        // root span of this session
+  std::uint64_t join_reply_span_ = 0;  // span of the accepted JoinReply
 
   bool alive_ = false;
   bool joined_ = false;

@@ -122,6 +122,8 @@ void StreamSource::handle(const PeerNetwork::Delivery& delivery) {
                                        : store_.base());
       r.map = store_.snapshot(base);
     }
+    if (causal_)
+      r.span = SpanContext{simulator_.allocate_span_id(), connect->span.id};
     send(from, Message{std::move(r)}, sim::Time::zero());
     return;
   }
@@ -137,6 +139,8 @@ void StreamSource::handle(const PeerNetwork::Delivery& delivery) {
       if (r.peers.size() >= static_cast<std::size_t>(config_.max_list_size))
         break;
     }
+    if (causal_)
+      r.span = SpanContext{simulator_.allocate_span_id(), q->span.id};
     send(from, Message{std::move(r)}, sim::Time::zero());
     return;
   }
@@ -146,16 +150,19 @@ void StreamSource::handle(const PeerNetwork::Delivery& delivery) {
     touch_neighbor(from);
     if (!store_.has(dq->chunk)) return;  // too old or not yet produced
     ++requests_served_;
+    DataReply r{channel_.id, dq->chunk, channel_.subpieces_per_chunk,
+                channel_.chunk_bytes()};
+    if (causal_)
+      r.span = SpanContext{simulator_.allocate_span_id(), dq->span.id};
     if (trace_ != nullptr) {
       obs::TraceEvent ev(simulator_.now(), "source_serve");
       ev.field("source", identity_.ip.to_string())
           .field("to", from.to_string())
           .field("chunk", static_cast<std::uint64_t>(dq->chunk))
           .field("bytes", channel_.chunk_bytes());
+      if (causal_) ev.field("span", r.span.id).field("parent", r.span.parent);
       trace_->write(ev);
     }
-    DataReply r{channel_.id, dq->chunk, channel_.subpieces_per_chunk,
-                channel_.chunk_bytes()};
     send(from, Message{r}, sim::Time::zero());
     return;
   }

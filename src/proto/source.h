@@ -55,6 +55,11 @@ class StreamSource {
   /// nullptr (the default) disables tracing. Purely observational.
   void set_trace_sink(obs::TraceSink* sink) { trace_ = sink; }
 
+  /// Enables causal tracing: replies carry a span id parented on the
+  /// incoming message's span, and source_serve events gain span/parent
+  /// fields. Off by default so untraced runs stay byte-identical.
+  void set_causal_tracing(bool on) { causal_ = on; }
+
   net::IpAddress ip() const { return identity_.ip; }
   ChunkSeq live_edge() const { return store_.highest(); }
   std::uint64_t chunks_produced() const { return chunks_produced_; }
@@ -77,6 +82,7 @@ class StreamSource {
   sim::Rng rng_;
   Config config_;
   obs::TraceSink* trace_ = nullptr;
+  bool causal_ = false;
 
   bool running_ = false;
   ChunkStore store_;

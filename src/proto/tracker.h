@@ -55,6 +55,11 @@ class TrackerServer {
   /// (the default) disables tracing. Purely observational.
   void set_trace_sink(obs::TraceSink* sink) { trace_ = sink; }
 
+  /// Enables causal tracing: replies carry a span id parented on the
+  /// incoming query's span, and tracker_serve events gain span/parent
+  /// fields. Off by default so untraced runs stay byte-identical.
+  void set_causal_tracing(bool on) { causal_ = on; }
+
   /// Fault-injection seam: a dark tracker silently drops every query — the
   /// server is unreachable, exactly as a client experiences a regional
   /// tracker outage over UDP. Membership entries keep aging out while dark.
@@ -82,6 +87,7 @@ class TrackerServer {
   sim::Rng rng_;
   Config config_;
   obs::TraceSink* trace_ = nullptr;
+  bool causal_ = false;
   bool dark_ = false;
   std::uint64_t queries_served_ = 0;
   // channel -> member entries (channel populations are small enough that

@@ -72,6 +72,14 @@ class Simulator {
   std::uint64_t events_executed() const { return events_executed_; }
   std::size_t pending_events() const { return pending_.size(); }
 
+  /// Allocates the next causal-tracing span id: a plain monotonic counter,
+  /// deterministic by construction (no RNG draw, no wall clock). Callers
+  /// must only allocate when causal tracing is enabled so that runs without
+  /// it stay byte-identical — allocation itself never perturbs event order,
+  /// but unused ids would still change emitted traces.
+  std::uint64_t allocate_span_id() { return ++last_span_id_; }
+  std::uint64_t spans_allocated() const { return last_span_id_; }
+
   /// Registers an observer notified around every executed event. Observers
   /// are purely passive (see SimObserver); with none registered the event
   /// loop takes the plain fast path. Not owned; callers remove (or outlive
@@ -93,6 +101,7 @@ class Simulator {
 
   Time now_;
   std::uint64_t next_seq_ = 1;
+  std::uint64_t last_span_id_ = 0;
   std::uint64_t events_executed_ = 0;
   bool stop_requested_ = false;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;

@@ -1,0 +1,90 @@
+// Pins the NDJSON formatting primitives every observability emitter routes
+// through (obs/json.h). These are byte-level contracts: the determinism
+// harness diffs whole files, so any drift here silently breaks byte-identity
+// between builds. Each expectation is an exact string.
+#include "obs/json.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "sim/time.h"
+
+namespace ppsim::obs {
+namespace {
+
+std::string escaped(std::string_view s) {
+  std::ostringstream os;
+  write_json_escaped(os, s);
+  return os.str();
+}
+
+std::string quoted(std::string_view s) {
+  std::ostringstream os;
+  write_json_string(os, s);
+  return os.str();
+}
+
+TEST(WriteJsonEscaped, NamedControlEscapes) {
+  EXPECT_EQ(escaped("a\nb"), "a\\nb");
+  EXPECT_EQ(escaped("a\rb"), "a\\rb");
+  EXPECT_EQ(escaped("a\tb"), "a\\tb");
+}
+
+TEST(WriteJsonEscaped, QuotesAndBackslashes) {
+  EXPECT_EQ(escaped("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(escaped("C:\\path\\file"), "C:\\\\path\\\\file");
+  // A backslash before a quote must not merge into one escape.
+  EXPECT_EQ(escaped("\\\""), "\\\\\\\"");
+}
+
+TEST(WriteJsonEscaped, OtherControlCharsUseLowercaseUnicodeEscapes) {
+  EXPECT_EQ(escaped(std::string("\x01", 1)), "\\u0001");
+  EXPECT_EQ(escaped(std::string("\x1f", 1)), "\\u001f");
+  EXPECT_EQ(escaped(std::string("a\0b", 3)), "a\\u0000b");
+  // 0x20 (space) and above pass through.
+  EXPECT_EQ(escaped(" ~"), " ~");
+}
+
+TEST(WriteJsonEscaped, Utf8BytesPassThroughUnchanged) {
+  // Multi-byte UTF-8 sequences have every byte >= 0x80; the escaper must
+  // not mangle them into \u escapes or drop bytes.
+  const std::string cafe = "caf\xc3\xa9";
+  EXPECT_EQ(escaped(cafe), cafe);
+  const std::string kanji = "\xe6\x97\xa5\xe6\x9c\xac";  // 日本
+  EXPECT_EQ(escaped(kanji), kanji);
+}
+
+TEST(WriteJsonString, QuotesAndEscapesBody) {
+  EXPECT_EQ(quoted("plain"), "\"plain\"");
+  EXPECT_EQ(quoted("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(quoted(""), "\"\"");
+}
+
+TEST(WriteJsonDouble, StableShortestishFormatting) {
+  const auto fmt = [](double v) {
+    std::ostringstream os;
+    write_json_double(os, v);
+    return os.str();
+  };
+  EXPECT_EQ(fmt(0.5), "0.5");
+  EXPECT_EQ(fmt(0.0), "0");
+  EXPECT_EQ(fmt(-3.0), "-3");
+  EXPECT_EQ(fmt(1e-9), "1e-09");
+}
+
+TEST(WriteJsonSimTime, FixedMicrosecondPrecision) {
+  const auto fmt = [](sim::Time t) {
+    std::ostringstream os;
+    write_json_sim_time(os, t);
+    return os.str();
+  };
+  EXPECT_EQ(fmt(sim::Time::zero()), "0.000000");
+  EXPECT_EQ(fmt(sim::Time::micros(12'345'678)), "12.345678");
+  EXPECT_EQ(fmt(sim::Time::micros(1)), "0.000001");
+  EXPECT_EQ(fmt(sim::Time::seconds(90)), "90.000000");
+}
+
+}  // namespace
+}  // namespace ppsim::obs

@@ -1,0 +1,78 @@
+// Regression tests for RunProfiler's zero-sample handling: a category that
+// was pre-registered but never executed must render placeholder quantiles
+// ("-" in the table, null in NDJSON), never NaN/inf garbage.
+#include "obs/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "sim/time.h"
+
+namespace ppsim::obs {
+namespace {
+
+TEST(RunProfiler, ZeroSampleCategoryPrintsPlaceholderQuantiles) {
+  RunProfiler profiler;
+  profiler.preregister_category("never.fires");
+
+  std::ostringstream os;
+  profiler.print(os);
+  const std::string table = os.str();
+
+  ASSERT_NE(table.find("never.fires"), std::string::npos);
+  // The NaN quantile of an empty histogram used to fall through the
+  // +inf branch and print the overflow marker.
+  EXPECT_EQ(table.find(">0.1s"), std::string::npos);
+  EXPECT_EQ(table.find("nan"), std::string::npos);
+  EXPECT_NE(table.find("-"), std::string::npos);
+}
+
+TEST(RunProfiler, ZeroSampleCategoryEmitsNullQuantilesInNdjson) {
+  RunProfiler profiler;
+  profiler.preregister_category("idle");
+
+  std::ostringstream os;
+  profiler.write_ndjson(os);
+  const std::string dump = os.str();
+
+  EXPECT_NE(
+      dump.find(
+          "{\"category\":\"idle\",\"events\":0,\"wall_s\":0,\"p50_s\":null,"
+          "\"p99_s\":null}"),
+      std::string::npos);
+  EXPECT_EQ(dump.find("nan"), std::string::npos);
+  EXPECT_EQ(dump.find("inf"), std::string::npos);
+}
+
+TEST(RunProfiler, MeasuredCategoryStillReportsQuantiles) {
+  RunProfiler profiler;
+  profiler.preregister_category("warm");
+  profiler.on_event_begin(sim::Time::zero(), 1, "warm", 3);
+  profiler.on_event_end(sim::Time::zero(), "warm");
+
+  EXPECT_EQ(profiler.events_total(), 1u);
+  const auto it = profiler.categories().find("warm");
+  ASSERT_NE(it, profiler.categories().end());
+  EXPECT_EQ(it->second.events, 1u);
+
+  std::ostringstream os;
+  profiler.print(os);
+  // One real sample: the quantile column must show a bucket bound, not the
+  // zero-sample placeholder (match the "<=" prefix).
+  EXPECT_NE(os.str().find("<="), std::string::npos);
+}
+
+TEST(RunProfiler, PreregisterDoesNotResetMeasuredStats) {
+  RunProfiler profiler;
+  profiler.on_event_begin(sim::Time::zero(), 1, "cat", 0);
+  profiler.on_event_end(sim::Time::zero(), "cat");
+  profiler.preregister_category("cat");  // no-op on an existing entry
+  const auto it = profiler.categories().find("cat");
+  ASSERT_NE(it, profiler.categories().end());
+  EXPECT_EQ(it->second.events, 1u);
+}
+
+}  // namespace
+}  // namespace ppsim::obs

@@ -1,0 +1,241 @@
+#include "obs/span_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace ppsim::obs {
+namespace {
+
+TraceEvent ev(double t_s, const char* name) {
+  return TraceEvent(sim::Time::from_seconds(t_s), name);
+}
+
+// A resolver over a tiny static world: 10.1.* is TELE, 10.2.* is CNC.
+SpanTracker::Options test_options() {
+  SpanTracker::Options options;
+  options.isp_of = [](std::string_view ip) -> std::string {
+    if (ip.substr(0, 5) == "10.1.") return "TELE";
+    if (ip.substr(0, 5) == "10.2.") return "CNC";
+    return {};
+  };
+  return options;
+}
+
+TEST(SpanTracker, ReconstructsSpanTreeFromSpanBearingEvents) {
+  SpanTracker tracker;
+  tracker.write(ev(1.0, "join_reply").field("peer", "10.1.0.1")
+                    .field("span", std::uint64_t{1}));
+  tracker.write(ev(1.1, "tracker_query").field("span", std::uint64_t{2})
+                    .field("parent", std::uint64_t{1}));
+  tracker.write(ev(1.2, "tracker_reply").field("peer", "10.1.0.1")
+                    .field("span", std::uint64_t{3})
+                    .field("parent", std::uint64_t{2}));
+
+  EXPECT_EQ(tracker.span_count(), 3u);
+  EXPECT_EQ(tracker.parent_of(3), 2u);
+  EXPECT_EQ(tracker.parent_of(2), 1u);
+  EXPECT_EQ(tracker.parent_of(1), 0u);
+  EXPECT_EQ(tracker.parent_of(99), 0u);
+  EXPECT_EQ(tracker.ancestry(3), (std::vector<std::uint64_t>{3, 2, 1}));
+  EXPECT_TRUE(tracker.ancestry(99).empty());
+}
+
+TEST(SpanTracker, FirstOccurrenceOfASpanWins) {
+  SpanTracker tracker;
+  // The same reply span surfaces in the server's serve event and the
+  // client's receive event; the duplicate must not re-root the node.
+  tracker.write(ev(1.0, "tracker_serve").field("span", std::uint64_t{5})
+                    .field("parent", std::uint64_t{4}));
+  tracker.write(ev(1.2, "tracker_reply").field("peer", "10.1.0.1")
+                    .field("span", std::uint64_t{5})
+                    .field("parent", std::uint64_t{4}));
+  EXPECT_EQ(tracker.span_count(), 1u);
+  EXPECT_EQ(tracker.parent_of(5), 4u);
+}
+
+TEST(SpanTracker, IgnoresUnrelatedEvents) {
+  SpanTracker tracker;
+  tracker.write(ev(1.0, "gossip_query").field("peer", "10.1.0.1"));
+  tracker.write(ev(2.0, "totally_unknown").field("x", std::uint64_t{7}));
+  EXPECT_EQ(tracker.events_observed(), 2u);
+  EXPECT_EQ(tracker.span_count(), 0u);
+  EXPECT_TRUE(tracker.referrals().empty());
+  EXPECT_TRUE(tracker.critical_paths().empty());
+}
+
+TEST(SpanTracker, RecordsReferralsWithIspResolution) {
+  SpanTracker tracker(test_options());
+  tracker.write(ev(1.0, "peer_join").field("peer", "10.1.0.1")
+                    .field("isp", "TELE"));
+  tracker.write(ev(2.0, "connect_result").field("peer", "10.1.0.1")
+                    .field("from", "10.1.0.9").field("outcome", "accepted")
+                    .field("via", "tracker").field("introducer", "10.1.0.7"));
+  tracker.write(ev(3.0, "connect_result").field("peer", "10.1.0.1")
+                    .field("from", "10.2.0.2").field("outcome", "accepted")
+                    .field("via", "gossip").field("introducer", "10.2.0.3"));
+  // Rejected handshakes are not referrals.
+  tracker.write(ev(4.0, "connect_result").field("peer", "10.1.0.1")
+                    .field("from", "10.2.0.4").field("outcome", "rejected")
+                    .field("via", "gossip").field("introducer", "10.2.0.3"));
+
+  ASSERT_EQ(tracker.referrals().size(), 2u);
+  const ReferralRecord& same = tracker.referrals()[0];
+  EXPECT_EQ(same.via, "tracker");
+  EXPECT_EQ(same.peer_isp, "TELE");
+  EXPECT_EQ(same.introducer_isp, "TELE");
+  EXPECT_TRUE(same.same_isp);
+  const ReferralRecord& cross = tracker.referrals()[1];
+  EXPECT_EQ(cross.introducer_isp, "CNC");
+  EXPECT_FALSE(cross.same_isp);
+
+  const LineageSummary lineage = tracker.lineage();
+  EXPECT_EQ(lineage.total.referrals, 2u);
+  EXPECT_EQ(lineage.total.same_isp, 1u);
+  EXPECT_DOUBLE_EQ(lineage.by_via.at("tracker").share(), 1.0);
+  EXPECT_DOUBLE_EQ(lineage.by_via.at("gossip").share(), 0.0);
+}
+
+TEST(SpanTracker, ReferralShareSeriesBucketsByTime) {
+  std::vector<ReferralRecord> referrals;
+  const auto add = [&](double t_s, bool same) {
+    ReferralRecord r;
+    r.t = sim::Time::from_seconds(t_s);
+    r.same_isp = same;
+    referrals.push_back(r);
+  };
+  add(10, true);
+  add(50, false);
+  add(70, true);  // second bucket
+
+  const auto series = referral_share_series(referrals, sim::Time::seconds(60));
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series[0].t_start, sim::Time::zero());
+  EXPECT_EQ(series[0].t_end, sim::Time::seconds(60));
+  EXPECT_EQ(series[0].referrals, 2u);
+  EXPECT_DOUBLE_EQ(series[0].share(), 0.5);
+  EXPECT_EQ(series[1].referrals, 1u);
+  EXPECT_DOUBLE_EQ(series[1].share(), 1.0);
+  EXPECT_TRUE(
+      referral_share_series(referrals, sim::Time::zero()).empty());
+}
+
+// Feeds one peer's full startup milestone sequence and checks the stage
+// decomposition is exact: stages in kStartupStageNames order, each the
+// delta to the previous milestone, summing to playback - join.
+TEST(SpanTracker, CriticalPathStagesSumExactlyToStartupDelay) {
+  SpanTracker tracker(test_options());
+  tracker.write(ev(1.0, "peer_join").field("peer", "10.1.0.1")
+                    .field("isp", "TELE"));
+  tracker.write(ev(1.25, "join_reply").field("peer", "10.1.0.1"));
+  tracker.write(ev(1.375, "tracker_reply").field("peer", "10.1.0.1"));
+  tracker.write(ev(1.4, "connect_attempt").field("peer", "10.1.0.1"));
+  tracker.write(ev(1.55, "connect_result").field("peer", "10.1.0.1")
+                    .field("from", "10.1.0.9").field("outcome", "accepted"));
+  tracker.write(ev(1.8, "chunk_delivered").field("peer", "10.1.0.1"));
+  tracker.write(ev(3.0, "playback_start").field("peer", "10.1.0.1"));
+
+  const auto paths = tracker.critical_paths();
+  ASSERT_EQ(paths.size(), 1u);
+  const CriticalPath& p = paths[0];
+  EXPECT_EQ(p.peer, "10.1.0.1");
+  EXPECT_EQ(p.isp, "TELE");
+  EXPECT_EQ(p.t_join, sim::Time::from_seconds(1.0));
+  EXPECT_EQ(p.startup, sim::Time::seconds(2));
+  EXPECT_EQ(p.stages[0], sim::Time::micros(250'000));   // bootstrap_wait
+  EXPECT_EQ(p.stages[1], sim::Time::micros(125'000));   // tracker_rtt
+  EXPECT_EQ(p.stages[2], sim::Time::micros(25'000));    // list_arrival
+  EXPECT_EQ(p.stages[3], sim::Time::micros(150'000));   // first_connect
+  EXPECT_EQ(p.stages[4], sim::Time::micros(250'000));   // first_chunk
+  EXPECT_EQ(p.stages[5], sim::Time::micros(1'200'000)); // buffer_fill
+  sim::Time sum = sim::Time::zero();
+  for (const sim::Time s : p.stages) sum += s;
+  EXPECT_EQ(sum, p.startup);
+}
+
+// Missing and out-of-order milestones must clamp to zero-length stages —
+// never negative ones — and preserve the exact sum.
+TEST(SpanTracker, CriticalPathClampsMissingAndOutOfOrderMilestones) {
+  SpanTracker tracker;
+  tracker.write(ev(10.0, "peer_join").field("peer", "10.2.0.2")
+                    .field("isp", "CNC"));
+  // No join_reply / tracker_reply at all; a connect attempt recorded
+  // *before* the join would otherwise produce a negative stage.
+  tracker.write(ev(9.0, "connect_attempt").field("peer", "10.2.0.2"));
+  tracker.write(ev(11.0, "chunk_delivered").field("peer", "10.2.0.2"));
+  tracker.write(ev(12.0, "playback_start").field("peer", "10.2.0.2"));
+
+  const auto paths = tracker.critical_paths();
+  ASSERT_EQ(paths.size(), 1u);
+  const CriticalPath& p = paths[0];
+  EXPECT_EQ(p.startup, sim::Time::seconds(2));
+  sim::Time sum = sim::Time::zero();
+  for (const sim::Time s : p.stages) {
+    EXPECT_FALSE(s.is_negative());
+    sum += s;
+  }
+  EXPECT_EQ(sum, p.startup);
+  EXPECT_EQ(p.stages[4], sim::Time::seconds(1));  // first_chunk
+  EXPECT_EQ(p.stages[5], sim::Time::seconds(1));  // buffer_fill
+}
+
+TEST(SpanTracker, PeersWithoutPlaybackAreExcluded) {
+  SpanTracker tracker;
+  tracker.write(ev(1.0, "peer_join").field("peer", "10.1.0.1"));
+  tracker.write(ev(1.5, "chunk_delivered").field("peer", "10.1.0.1"));
+  EXPECT_TRUE(tracker.critical_paths().empty());
+}
+
+TEST(SpanTracker, NdjsonRoundTripsReferralsAndPaths) {
+  SpanTracker tracker(test_options());
+  tracker.write(ev(1.0, "peer_join").field("peer", "10.1.0.1")
+                    .field("isp", "TELE"));
+  tracker.write(ev(1.5, "connect_result").field("peer", "10.1.0.1")
+                    .field("from", "10.1.0.9").field("outcome", "accepted")
+                    .field("via", "tracker").field("introducer", "10.1.0.7")
+                    .field("span", std::uint64_t{11})
+                    .field("parent", std::uint64_t{10}));
+  tracker.write(ev(1.8, "chunk_delivered").field("peer", "10.1.0.1"));
+  tracker.write(ev(2.5, "playback_start").field("peer", "10.1.0.1"));
+
+  std::ostringstream os;
+  tracker.write_ndjson(os);
+
+  std::istringstream is(os.str());
+  SpanFileData data;
+  std::string error;
+  ASSERT_TRUE(read_spans_ndjson(is, &data, &error)) << error;
+  EXPECT_EQ(data.header_spans, tracker.span_count());
+  ASSERT_EQ(data.referrals.size(), 1u);
+  EXPECT_EQ(data.referrals[0].peer, "10.1.0.1");
+  EXPECT_EQ(data.referrals[0].via, "tracker");
+  EXPECT_EQ(data.referrals[0].introducer_isp, "TELE");
+  EXPECT_TRUE(data.referrals[0].same_isp);
+  EXPECT_EQ(data.referrals[0].t, sim::Time::from_seconds(1.5));
+  ASSERT_EQ(data.paths.size(), 1u);
+  EXPECT_EQ(data.paths[0].startup, sim::Time::micros(1'500'000));
+  sim::Time sum = sim::Time::zero();
+  for (const sim::Time s : data.paths[0].stages) sum += s;
+  // Exact-sum survives serialization: times travel as integer micros.
+  EXPECT_EQ(sum, data.paths[0].startup);
+
+  // Same tracker state, second serialization: byte-identical.
+  std::ostringstream os2;
+  tracker.write_ndjson(os2);
+  EXPECT_EQ(os.str(), os2.str());
+}
+
+TEST(ReadSpansNdjson, RejectsForeignHeaders) {
+  std::istringstream is("{\"samples_schema\":\"ppsim-samples-v1\"}\n");
+  SpanFileData data;
+  std::string error;
+  EXPECT_FALSE(read_spans_ndjson(is, &data, &error));
+  EXPECT_NE(error.find("header"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppsim::obs

@@ -9,6 +9,7 @@
 //   ppsim-analyze --samples <samples.ndjson> --fault-plan <plan.txt>
 //   ppsim-analyze --health <trace.ndjson>
 //   ppsim-analyze --postmortem <bundle.ndjson>
+//   ppsim-analyze --spans <spans.ndjson>
 //
 // The probe IP is inferred from the records' local address when not given.
 // Sections: returned, sources, data, response, contrib, rtt, all.
@@ -25,6 +26,10 @@
 // --postmortem summarizes a flight-recorder bundle written under
 // `ppsim --postmortem-dir`: the trigger, buffered event counts per event
 // name, and the surrounding sampler window.
+// --spans reads a causal-tracing artifact (`ppsim --spans-out`) and renders
+// the referral-lineage table, the same-ISP referral-share series, and the
+// startup critical-path percentiles from the recorded rows alone — no
+// simulation involved (docs/OBSERVABILITY.md, "Causal tracing").
 
 #include <cstdio>
 #include <cstring>
@@ -42,6 +47,7 @@
 #include "net/asn_db.h"
 #include "obs/health.h"
 #include "obs/sampler.h"
+#include "obs/span_tracker.h"
 
 namespace {
 
@@ -167,6 +173,32 @@ int analyze_postmortem(const std::string& path) {
   return 0;
 }
 
+int analyze_spans(const std::string& path) {
+  using namespace ppsim;
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  obs::SpanFileData data;
+  std::string error;
+  if (!obs::read_spans_ndjson(in, &data, &error)) {
+    std::fprintf(stderr, "error: %s: %s\n", path.c_str(), error.c_str());
+    return 1;
+  }
+  std::printf("spans: %s (%llu spans, %zu referrals, %zu critical paths)\n\n",
+              path.c_str(),
+              static_cast<unsigned long long>(data.header_spans),
+              data.referrals.size(), data.paths.size());
+  // The share series is recomputed from the referral rows (the file's
+  // share rows are redundant), using the writer's default bucket width.
+  core::print_referral_lineage(
+      std::cout, obs::summarize_lineage(data.referrals),
+      obs::referral_share_series(data.referrals, sim::Time::seconds(60)));
+  core::print_critical_paths(std::cout, data.paths);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -178,6 +210,7 @@ int main(int argc, char** argv) {
   std::string fault_plan_path;
   std::string health_path;
   std::string postmortem_path;
+  std::string spans_path;
   std::vector<std::string> sections;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -193,6 +226,8 @@ int main(int argc, char** argv) {
       health_path = argv[++i];
     } else if (arg == "--postmortem" && i + 1 < argc) {
       postmortem_path = argv[++i];
+    } else if (arg == "--spans" && i + 1 < argc) {
+      spans_path = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: ppsim-analyze <trace-file> [--probe-ip A.B.C.D] "
@@ -200,7 +235,8 @@ int main(int argc, char** argv) {
           "       ppsim-analyze --samples <samples.ndjson> "
           "[--fault-plan plan.txt]\n"
           "       ppsim-analyze --health <trace.ndjson>\n"
-          "       ppsim-analyze --postmortem <bundle.ndjson>\n");
+          "       ppsim-analyze --postmortem <bundle.ndjson>\n"
+          "       ppsim-analyze --spans <spans.ndjson>\n");
       return 0;
     } else if (!arg.empty() && arg[0] != '-') {
       path = arg;
@@ -215,6 +251,7 @@ int main(int argc, char** argv) {
   }
   if (!health_path.empty()) return analyze_health(health_path);
   if (!postmortem_path.empty()) return analyze_postmortem(postmortem_path);
+  if (!spans_path.empty()) return analyze_spans(spans_path);
   if (!samples_path.empty())
     return analyze_samples(samples_path, fault_plan_path);
   if (path.empty()) {

@@ -272,9 +272,13 @@ void check_wall_clock(const FileText& f, std::vector<Finding>* findings) {
 void check_unordered_iteration(const FileText& f,
                                const std::set<std::string>& registry,
                                std::vector<Finding>* findings) {
-  // Only files that schedule events can convert hash order into event
-  // order; pure data-analysis code may iterate however it likes.
-  if (f.stripped.find("schedule") == std::string::npos) return;
+  // Only files that schedule events, allocate span ids, or emit to a trace
+  // sink can convert hash order into event/span/serialization order; pure
+  // data-analysis code may iterate however it likes.
+  if (f.stripped.find("schedule") == std::string::npos &&
+      f.stripped.find("allocate_span_id") == std::string::npos &&
+      f.stripped.find("TraceSink") == std::string::npos)
+    return;
   std::size_t pos = 0;
   while ((pos = f.stripped.find("for", pos)) != std::string::npos) {
     const std::size_t at = pos;
