@@ -10,71 +10,16 @@
 
 #include "sim/observer.h"
 #include "sim/time.h"
+#include "sim/trace.h"
 
 namespace ppsim::obs {
 
-/// One traced protocol/simulator event: a sim-timestamp, an event name, and
-/// an ordered list of typed fields. Field order is the emission order, so a
-/// given emitter always serializes identically — trace files from same-seed
-/// runs are byte-identical (no wall-clock, no addresses, no hash order).
-class TraceEvent {
- public:
-  using Value = std::variant<std::uint64_t, std::int64_t, double, bool,
-                             std::string>;
-  struct Field {
-    std::string key;
-    Value value;
-  };
-
-  TraceEvent(sim::Time t, std::string_view name) : t_(t), name_(name) {}
-
-  TraceEvent& field(std::string_view key, std::uint64_t value) {
-    return push(key, Value(std::in_place_type<std::uint64_t>, value));
-  }
-  TraceEvent& field(std::string_view key, std::int64_t value) {
-    return push(key, Value(std::in_place_type<std::int64_t>, value));
-  }
-  TraceEvent& field(std::string_view key, int value) {
-    return field(key, static_cast<std::int64_t>(value));
-  }
-  TraceEvent& field(std::string_view key, unsigned value) {
-    return field(key, static_cast<std::uint64_t>(value));
-  }
-  TraceEvent& field(std::string_view key, double value) {
-    return push(key, Value(std::in_place_type<double>, value));
-  }
-  TraceEvent& field(std::string_view key, bool value) {
-    return push(key, Value(std::in_place_type<bool>, value));
-  }
-  TraceEvent& field(std::string_view key, std::string_view value) {
-    return push(key, Value(std::in_place_type<std::string>, value));
-  }
-  TraceEvent& field(std::string_view key, const char* value) {
-    return field(key, std::string_view(value));
-  }
-
-  sim::Time time() const { return t_; }
-  const std::string& name() const { return name_; }
-  const std::vector<Field>& fields() const { return fields_; }
-
- private:
-  TraceEvent& push(std::string_view key, Value value) {
-    fields_.push_back(Field{std::string(key), std::move(value)});
-    return *this;
-  }
-
-  sim::Time t_;
-  std::string name_;
-  std::vector<Field> fields_;
-};
-
-/// Receiver of trace events. Emitters hold a TraceSink* that is nullptr by
-/// default, so a disabled trace costs one branch per would-be event.
-class TraceSink {
- public:
-  virtual ~TraceSink() = default;
-  virtual void write(const TraceEvent& event) = 0;
-};
+/// TraceEvent and the abstract TraceSink moved down to sim/trace.h so the
+/// protocol layer can emit events without an upward proto -> obs include
+/// (the lint layering pass enforces the module DAG). Re-exported here under
+/// their historical names; observability code keeps saying obs::TraceEvent.
+using TraceEvent = sim::TraceEvent;
+using TraceSink = sim::TraceSink;
 
 /// Serializes events as NDJSON: one {"t":<sim-seconds>,"ev":<name>,...}
 /// object per line, fields in emission order (see docs/OBSERVABILITY.md).

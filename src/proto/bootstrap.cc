@@ -55,7 +55,7 @@ void BootstrapServer::handle(const PeerNetwork::Delivery& delivery) {
     if (causal_)
       r.span = SpanContext{simulator_.allocate_span_id(), join->span.id};
     if (trace_ != nullptr) {
-      obs::TraceEvent ev(simulator_.now(), "bootstrap_serve");
+      sim::TraceEvent ev(simulator_.now(), "bootstrap_serve");
       ev.field("bootstrap", identity_.ip.to_string())
           .field("to", delivery.from.to_string())
           .field("channel", static_cast<std::uint64_t>(r.channel))

@@ -4,7 +4,7 @@
 #include <vector>
 
 #include "net/ip.h"
-#include "obs/trace.h"
+#include "sim/trace.h"
 #include "proto/host.h"
 #include "proto/message.h"
 #include "proto/tracker.h"
@@ -42,7 +42,7 @@ class BootstrapServer {
 
   /// Emits one "bootstrap_serve" event per answered join to `sink`; nullptr
   /// (the default) disables tracing. Purely observational.
-  void set_trace_sink(obs::TraceSink* sink) { trace_ = sink; }
+  void set_trace_sink(sim::TraceSink* sink) { trace_ = sink; }
 
   /// Enables causal tracing: join replies carry a span id parented on the
   /// incoming query's span, and bootstrap_serve events gain span/parent
@@ -64,7 +64,7 @@ class BootstrapServer {
   sim::Time processing_delay_;
   // Ordered so the channel list is served in a stable order.
   std::map<ChannelId, ChannelEntry> channels_;
-  obs::TraceSink* trace_ = nullptr;
+  sim::TraceSink* trace_ = nullptr;
   bool causal_ = false;
   bool dark_ = false;
   std::uint64_t rotation_ = 0;

@@ -38,7 +38,7 @@ void Peer::leave() {
     send(ip, Message{Goodbye{channel_.id}}, /*with_processing_delay=*/false);
   }
   if (trace_ != nullptr) {
-    obs::TraceEvent ev(simulator_.now(), "peer_leave");
+    sim::TraceEvent ev(simulator_.now(), "peer_leave");
     ev.field("peer", identity_.ip.to_string())
         .field("bytes_down", counters_.bytes_downloaded)
         .field("bytes_up", counters_.bytes_uploaded)
@@ -54,7 +54,7 @@ void Peer::leave() {
 void Peer::crash() {
   if (!alive_) return;
   if (trace_ != nullptr) {
-    obs::TraceEvent ev(simulator_.now(), "peer_crash");
+    sim::TraceEvent ev(simulator_.now(), "peer_crash");
     ev.field("peer", identity_.ip.to_string())
         .field("bytes_down", counters_.bytes_downloaded)
         .field("continuity", counters_.continuity());
@@ -71,7 +71,7 @@ void Peer::join() {
   joined_ = true;
   if (causal_) join_span_ = simulator_.allocate_span_id();
   if (trace_ != nullptr) {
-    obs::TraceEvent ev(simulator_.now(), "peer_join");
+    sim::TraceEvent ev(simulator_.now(), "peer_join");
     ev.field("peer", identity_.ip.to_string())
         .field("isp", net::to_string(identity_.category))
         .field("channel", static_cast<std::uint64_t>(channel_.id))
@@ -107,7 +107,7 @@ void Peer::on_join_reply(const JoinReply& r) {
   if (causal_) {
     join_reply_span_ = r.span.id;
     if (trace_ != nullptr) {
-      obs::TraceEvent ev(simulator_.now(), "join_reply");
+      sim::TraceEvent ev(simulator_.now(), "join_reply");
       ev.field("peer", identity_.ip.to_string())
           .field("trackers", static_cast<std::uint64_t>(trackers_.size()))
           .field("span", r.span.id)
@@ -265,7 +265,7 @@ void Peer::query_trackers(bool all) {
   if (causal_)
     q.span = SpanContext{simulator_.allocate_span_id(), join_reply_span_};
   if (trace_ != nullptr) {
-    obs::TraceEvent ev(simulator_.now(), "tracker_query");
+    sim::TraceEvent ev(simulator_.now(), "tracker_query");
     ev.field("peer", identity_.ip.to_string())
         .field("all", all)
         .field("trackers",
@@ -369,7 +369,7 @@ void Peer::try_connect(const std::vector<net::IpAddress>& targets) {
       pending_connect_spans_[ip] = PendingConnectSpan{q.span.id, origin};
     }
     if (trace_ != nullptr) {
-      obs::TraceEvent ev(simulator_.now(), "connect_attempt");
+      sim::TraceEvent ev(simulator_.now(), "connect_attempt");
       ev.field("peer", identity_.ip.to_string())
           .field("to", ip.to_string());
       if (causal_) {
@@ -412,7 +412,7 @@ void Peer::gossip_round() {
   if (causal_)
     q.span = SpanContext{simulator_.allocate_span_id(), join_span_};
   if (trace_ != nullptr) {
-    obs::TraceEvent ev(simulator_.now(), "gossip_query");
+    sim::TraceEvent ev(simulator_.now(), "gossip_query");
     ev.field("peer", identity_.ip.to_string())
         .field("fanout", static_cast<std::uint64_t>(picked.size()));
     if (causal_) ev.field("span", q.span.id).field("parent", q.span.parent);
@@ -433,7 +433,7 @@ void Peer::sweep_timeouts() {
     if (now - it->second > config_.connect_timeout) {
       ++counters_.connects_timed_out;
       if (trace_ != nullptr) {
-        obs::TraceEvent ev(now, "connect_result");
+        sim::TraceEvent ev(now, "connect_result");
         ev.field("peer", identity_.ip.to_string())
             .field("from", it->first.to_string())
             .field("outcome", "timeout");
@@ -496,7 +496,7 @@ void Peer::sweep_timeouts() {
       last_reacquire_ = now;
       ++emergency_reacquires_;
       if (trace_ != nullptr) {
-        obs::TraceEvent ev(now, "peer_reacquire");
+        sim::TraceEvent ev(now, "peer_reacquire");
         ev.field("peer", identity_.ip.to_string())
             .field("isolated_s", (now - isolated_since_).as_seconds())
             .field("pool", static_cast<std::uint64_t>(pool_set_.size()));
@@ -537,7 +537,7 @@ void Peer::maybe_start_playback() {
   }
   playback_started_ = true;
   if (causal_ && trace_ != nullptr) {
-    obs::TraceEvent ev(simulator_.now(), "playback_start");
+    sim::TraceEvent ev(simulator_.now(), "playback_start");
     ev.field("peer", identity_.ip.to_string())
         .field("position", static_cast<std::uint64_t>(playback_next_))
         .field("edge", static_cast<std::uint64_t>(live_edge_))
@@ -616,7 +616,7 @@ void Peer::request_tick() {
           nb.intro_span != 0 ? nb.intro_span : join_span_};
     }
     if (trace_ != nullptr) {
-      obs::TraceEvent ev(simulator_.now(), "data_request");
+      sim::TraceEvent ev(simulator_.now(), "data_request");
       ev.field("peer", identity_.ip.to_string())
           .field("to", target.to_string())
           .field("chunk", static_cast<std::uint64_t>(seq));
@@ -736,7 +736,7 @@ void Peer::handle(const PeerNetwork::Delivery& delivery) {
     ++counters_.tracker_replies;
     tracker_silent_rounds_ = 0;  // the region answers; stop backing off
     if (trace_ != nullptr) {
-      obs::TraceEvent ev(simulator_.now(), "tracker_reply");
+      sim::TraceEvent ev(simulator_.now(), "tracker_reply");
       ev.field("peer", identity_.ip.to_string())
           .field("from", from.to_string())
           .field("peers", static_cast<std::uint64_t>(tr->peers.size()));
@@ -810,7 +810,7 @@ void Peer::handle(const PeerNetwork::Delivery& delivery) {
     }
     const auto trace_connect = [&](const char* outcome) {
       if (trace_ == nullptr) return;
-      obs::TraceEvent ev(simulator_.now(), "connect_result");
+      sim::TraceEvent ev(simulator_.now(), "connect_result");
       ev.field("peer", identity_.ip.to_string())
           .field("from", from.to_string())
           .field("outcome", outcome)
@@ -877,7 +877,7 @@ void Peer::handle(const PeerNetwork::Delivery& delivery) {
     if (plr->channel != channel_.id) return;
     ++counters_.gossip_replies_received;
     if (trace_ != nullptr) {
-      obs::TraceEvent ev(simulator_.now(), "gossip_reply");
+      sim::TraceEvent ev(simulator_.now(), "gossip_reply");
       ev.field("peer", identity_.ip.to_string())
           .field("from", from.to_string())
           .field("peers", static_cast<std::uint64_t>(plr->peers.size()));
@@ -926,7 +926,7 @@ void Peer::handle(const PeerNetwork::Delivery& delivery) {
     if (causal_)
       r.span = SpanContext{simulator_.allocate_span_id(), dq->span.id};
     if (trace_ != nullptr) {
-      obs::TraceEvent ev(simulator_.now(), "data_serve");
+      sim::TraceEvent ev(simulator_.now(), "data_serve");
       ev.field("peer", identity_.ip.to_string())
           .field("to", from.to_string())
           .field("chunk", static_cast<std::uint64_t>(dq->chunk))
@@ -959,7 +959,7 @@ void Peer::handle(const PeerNetwork::Delivery& delivery) {
       counters_.bytes_downloaded += dr->payload_bytes;
       live_edge_ = std::max(live_edge_, dr->chunk);
       if (causal_ && trace_ != nullptr) {
-        obs::TraceEvent ev(simulator_.now(), "chunk_delivered");
+        sim::TraceEvent ev(simulator_.now(), "chunk_delivered");
         ev.field("peer", identity_.ip.to_string())
             .field("from", from.to_string())
             .field("chunk", static_cast<std::uint64_t>(dr->chunk))

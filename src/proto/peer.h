@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "net/ip.h"
-#include "obs/trace.h"
+#include "sim/trace.h"
 #include "proto/channel.h"
 #include "proto/chunk_store.h"
 #include "proto/counters.h"
@@ -77,7 +77,7 @@ class Peer {
   /// disables tracing at the cost of one branch per would-be event. Set
   /// before join() to capture the join sequence. Purely observational —
   /// behaviour is identical with or without a sink.
-  void set_trace_sink(obs::TraceSink* sink) { trace_ = sink; }
+  void set_trace_sink(sim::TraceSink* sink) { trace_ = sink; }
 
   /// Enables causal tracing (docs/OBSERVABILITY.md): outgoing discovery and
   /// data messages carry span ids allocated from the simulator's monotonic
@@ -197,7 +197,7 @@ class Peer {
   PeerConfig config_;
   std::unique_ptr<SelectionPolicy> policy_;
 
-  obs::TraceSink* trace_ = nullptr;
+  sim::TraceSink* trace_ = nullptr;
   bool causal_ = false;
 
   // --- causal-tracing state (populated only when causal_) ---
@@ -234,7 +234,7 @@ class Peer {
   // Ordered maps, not unordered: every traversal below feeds either message
   // emission order or candidate/victim selection, and the simulator's
   // determinism contract requires those to be independent of hash order
-  // (ppsim_lint enforces this; see tools/ppsim_lint.cc).
+  // (the ppsim-audit determinism pass enforces this; see tools/lint/).
   std::map<net::IpAddress, Neighbor> neighbors_;
   std::map<net::IpAddress, sim::Time> pending_connects_;
   std::map<ChunkSeq, PendingData> pending_data_;

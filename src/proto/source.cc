@@ -155,7 +155,7 @@ void StreamSource::handle(const PeerNetwork::Delivery& delivery) {
     if (causal_)
       r.span = SpanContext{simulator_.allocate_span_id(), dq->span.id};
     if (trace_ != nullptr) {
-      obs::TraceEvent ev(simulator_.now(), "source_serve");
+      sim::TraceEvent ev(simulator_.now(), "source_serve");
       ev.field("source", identity_.ip.to_string())
           .field("to", from.to_string())
           .field("chunk", static_cast<std::uint64_t>(dq->chunk))

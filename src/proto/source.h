@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "net/ip.h"
-#include "obs/trace.h"
+#include "sim/trace.h"
 #include "proto/channel.h"
 #include "proto/chunk_store.h"
 #include "proto/host.h"
@@ -53,7 +53,7 @@ class StreamSource {
 
   /// Emits one "source_serve" event per served data request to `sink`;
   /// nullptr (the default) disables tracing. Purely observational.
-  void set_trace_sink(obs::TraceSink* sink) { trace_ = sink; }
+  void set_trace_sink(sim::TraceSink* sink) { trace_ = sink; }
 
   /// Enables causal tracing: replies carry a span id parented on the
   /// incoming message's span, and source_serve events gain span/parent
@@ -81,7 +81,7 @@ class StreamSource {
   std::vector<net::IpAddress> trackers_;
   sim::Rng rng_;
   Config config_;
-  obs::TraceSink* trace_ = nullptr;
+  sim::TraceSink* trace_ = nullptr;
   bool causal_ = false;
 
   bool running_ = false;

@@ -86,7 +86,7 @@ void TrackerServer::handle(const PeerNetwork::Delivery& delivery) {
   ++queries_served_;
   if (causal_) reply.span = SpanContext{simulator_.allocate_span_id(), query->span.id};
   if (trace_ != nullptr) {
-    obs::TraceEvent ev(simulator_.now(), "tracker_serve");
+    sim::TraceEvent ev(simulator_.now(), "tracker_serve");
     ev.field("tracker", identity_.ip.to_string())
         .field("to", delivery.from.to_string())
         .field("channel", static_cast<std::uint64_t>(channel))

@@ -7,7 +7,7 @@
 #include "net/asn_db.h"
 #include "net/ip.h"
 #include "net/transport.h"
-#include "obs/trace.h"
+#include "sim/trace.h"
 #include "proto/host.h"
 #include "proto/message.h"
 #include "sim/rng.h"
@@ -53,7 +53,7 @@ class TrackerServer {
 
   /// Emits one "tracker_serve" event per answered query to `sink`; nullptr
   /// (the default) disables tracing. Purely observational.
-  void set_trace_sink(obs::TraceSink* sink) { trace_ = sink; }
+  void set_trace_sink(sim::TraceSink* sink) { trace_ = sink; }
 
   /// Enables causal tracing: replies carry a span id parented on the
   /// incoming query's span, and tracker_serve events gain span/parent
@@ -86,7 +86,7 @@ class TrackerServer {
   HostIdentity identity_;
   sim::Rng rng_;
   Config config_;
-  obs::TraceSink* trace_ = nullptr;
+  sim::TraceSink* trace_ = nullptr;
   bool causal_ = false;
   bool dark_ = false;
   std::uint64_t queries_served_ = 0;

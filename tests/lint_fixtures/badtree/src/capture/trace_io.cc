@@ -1,0 +1,20 @@
+// Fixture: capture serializer/parser with deliberate holes.
+#include <string>
+
+#include "proto/message.h"
+
+namespace ppsim::capture {
+
+struct PayloadWriter {
+  // Pong, Ghost: completeness: trace-io-write
+  void operator()(const proto::Ping&) const {}
+};
+
+bool parse_message(const std::string& type) {
+  if (type == "Ping") return true;
+  if (type == "Pong") return true;
+  // Ghost: completeness: trace-io-parse
+  return false;
+}
+
+}  // namespace ppsim::capture

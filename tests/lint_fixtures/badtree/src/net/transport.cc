@@ -1,0 +1,9 @@
+// Fixture: increments uplink_drops (so it is a live bucket) but never
+// ghost_drops.
+#include "net/transport.h"
+
+namespace ppsim::net {
+
+void Transport::drop_uplink() { ++stats_.uplink_drops; }
+
+}  // namespace ppsim::net

@@ -1,0 +1,20 @@
+// Fixture: drop-counter audit holes.
+#pragma once
+#include <cstdint>
+
+namespace ppsim::net {
+
+class Transport {
+ public:
+  struct Stats {
+    std::uint64_t uplink_drops = 0;
+    std::uint64_t ghost_drops = 0;  // completeness: drop-counter (x2)
+  };
+
+  void drop_uplink();
+
+ private:
+  Stats stats_;
+};
+
+}  // namespace ppsim::net

@@ -1,0 +1,10 @@
+// Fixture: the obs -> sim edge is legal on its own, but combined with
+// sim/clock.cc's sim -> obs include it closes a module cycle.
+#pragma once
+#include "sim/sched.h"
+
+namespace ppsim::obs {
+
+class NullSink {};
+
+}  // namespace ppsim::obs

@@ -1,0 +1,31 @@
+// Fixture: visitor tables with deliberate holes.
+#include "proto/message.h"
+
+#include <variant>
+
+namespace ppsim::proto {
+namespace {
+
+struct SizeVisitor {
+  // Pong, Ghost: completeness: wire-size-visitor
+  std::size_t operator()(const Ping&) const { return 8; }
+};
+
+struct NameVisitor {
+  std::string operator()(const Ping&) const { return "Ping"; }
+  // returns the wrong literal (all-caps): completeness: name-visitor
+  std::string operator()(const Pong&) const { return "PONG"; }
+  // Ghost: completeness: name-visitor (no overload at all)
+};
+
+}  // namespace
+
+std::size_t wire_size(const Message& m) {
+  return std::visit(SizeVisitor{}, m);
+}
+
+std::string message_name(const Message& m) {
+  return std::visit(NameVisitor{}, m);
+}
+
+}  // namespace ppsim::proto

@@ -1,0 +1,15 @@
+// Fixture: stamps Pong's span, but Pong has no row in the PROTOCOL.md
+// span table (completeness: span-doc, reverse direction). Ping IS in the
+// table but nothing here stamps it (completeness: span-stamp).
+#include "proto/message.h"
+
+namespace ppsim::proto {
+
+Pong make_pong(std::uint64_t nonce) {
+  Pong p;
+  p.nonce = nonce;
+  p.span = SpanContext{};
+  return p;
+}
+
+}  // namespace ppsim::proto

@@ -1,0 +1,27 @@
+// Fixture: known-bad sim/ file. Every construct below is a deliberate
+// violation; tests/tools_lint_test.cc pins the exact findings.
+#include <chrono>
+
+#include "obs/trace.h"    // layering: sim -> obs is an upward edge
+#include "vendor/blob.h"  // layering: module outside the declared table
+
+namespace ppsim::sim {
+
+int g_tick_count = 0;  // shared-state: mutable-global
+
+double jitter_sum(const double* xs, int n) {
+  static int calls = 0;  // shared-state: static-local
+  ++calls;
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    total += xs[i];  // float-order: float-accum
+  }
+  return total;
+}
+
+long now_ns() {
+  // determinism: wall-clock
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace ppsim::sim

@@ -1,0 +1,30 @@
+// Fixture: unordered iteration feeding the scheduler + pointer-keyed map
+// + a static data member.
+#pragma once
+#include <map>
+#include <unordered_map>
+
+namespace ppsim::sim {
+
+struct Ev {
+  int id = 0;
+};
+
+class Sched {
+ public:
+  void schedule(int id);
+  void run() {
+    for (const auto& [id, ev] : pending_) {  // determinism: unordered-iter
+      schedule(id);
+      (void)ev;
+    }
+  }
+
+  static int live_instances;  // shared-state: static-member
+
+ private:
+  std::unordered_map<int, Ev> pending_;
+  std::map<Ev*, int> by_addr_;  // determinism: pointer-key
+};
+
+}  // namespace ppsim::sim

@@ -1,0 +1,17 @@
+// Fixture: complete capture serializer/parser.
+#include <string>
+
+#include "proto/message.h"
+
+namespace ppsim::capture {
+
+struct PayloadWriter {
+  void operator()(const proto::Ping&) const {}
+};
+
+bool parse_message(const std::string& type) {
+  if (type == "Ping") return true;
+  return false;
+}
+
+}  // namespace ppsim::capture

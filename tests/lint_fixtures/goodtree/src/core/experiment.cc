@@ -1,0 +1,12 @@
+// Fixture: total-drops reconciliation covering every bucket.
+#include <cstdint>
+
+#include "net/transport.h"
+
+namespace ppsim::core {
+
+std::uint64_t total_drops(std::uint64_t uplink_drops) {
+  return uplink_drops;
+}
+
+}  // namespace ppsim::core

@@ -1,0 +1,7 @@
+#include "net/transport.h"
+
+namespace ppsim::net {
+
+void Transport::drop_uplink() { ++stats_.uplink_drops; }
+
+}  // namespace ppsim::net

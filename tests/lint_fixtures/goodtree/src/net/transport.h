@@ -1,0 +1,19 @@
+// Fixture: every drop bucket is incremented and reconciled.
+#pragma once
+#include <cstdint>
+
+namespace ppsim::net {
+
+class Transport {
+ public:
+  struct Stats {
+    std::uint64_t uplink_drops = 0;
+  };
+
+  void drop_uplink();
+
+ private:
+  Stats stats_;
+};
+
+}  // namespace ppsim::net

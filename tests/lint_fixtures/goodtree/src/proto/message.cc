@@ -1,0 +1,27 @@
+// Fixture: complete visitor tables.
+#include "proto/message.h"
+
+#include <variant>
+
+namespace ppsim::proto {
+namespace {
+
+struct SizeVisitor {
+  std::size_t operator()(const Ping&) const { return 8; }
+};
+
+struct NameVisitor {
+  std::string operator()(const Ping&) const { return "Ping"; }
+};
+
+}  // namespace
+
+std::size_t wire_size(const Message& m) {
+  return std::visit(SizeVisitor{}, m);
+}
+
+std::string message_name(const Message& m) {
+  return std::visit(NameVisitor{}, m);
+}
+
+}  // namespace ppsim::proto

@@ -1,0 +1,23 @@
+// Fixture: complete single-message table.
+#pragma once
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace ppsim::proto {
+
+struct SpanContext {
+  std::uint64_t id = 0;
+};
+
+struct Ping {
+  std::uint64_t nonce = 0;
+  SpanContext span{};
+};
+
+using Message = std::variant<Ping>;
+
+std::size_t wire_size(const Message& m);
+std::string message_name(const Message& m);
+
+}  // namespace ppsim::proto

@@ -1,0 +1,13 @@
+// Fixture: stamps Ping's span, matching the PROTOCOL.md table row.
+#include "proto/message.h"
+
+namespace ppsim::proto {
+
+Ping make_ping(std::uint64_t nonce) {
+  Ping p;
+  p.nonce = nonce;
+  p.span = SpanContext{};
+  return p;
+}
+
+}  // namespace ppsim::proto

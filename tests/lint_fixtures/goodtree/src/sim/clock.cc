@@ -1,0 +1,16 @@
+// Fixture: clean sim/ file — simulated time only, integer accumulation,
+// no static state.
+#include <cstdint>
+#include <vector>
+
+namespace ppsim::sim {
+
+constexpr std::uint64_t kTicksPerSecond = 1000;
+
+std::uint64_t sum_ticks(const std::vector<std::uint64_t>& xs) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t x : xs) total += x;
+  return total;
+}
+
+}  // namespace ppsim::sim

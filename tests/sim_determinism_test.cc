@@ -1,5 +1,5 @@
-// Runtime half of the determinism guarantee (the static half is
-// tools/ppsim_lint.cc): the same seed must produce a bit-identical event
+// Runtime half of the determinism guarantee (the static half is the
+// ppsim-audit framework, tools/lint/): the same seed must produce a bit-identical event
 // stream. Each scenario is run twice and the full delivered-datagram
 // stream — timestamps, endpoints, sizes, payload kinds, in order — is
 // folded into a hash; the runs must agree exactly. Distinct seeds must

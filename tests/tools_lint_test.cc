@@ -1,0 +1,295 @@
+// Self-tests for the ppsim-audit framework (tools/lint/): drive the pass
+// registry in-process over known-bad and known-good fixture trees
+// (tests/lint_fixtures/) and pin the exact findings, then exercise the
+// allowlist (suppression + stale-entry reporting) and the ppsim-lint-v1
+// NDJSON round-trip.
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint/allowlist.h"
+#include "lint/lint.h"
+#include "lint/ndjson.h"
+
+namespace ppsim::lint {
+namespace {
+
+std::string fixture(const std::string& rel) {
+  return std::string(PPSIM_LINT_FIXTURES_DIR) + "/" + rel;
+}
+
+Tree load(const std::string& name) {
+  Tree tree;
+  std::string error;
+  EXPECT_TRUE(load_tree(fixture(name + "/src"), fixture(name + "/docs"),
+                        &tree, &error))
+      << error;
+  return tree;
+}
+
+std::vector<Finding> run_all(const Tree& tree) {
+  std::string error;
+  std::vector<Finding> findings = run_passes(tree, {}, &error);
+  EXPECT_TRUE(error.empty()) << error;
+  return findings;
+}
+
+bool has(const std::vector<Finding>& findings, const std::string& file,
+         int line, const std::string& check, const std::string& token) {
+  return std::any_of(findings.begin(), findings.end(), [&](const Finding& f) {
+    return f.file == file && f.line == line && f.check == check &&
+           f.token == token;
+  });
+}
+
+TEST(LintRegistry, FivePassesInOrder) {
+  const std::vector<PassInfo>& reg = passes();
+  ASSERT_EQ(reg.size(), 5u);
+  EXPECT_EQ(reg[0].name, "determinism");
+  EXPECT_EQ(reg[1].name, "shared-state");
+  EXPECT_EQ(reg[2].name, "layering");
+  EXPECT_EQ(reg[3].name, "float-order");
+  EXPECT_EQ(reg[4].name, "completeness");
+  for (const PassInfo& p : reg) {
+    EXPECT_NE(p.fn, nullptr);
+    EXPECT_FALSE(p.summary.empty());
+  }
+}
+
+TEST(LintGoodTree, NoFindings) {
+  const Tree tree = load("goodtree");
+  EXPECT_EQ(tree.files.size(), 8u);
+  const std::vector<Finding> findings = run_all(tree);
+  EXPECT_TRUE(findings.empty()) << findings.size() << " findings; first: "
+                                << (findings.empty()
+                                        ? ""
+                                        : findings[0].file + " " +
+                                              findings[0].check);
+}
+
+TEST(LintBadTree, DeterminismFindings) {
+  const std::vector<Finding> f = run_all(load("badtree"));
+  EXPECT_TRUE(has(f, "sim/clock.cc", 24, "wall-clock", "steady_clock"));
+  EXPECT_TRUE(has(f, "sim/sched.h", 17, "unordered-iter", "pending_"));
+  EXPECT_TRUE(has(f, "sim/sched.h", 27, "pointer-key", "std::map<Ev*>"));
+}
+
+TEST(LintBadTree, SharedStateInventory) {
+  const std::vector<Finding> f = run_all(load("badtree"));
+  EXPECT_TRUE(has(f, "sim/clock.cc", 10, "mutable-global", "g_tick_count"));
+  EXPECT_TRUE(has(f, "sim/clock.cc", 13, "static-local", "calls"));
+  EXPECT_TRUE(has(f, "sim/sched.h", 23, "static-member", "live_instances"));
+}
+
+TEST(LintBadTree, LayeringFindings) {
+  const std::vector<Finding> f = run_all(load("badtree"));
+  EXPECT_TRUE(has(f, "sim/clock.cc", 5, "illegal-include", "sim -> obs"));
+  EXPECT_TRUE(has(f, "sim/clock.cc", 6, "unknown-module", "vendor"));
+  EXPECT_TRUE(has(f, "sim/clock.cc", 5, "layer-cycle", "obs -> sim -> obs"));
+}
+
+TEST(LintBadTree, FloatOrderFindings) {
+  const std::vector<Finding> f = run_all(load("badtree"));
+  EXPECT_TRUE(has(f, "sim/clock.cc", 17, "float-accum", "total"));
+}
+
+TEST(LintBadTree, CompletenessFindings) {
+  const std::vector<Finding> f = run_all(load("badtree"));
+  // Variant / struct / span-member triangulation.
+  EXPECT_TRUE(has(f, "proto/message.h", 22, "variant-membership", "Stray"));
+  EXPECT_TRUE(has(f, "proto/message.h", 27, "variant-membership", "Ghost"));
+  EXPECT_TRUE(has(f, "proto/message.h", 18, "span-member", "Pong"));
+  // Visitor tables in proto/message.cc.
+  EXPECT_TRUE(has(f, "proto/message.cc", 9, "wire-size-visitor", "Pong"));
+  EXPECT_TRUE(has(f, "proto/message.cc", 9, "wire-size-visitor", "Ghost"));
+  EXPECT_TRUE(has(f, "proto/message.cc", 14, "name-visitor", "Ghost"));
+  EXPECT_TRUE(has(f, "proto/message.cc", 14, "name-visitor", "Pong"));
+  // Capture serializer/parser.
+  EXPECT_TRUE(has(f, "capture/trace_io.cc", 1, "trace-io-write", "Pong"));
+  EXPECT_TRUE(has(f, "capture/trace_io.cc", 1, "trace-io-write", "Ghost"));
+  EXPECT_TRUE(has(f, "capture/trace_io.cc", 1, "trace-io-parse", "Ghost"));
+  // Span docs: Ghost undocumented; Pong stamped but not in the table.
+  EXPECT_TRUE(has(f, "docs/PROTOCOL.md", 3, "span-doc", "Ghost"));
+  EXPECT_TRUE(has(f, "docs/PROTOCOL.md", 3, "span-doc", "Pong"));
+  // Ping documented as stamped but never stamped in proto/*.cc.
+  EXPECT_TRUE(has(f, "proto/message.h", 13, "span-stamp", "Ping"));
+  // Drop buckets: declared-but-dead and unreconciled.
+  EXPECT_TRUE(has(f, "net/transport.h", 9, "drop-counter", "ghost_drops"));
+  EXPECT_TRUE(has(f, "core/experiment.cc", 1, "drop-counter", "ghost_drops"));
+  // uplink_drops is live and reconciled — no finding.
+  EXPECT_FALSE(has(f, "net/transport.h", 9, "drop-counter", "uplink_drops"));
+}
+
+TEST(LintBadTree, ExactFindingCountAndSorted) {
+  const std::vector<Finding> f = run_all(load("badtree"));
+  EXPECT_EQ(f.size(), 25u);
+  EXPECT_TRUE(std::is_sorted(f.begin(), f.end(), [](const Finding& a,
+                                                    const Finding& b) {
+    return std::tie(a.pass, a.file, a.line, a.check, a.token) <
+           std::tie(b.pass, b.file, b.line, b.check, b.token);
+  }));
+}
+
+TEST(LintBadTree, SinglePassSelection) {
+  const Tree tree = load("badtree");
+  std::string error;
+  const std::vector<Finding> f = run_passes(tree, {"shared-state"}, &error);
+  EXPECT_TRUE(error.empty()) << error;
+  EXPECT_EQ(f.size(), 3u);
+  for (const Finding& x : f) EXPECT_EQ(x.pass, "shared-state");
+}
+
+TEST(LintBadTree, UnknownPassReportsError) {
+  const Tree tree = load("badtree");
+  std::string error;
+  run_passes(tree, {"no-such-pass"}, &error);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(LintAllowlist, SuppressesMatchedFindingsOnly) {
+  std::istringstream in(
+      "# rationale\n"
+      "[shared-state]\n"
+      "sim/clock.cc:mutable-global:g_tick_count\n"
+      "[float-order]\n"
+      "sim/clock.cc:float-accum:*\n");
+  Allowlist allow;
+  std::string error;
+  ASSERT_TRUE(parse_allowlist(in, &allow, &error)) << error;
+  ASSERT_EQ(allow.entries.size(), 2u);
+
+  std::vector<Finding> f = run_all(load("badtree"));
+  apply_allowlist(allow, {"determinism", "shared-state", "layering",
+                          "float-order", "completeness"},
+                  "allow.txt", &f);
+  int allowlisted = 0;
+  for (const Finding& x : f)
+    if (x.allowlisted) ++allowlisted;
+  EXPECT_EQ(allowlisted, 2);  // the global + the float-accum, nothing else
+  // A shared-state entry never suppresses another pass's finding at the
+  // same location/token.
+  for (const Finding& x : f) {
+    if (x.check == "static-local") {
+      EXPECT_FALSE(x.allowlisted);
+    }
+  }
+  // No stale entries: every entry matched.
+  for (const Finding& x : f) EXPECT_NE(x.check, "stale-allowlist");
+}
+
+TEST(LintAllowlist, StaleEntryIsReported) {
+  std::istringstream in(
+      "[determinism]\n"
+      "sim/gone.cc:wall-clock:time\n");
+  Allowlist allow;
+  std::string error;
+  ASSERT_TRUE(parse_allowlist(in, &allow, &error)) << error;
+
+  std::vector<Finding> f = run_all(load("badtree"));
+  const std::size_t before = f.size();
+  apply_allowlist(allow, {"determinism"}, "allow.txt", &f);
+  ASSERT_EQ(f.size(), before + 1);
+  const auto it =
+      std::find_if(f.begin(), f.end(),
+                   [](const Finding& x) { return x.check == "stale-allowlist"; });
+  ASSERT_NE(it, f.end());
+  EXPECT_EQ(it->pass, "determinism");
+  EXPECT_EQ(it->file, "allow.txt");
+  EXPECT_EQ(it->line, 2);
+  EXPECT_EQ(it->token, "sim/gone.cc:wall-clock:time");
+  EXPECT_FALSE(it->allowlisted);
+}
+
+TEST(LintAllowlist, StaleEntryIgnoredWhenItsPassDidNotRun) {
+  std::istringstream in(
+      "[determinism]\n"
+      "sim/gone.cc:wall-clock:time\n");
+  Allowlist allow;
+  std::string error;
+  ASSERT_TRUE(parse_allowlist(in, &allow, &error)) << error;
+  std::vector<Finding> f;
+  apply_allowlist(allow, {"layering"}, "allow.txt", &f);
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(LintAllowlist, EntryOutsideSectionIsAnError) {
+  std::istringstream in("sim/clock.cc:wall-clock:steady_clock\n");
+  Allowlist allow;
+  std::string error;
+  EXPECT_FALSE(parse_allowlist(in, &allow, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(LintAllowlist, MalformedEntryIsAnError) {
+  std::istringstream in(
+      "[determinism]\n"
+      "just-a-path-no-colons\n");
+  Allowlist allow;
+  std::string error;
+  EXPECT_FALSE(parse_allowlist(in, &allow, &error));
+}
+
+TEST(LintNdjson, RoundTripsEverything) {
+  LintRun run;
+  run.root = "src";
+  run.passes = {"determinism", "shared-state"};
+  run.findings.push_back(Finding{"determinism", "sim/clock.cc", 24,
+                                 "wall-clock", "steady_clock",
+                                 "detail with \"quotes\" and \\ backslash",
+                                 true});
+  run.findings.push_back(
+      Finding{"shared-state", "sim/sched.h", 23, "static-member",
+              "live_instances", "plain detail", false});
+  run.summary.files_scanned = 10;
+  run.summary.findings = 2;
+  run.summary.reported = 1;
+  run.summary.allowlisted = 1;
+  run.summary.stale = 0;
+
+  std::ostringstream out;
+  write_lint_ndjson(out, run);
+
+  std::istringstream in(out.str());
+  LintRun back;
+  std::string error;
+  ASSERT_TRUE(read_lint_ndjson(in, &back, &error)) << error;
+  EXPECT_EQ(back, run);
+
+  // Write -> read -> write is byte-stable.
+  std::ostringstream out2;
+  write_lint_ndjson(out2, back);
+  EXPECT_EQ(out.str(), out2.str());
+}
+
+TEST(LintNdjson, RejectsWrongSchema) {
+  std::istringstream in(
+      "{\"lint_schema\":\"ppsim-lint-v0\",\"root\":\"src\",\"passes\":[]}\n");
+  LintRun back;
+  std::string error;
+  EXPECT_FALSE(read_lint_ndjson(in, &back, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(LintNdjson, BaselineFileParses) {
+  // The committed audit baseline must always stay readable by the
+  // round-trip reader the lint_baseline ctest depends on.
+  std::ifstream in(std::string(PPSIM_LINT_BASELINE_FILE));
+  ASSERT_TRUE(in.good());
+  LintRun base;
+  std::string error;
+  ASSERT_TRUE(read_lint_ndjson(in, &base, &error)) << error;
+  EXPECT_EQ(base.root, "src");
+  EXPECT_EQ(base.passes.size(), 5u);
+  EXPECT_EQ(base.summary.reported, 0u)
+      << "committed baseline contains unallowlisted findings";
+  EXPECT_EQ(base.summary.findings, base.findings.size());
+}
+
+}  // namespace
+}  // namespace ppsim::lint

@@ -1,0 +1,196 @@
+// ppsim_lint — driver for the ppsim-audit pass framework.
+//
+//   ppsim_lint <source-root> [options]
+//     --pass <name>       run only this pass (repeatable; default: all)
+//     --allowlist <file>  sectioned allowlist (see allowlist.h)
+//     --docs <dir>        docs root for cross-checks (completeness pass)
+//     --ndjson <file>     write the ppsim-lint-v1 findings stream
+//     --baseline <file>   compare (pass,file,check,token) against a
+//                         committed ppsim-lint-v1 run; drift fails
+//     --list-passes       print the registry and exit
+//     --verbose           also print allowlisted findings
+//
+// Exit codes: 0 clean; 1 reported findings, stale allowlist entries, or
+// baseline drift; 2 usage / IO error. Each ctest (lint_<pass>) runs one
+// pass so a failure names the contract it broke.
+
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "lint/allowlist.h"
+#include "lint/lint.h"
+#include "lint/ndjson.h"
+
+namespace {
+
+using ppsim::lint::Finding;
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " <source-root> [--pass <name>]... [--allowlist <file>]\n"
+               "       [--docs <dir>] [--ndjson <file>] [--baseline <file>]\n"
+               "       [--list-passes] [--verbose]\n";
+  return 2;
+}
+
+/// Line-insensitive identity of a finding, for baseline comparison.
+using Key = std::tuple<std::string, std::string, std::string, std::string>;
+
+Key key_of(const Finding& f) { return {f.pass, f.file, f.check, f.token}; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root;
+  std::string docs_root;
+  std::string allowlist_path;
+  std::string ndjson_path;
+  std::string baseline_path;
+  std::vector<std::string> pass_names;
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "ppsim_lint: " << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--pass") {
+      pass_names.push_back(value("--pass"));
+    } else if (arg == "--allowlist") {
+      allowlist_path = value("--allowlist");
+    } else if (arg == "--docs") {
+      docs_root = value("--docs");
+    } else if (arg == "--ndjson") {
+      ndjson_path = value("--ndjson");
+    } else if (arg == "--baseline") {
+      baseline_path = value("--baseline");
+    } else if (arg == "--list-passes") {
+      for (const auto& p : ppsim::lint::passes())
+        std::cout << p.name << "  " << p.summary << "\n";
+      return 0;
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "ppsim_lint: unknown option " << arg << "\n";
+      return usage(argv[0]);
+    } else if (root.empty()) {
+      root = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (root.empty()) return usage(argv[0]);
+
+  std::string error;
+  ppsim::lint::Tree tree;
+  if (!ppsim::lint::load_tree(root, docs_root, &tree, &error)) {
+    std::cerr << "ppsim_lint: " << error << "\n";
+    return 2;
+  }
+
+  std::vector<Finding> findings =
+      ppsim::lint::run_passes(tree, pass_names, &error);
+  if (!error.empty()) {
+    std::cerr << "ppsim_lint: " << error << "\n";
+    return 2;
+  }
+  std::vector<std::string> ran;
+  if (pass_names.empty()) {
+    for (const auto& p : ppsim::lint::passes()) ran.push_back(p.name);
+  } else {
+    ran = pass_names;
+  }
+
+  if (!allowlist_path.empty()) {
+    ppsim::lint::Allowlist allow;
+    if (!ppsim::lint::load_allowlist(allowlist_path, &allow, &error)) {
+      std::cerr << "ppsim_lint: " << error << "\n";
+      return 2;
+    }
+    // Stale findings sort in with the rest below.
+    ppsim::lint::apply_allowlist(allow, ran, allowlist_path, &findings);
+  }
+
+  ppsim::lint::LintRun run;
+  run.root = root;
+  run.passes = ran;
+  run.findings = findings;
+  run.summary.files_scanned = tree.files.size();
+  run.summary.findings = findings.size();
+  for (const Finding& f : findings) {
+    if (f.allowlisted)
+      ++run.summary.allowlisted;
+    else
+      ++run.summary.reported;
+    if (f.check == "stale-allowlist") ++run.summary.stale;
+  }
+
+  if (!ndjson_path.empty()) {
+    std::ofstream out(ndjson_path);
+    if (!out) {
+      std::cerr << "ppsim_lint: cannot write " << ndjson_path << "\n";
+      return 2;
+    }
+    ppsim::lint::write_lint_ndjson(out, run);
+  }
+
+  // Human report: reported findings always; allowlisted under --verbose.
+  for (const Finding& f : findings) {
+    if (f.allowlisted && !verbose) continue;
+    std::cout << f.file << ":" << f.line << ": [" << f.pass << "/" << f.check
+              << "] " << f.token << (f.allowlisted ? "  (allowlisted)" : "")
+              << "\n    " << f.detail << "\n";
+  }
+
+  bool baseline_drift = false;
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::cerr << "ppsim_lint: cannot read baseline " << baseline_path
+                << "\n";
+      return 2;
+    }
+    ppsim::lint::LintRun base;
+    if (!ppsim::lint::read_lint_ndjson(in, &base, &error)) {
+      std::cerr << "ppsim_lint: baseline: " << error << "\n";
+      return 2;
+    }
+    std::set<Key> base_keys;
+    std::set<Key> run_keys;
+    for (const Finding& f : base.findings) base_keys.insert(key_of(f));
+    for (const Finding& f : findings) run_keys.insert(key_of(f));
+    for (const Key& k : run_keys) {
+      if (base_keys.contains(k)) continue;
+      baseline_drift = true;
+      std::cout << "baseline drift: NEW finding " << std::get<0>(k) << "/"
+                << std::get<2>(k) << " in " << std::get<1>(k) << " ("
+                << std::get<3>(k) << ")\n";
+    }
+    for (const Key& k : base_keys) {
+      if (run_keys.contains(k)) continue;
+      baseline_drift = true;
+      std::cout << "baseline drift: RESOLVED finding " << std::get<0>(k)
+                << "/" << std::get<2>(k) << " in " << std::get<1>(k) << " ("
+                << std::get<3>(k)
+                << ") — regenerate tools/lint/BASELINE_audit.json\n";
+    }
+  }
+
+  std::ostringstream pass_list;
+  for (std::size_t i = 0; i < ran.size(); ++i)
+    pass_list << (i ? "," : "") << ran[i];
+  std::cout << "ppsim_lint: " << run.summary.files_scanned << " files, passes="
+            << pass_list.str() << ": " << run.summary.reported << " reported, "
+            << run.summary.allowlisted << " allowlisted, " << run.summary.stale
+            << " stale\n";
+  if (run.summary.reported > 0 || baseline_drift) return 1;
+  return 0;
+}

@@ -1,0 +1,54 @@
+#pragma once
+
+// ppsim-lint-v1 — machine-readable findings stream, one JSON object per
+// line (the same NDJSON discipline as ppsim-bench-v1 / ppsim-spans-v1):
+//
+//   {"lint_schema":"ppsim-lint-v1","root":"src","passes":["determinism",...]}
+//   {"pass":"...","file":"...","line":12,"check":"...","token":"...",
+//    "detail":"...","allowlisted":false}
+//   ...
+//   {"files_scanned":92,"findings":3,"reported":0,"allowlisted":3,"stale":0}
+//
+// First line: header. Middle lines: one per finding (allowlisted ones
+// included — the committed BASELINE_audit.json tracks the full audit
+// trajectory, not just the failures). Last line: summary. The reader
+// round-trips everything the writer emits; tests/tools_lint_test.cc pins
+// the round-trip byte-exactly.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace ppsim::lint {
+
+inline constexpr std::string_view kLintSchema = "ppsim-lint-v1";
+
+struct LintSummary {
+  std::uint64_t files_scanned = 0;
+  std::uint64_t findings = 0;
+  std::uint64_t reported = 0;     // not allowlisted (these fail the build)
+  std::uint64_t allowlisted = 0;
+  std::uint64_t stale = 0;        // stale-allowlist findings (also reported)
+
+  friend bool operator==(const LintSummary&, const LintSummary&) = default;
+};
+
+struct LintRun {
+  std::string root;                 // scan root as given to the driver
+  std::vector<std::string> passes;  // passes that ran, in order
+  std::vector<Finding> findings;
+  LintSummary summary;
+
+  friend bool operator==(const LintRun&, const LintRun&) = default;
+};
+
+void write_lint_ndjson(std::ostream& os, const LintRun& run);
+
+/// Parses a ppsim-lint-v1 stream. Returns false and sets *error on a
+/// schema mismatch or malformed line.
+bool read_lint_ndjson(std::istream& is, LintRun* run, std::string* error);
+
+}  // namespace ppsim::lint

@@ -1,0 +1,351 @@
+// Pass `completeness` — cross-checks every per-message-type table against
+// the `Message` variant in proto/message.h, extending the in-file
+// static_assert counter audit (proto/counters.h) to checks no compiler
+// sees. A new message type must not be able to silently skip:
+//
+//   wire-size-visitor   SizeVisitor in proto/message.cc (wire_size)
+//   name-visitor        NameVisitor in proto/message.cc (message_name),
+//                       including the returned "TypeName" string literal
+//   trace-io-write      the per-type serializer in capture/trace_io.cc
+//   trace-io-parse      the per-type `type == "X"` parser branch there
+//   span-member         the trailing SpanContext member (uniform layout)
+//   span-doc            the span-propagation section of docs/PROTOCOL.md
+//   span-stamp          a `<msg>.span = SpanContext{...}` stamping site in
+//                       proto/*.cc for every type the doc table lists
+//   variant-membership  struct list == variant list, both directions
+//
+// Plus the transport drop-counter audit ("every packet lands in exactly
+// one bucket", PR 3): every `*_drops` field of net::Transport's Stats must
+// have an increment site in net/ and appear in the total-drops
+// reconciliation in core/experiment.cc.
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/passes.h"
+#include "lint/text.h"
+
+namespace ppsim::lint {
+
+namespace {
+
+constexpr std::string_view kPass = "completeness";
+
+const SourceFile* find_file(const Tree& tree, std::string_view rel) {
+  for (const SourceFile& f : tree.files)
+    if (f.rel == rel) return &f;
+  return nullptr;
+}
+
+struct StructDecl {
+  std::string name;
+  int line = 0;
+  std::string body;
+};
+
+std::vector<StructDecl> parse_structs(const std::string& stripped) {
+  std::vector<StructDecl> out;
+  std::size_t pos = 0;
+  while ((pos = stripped.find("struct", pos)) != std::string::npos) {
+    const std::size_t at = pos;
+    pos += 6;
+    if (!word_match(stripped, at, "struct")) continue;
+    std::size_t i = skip_ws(stripped, at + 6);
+    std::size_t end = i;
+    while (end < stripped.size() && is_ident_char(stripped[end])) ++end;
+    if (end == i) continue;
+    const std::string name = stripped.substr(i, end - i);
+    i = skip_ws(stripped, end);
+    if (i >= stripped.size() || stripped[i] != '{') continue;  // fwd decl
+    int depth = 0;
+    std::size_t close = i;
+    for (; close < stripped.size(); ++close) {
+      if (stripped[close] == '{') ++depth;
+      else if (stripped[close] == '}' && --depth == 0) break;
+    }
+    out.push_back(StructDecl{name, line_of(stripped, at),
+                             stripped.substr(i + 1, close - i - 1)});
+    pos = close;
+  }
+  return out;
+}
+
+/// Type names inside `using Message = std::variant<...>;`.
+std::vector<std::string> parse_variant(const std::string& stripped) {
+  std::vector<std::string> out;
+  const std::size_t at = stripped.find("using Message");
+  if (at == std::string::npos) return out;
+  const std::size_t open = stripped.find('<', at);
+  const std::size_t close = stripped.find(';', at);
+  if (open == std::string::npos || close == std::string::npos) return out;
+  std::size_t i = open;
+  while (i < close) {
+    if (!is_ident_char(stripped[i])) {
+      ++i;
+      continue;
+    }
+    std::size_t end = i;
+    while (end < close && is_ident_char(stripped[end])) ++end;
+    const std::string ident = stripped.substr(i, end - i);
+    // Skip the std::variant scaffolding and qualification.
+    if (ident != "std" && ident != "variant") out.push_back(ident);
+    i = end;
+  }
+  return out;
+}
+
+/// The "## Causal span propagation" section of PROTOCOL.md, or empty.
+std::string span_section(const Tree& tree) {
+  const auto it = tree.docs.find("PROTOCOL.md");
+  if (it == tree.docs.end()) return {};
+  const std::size_t at = it->second.find("## Causal span propagation");
+  if (at == std::string::npos) return {};
+  std::size_t end = it->second.find("\n## ", at);
+  if (end == std::string::npos) end = it->second.size();
+  return it->second.substr(at, end - at);
+}
+
+int span_section_line(const Tree& tree) {
+  const auto it = tree.docs.find("PROTOCOL.md");
+  if (it == tree.docs.end()) return 0;
+  const std::size_t at = it->second.find("## Causal span propagation");
+  return at == std::string::npos ? 0 : line_of(it->second, at);
+}
+
+/// First backticked name of each `| `X` | ... |` table row in `section`.
+std::set<std::string> table_entries(const std::string& section) {
+  std::set<std::string> out;
+  std::size_t pos = 0;
+  while ((pos = section.find("\n| `", pos)) != std::string::npos) {
+    const std::size_t begin = pos + 4;
+    const std::size_t close = section.find('`', begin);
+    if (close == std::string::npos) break;
+    out.insert(section.substr(begin, close - begin));
+    pos = close;
+  }
+  return out;
+}
+
+void add(std::vector<Finding>* findings, std::string file, int line,
+         std::string check, std::string token, std::string detail) {
+  findings->push_back(Finding{std::string(kPass), std::move(file), line,
+                              std::move(check), std::move(token),
+                              std::move(detail)});
+}
+
+int line_or_1(const std::string& text, std::size_t pos) {
+  return pos == std::string::npos ? 1 : line_of(text, pos);
+}
+
+void check_message_tables(const Tree& tree, std::vector<Finding>* findings) {
+  const SourceFile* msg_h = find_file(tree, "proto/message.h");
+  if (msg_h == nullptr) return;  // tree without a protocol layer (fixtures)
+  if (msg_h->stripped.find("using Message") == std::string::npos)
+    return;  // no variant to audit against
+  const std::vector<StructDecl> structs = parse_structs(msg_h->stripped);
+  const std::vector<std::string> variant = parse_variant(msg_h->stripped);
+  const int variant_line =
+      line_of(msg_h->stripped, msg_h->stripped.find("using Message"));
+  std::map<std::string, const StructDecl*> by_name;
+  for (const StructDecl& s : structs) by_name[s.name] = &s;
+  const std::set<std::string> in_variant(variant.begin(), variant.end());
+
+  // variant-membership, both directions; span-member for every member.
+  for (const StructDecl& s : structs) {
+    if (!contains_word(s.body, "SpanContext")) continue;  // not a message
+    if (!in_variant.contains(s.name))
+      add(findings, msg_h->rel, s.line, "variant-membership", s.name,
+          "message struct (has a SpanContext member) missing from the "
+          "Message variant");
+  }
+  for (const std::string& name : variant) {
+    const auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      add(findings, msg_h->rel, variant_line, "variant-membership", name,
+          "Message variant names a type not declared as a struct in "
+          "proto/message.h");
+      continue;
+    }
+    if (!contains_word(it->second->body, "SpanContext"))
+      add(findings, msg_h->rel, it->second->line, "span-member", name,
+          "message struct lacks the trailing `SpanContext span{};` member "
+          "every wire message carries (docs/PROTOCOL.md)");
+  }
+
+  // Visitor tables in proto/message.cc.
+  if (const SourceFile* msg_cc = find_file(tree, "proto/message.cc")) {
+    const std::string flat = collapse_ws(msg_cc->stripped);
+    const std::string flat_raw = collapse_ws(msg_cc->raw);
+    const std::size_t size_at = flat.find("struct SizeVisitor");
+    const std::size_t name_at = flat.find("struct NameVisitor");
+    const int size_line =
+        line_or_1(msg_cc->stripped, msg_cc->stripped.find("SizeVisitor"));
+    const int name_line =
+        line_or_1(msg_cc->stripped, msg_cc->stripped.find("NameVisitor"));
+    for (const std::string& name : variant) {
+      const std::string pat = "(const " + name + "&";
+      const std::size_t in_size = flat.find(pat);
+      if (size_at == std::string::npos || in_size == std::string::npos ||
+          (name_at != std::string::npos && in_size > name_at))
+        add(findings, msg_cc->rel, size_line, "wire-size-visitor", name,
+            "message type has no operator() in SizeVisitor — wire_size() "
+            "would not compile-break, it would std::visit the wrong "
+            "overload set; add the per-type size");
+      if (name_at == std::string::npos ||
+          flat.find(pat, name_at) == std::string::npos)
+        add(findings, msg_cc->rel, name_line, "name-visitor", name,
+            "message type has no operator() in NameVisitor; traces and "
+            "capture files would have no name for it");
+      else if (flat_raw.find("\"" + name + "\"") == std::string::npos)
+        add(findings, msg_cc->rel, name_line, "name-visitor", name,
+            "NameVisitor never returns the literal \"" + name +
+                "\"; capture round-trips key on that exact string");
+    }
+  }
+
+  // Per-type serializer + parser in capture/trace_io.cc.
+  if (const SourceFile* tio = find_file(tree, "capture/trace_io.cc")) {
+    const std::string flat = collapse_ws(tio->stripped);
+    const std::string flat_raw = collapse_ws(tio->raw);
+    for (const std::string& name : variant) {
+      if (flat.find("(const proto::" + name + "&") == std::string::npos &&
+          flat.find("(const " + name + "&") == std::string::npos)
+        add(findings, tio->rel, 1, "trace-io-write", name,
+            "capture/trace_io.cc has no payload serializer for this "
+            "message type; captured traces would drop it");
+      if (flat_raw.find("type == \"" + name + "\"") == std::string::npos)
+        add(findings, tio->rel, 1, "trace-io-parse", name,
+            "capture/trace_io.cc has no parser branch (type == \"" + name +
+                "\") for this message type; captured traces would not "
+                "round-trip");
+    }
+  }
+
+  // Span documentation + stamping sites.
+  const std::string section = span_section(tree);
+  if (!section.empty()) {
+    const int doc_line = span_section_line(tree);
+    for (const std::string& name : variant) {
+      if (section.find("`" + name + "`") == std::string::npos)
+        add(findings, "docs/PROTOCOL.md", doc_line, "span-doc", name,
+            "message type missing from the span-propagation section: list "
+            "it in the parentage table or the explicit not-stamped note");
+    }
+    const std::set<std::string> stamped_per_doc = table_entries(section);
+    // Stamping evidence: `X ident ...; ... ident.span =` in one proto/*.cc.
+    std::set<std::string> stamped;          // any binding
+    std::set<std::string> stamped_unique;   // ident bound to exactly one type
+    for (const SourceFile& f : tree.files) {
+      if (f.module != "proto" || !f.rel.ends_with(".cc")) continue;
+      std::map<std::string, std::set<std::string>> ident_types;
+      for (const std::string& name : in_variant) {
+        std::size_t pos = 0;
+        while ((pos = f.stripped.find(name, pos)) != std::string::npos) {
+          const std::size_t at = pos;
+          pos += name.size();
+          if (!word_match(f.stripped, at, name)) continue;
+          std::size_t i = skip_ws(f.stripped, at + name.size());
+          std::size_t end = i;
+          while (end < f.stripped.size() && is_ident_char(f.stripped[end]))
+            ++end;
+          if (end == i) continue;
+          const std::size_t after = skip_ws(f.stripped, end);
+          if (after < f.stripped.size() &&
+              (f.stripped[after] == ';' || f.stripped[after] == '{' ||
+               f.stripped[after] == '='))
+            ident_types[f.stripped.substr(i, end - i)].insert(name);
+        }
+      }
+      for (const auto& [ident, types] : ident_types) {
+        if (f.stripped.find(ident + ".span") == std::string::npos &&
+            collapse_ws(f.stripped).find(ident + ".span") ==
+                std::string::npos)
+          continue;
+        for (const std::string& t : types) {
+          stamped.insert(t);
+          if (types.size() == 1) stamped_unique.insert(t);
+        }
+      }
+    }
+    for (const std::string& name : stamped_per_doc) {
+      if (!in_variant.contains(name)) continue;  // doc rows for non-messages
+      if (!stamped.contains(name))
+        add(findings, msg_h->rel, by_name.contains(name) ? by_name.at(name)->line : 1,
+            "span-stamp", name,
+            "the span-propagation table says this message is stamped, but "
+            "no `<var>.span = ...` site exists in proto/*.cc; stamp it or "
+            "move it to the not-stamped note");
+    }
+    for (const std::string& name : stamped_unique) {
+      if (!stamped_per_doc.contains(name))
+        add(findings, "docs/PROTOCOL.md", doc_line, "span-doc", name,
+            "message is span-stamped in proto/*.cc but missing from the "
+            "span-propagation table; document its parent");
+    }
+  }
+}
+
+void check_drop_counters(const Tree& tree, std::vector<Finding>* findings) {
+  const SourceFile* th = find_file(tree, "net/transport.h");
+  if (th == nullptr) return;
+  std::vector<std::pair<std::string, int>> drop_fields;
+  for (const StructDecl& s : parse_structs(th->stripped)) {
+    if (s.name != "Stats") continue;
+    std::size_t pos = 0;
+    while (true) {
+      pos = s.body.find("_drops", pos);
+      if (pos == std::string::npos) break;
+      std::size_t begin = pos;
+      while (begin > 0 && is_ident_char(s.body[begin - 1])) --begin;
+      const std::size_t end = pos + 6;
+      if (end < s.body.size() && is_ident_char(s.body[end])) {
+        pos = end;
+        continue;
+      }
+      const std::string field = s.body.substr(begin, end - begin);
+      // Only declarations count (`std::uint64_t x_drops = 0;`); member
+      // accesses (`x.uplink_drops`, `p->core_drops`) inside body methods
+      // are uses, not buckets.
+      if (begin == 0 ||
+          (s.body[begin - 1] != '.' && s.body[begin - 1] != '>'))
+        drop_fields.push_back({field, s.line});
+      pos = end;
+    }
+  }
+  // Dedupe while keeping declaration order.
+  std::set<std::string> seen;
+  for (const auto& [field, line] : drop_fields) {
+    if (!seen.insert(field).second) continue;
+    bool incremented = false;
+    for (const SourceFile& f : tree.files) {
+      if (f.module != "net") continue;
+      if (collapse_ws(f.stripped).find("++stats_." + field) !=
+          std::string::npos) {
+        incremented = true;
+        break;
+      }
+    }
+    if (!incremented)
+      add(findings, th->rel, line, "drop-counter", field,
+          "drop counter declared in Transport::Stats but never "
+          "incremented in net/ — a drop bucket no packet can land in");
+    const SourceFile* exp = find_file(tree, "core/experiment.cc");
+    if (exp != nullptr && !contains_word(exp->stripped, field))
+      add(findings, "core/experiment.cc", 1, "drop-counter", field,
+          "drop counter missing from the total-drops reconciliation in "
+          "core/experiment.cc — packets landing in this bucket would "
+          "escape the every-packet-lands-in-one-bucket audit");
+  }
+}
+
+}  // namespace
+
+void pass_completeness(const Tree& tree, std::vector<Finding>* findings) {
+  check_message_tables(tree, findings);
+  check_drop_counters(tree, findings);
+}
+
+}  // namespace ppsim::lint

@@ -1,0 +1,41 @@
+#pragma once
+
+// Forward declarations of the registered passes. To add a pass: write
+// pass_<name>.cc exposing one of these functions, declare it here, append
+// a PassInfo row to the registry in lint.cc, add the ctest in
+// tools/lint/CMakeLists.txt, and document it in docs/TOOLING.md. The
+// fixture self-tests (tests/tools_lint_test.cc) should grow a known-bad
+// fixture for every check the pass can emit.
+
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace ppsim::lint {
+
+/// wall-clock / unordered-iter / pointer-key: the original determinism
+/// hazards — ambient entropy, hash-order iteration feeding the scheduler,
+/// pointer-keyed ordered containers.
+void pass_determinism(const Tree& tree, std::vector<Finding>* findings);
+
+/// mutable-global / static-local / static-member: inventory of every piece
+/// of static mutable state. Must be empty (or rationale-allowlisted): this
+/// is the precondition for ISP-sharded parallel execution.
+void pass_shared_state(const Tree& tree, std::vector<Finding>* findings);
+
+/// illegal-include / unknown-module / layer-cycle: enforces the declared
+/// module DAG over the #include graph.
+void pass_layering(const Tree& tree, std::vector<Finding>* findings);
+
+/// float-accum: floating-point accumulation inside iteration loops in the
+/// scheduler/protocol/network hot paths — results change under the
+/// reordering that parallel reduction will introduce.
+void pass_float_order(const Tree& tree, std::vector<Finding>* findings);
+
+/// variant-membership / span-member / wire-size-visitor / name-visitor /
+/// trace-io-write / trace-io-parse / span-doc / span-stamp / drop-counter:
+/// cross-checks the proto/message.h variant against every per-message-type
+/// table so a new message type cannot silently skip one.
+void pass_completeness(const Tree& tree, std::vector<Finding>* findings);
+
+}  // namespace ppsim::lint

@@ -1,0 +1,60 @@
+#pragma once
+
+// Shared lexing layer for the lint passes: comment/string stripping, word
+// matching, and a lightweight scope classifier. Everything operates on
+// plain std::string so passes stay allocation-cheap and dependency-free.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ppsim::lint {
+
+/// Replaces comments and string/char literals with spaces, preserving line
+/// structure so reported line numbers stay exact.
+std::string strip_comments_and_strings(const std::string& in);
+
+/// Blanks preprocessor directive lines (leading-whitespace `#...`,
+/// including continuation lines) with spaces. Run on already-stripped text
+/// by the declaration-oriented passes so `#include`/`#pragma` never parse
+/// as declarations. Layering reads raw text instead.
+std::string blank_preprocessor_lines(const std::string& in);
+
+/// 1-based line number of byte position `pos` in `text`.
+int line_of(const std::string& text, std::size_t pos);
+
+bool is_ident_char(char c);
+
+/// True when text[pos..pos+needle) sits on identifier boundaries (so
+/// `rand` does not match inside `grand` or `randomize`).
+bool word_match(const std::string& text, std::size_t pos,
+                std::string_view needle);
+
+/// True when `text` contains `word` on identifier boundaries.
+bool contains_word(const std::string& text, std::string_view word);
+
+std::size_t skip_ws(const std::string& s, std::size_t i);
+
+/// Parses a balanced template argument list starting at the '<' at `pos`;
+/// returns the position one past the matching '>'. npos on imbalance.
+std::size_t match_angle(const std::string& s, std::size_t pos);
+
+/// What kind of scope a byte position lives in. File scope counts as
+/// kNamespace (declarations there are globals all the same). Braced
+/// initializers inherit the enclosing scope kind.
+enum class ScopeKind { kNamespace, kClass, kFunction };
+
+/// Classifies every byte of `stripped` (comments/strings already blanked)
+/// by its innermost scope. Heuristic, not a parser: a brace whose head
+/// contains `namespace` opens namespace scope; `class`/`struct`/`union`/
+/// `enum` (outside parentheses) opens class scope; a head ending in `=`,
+/// `(`, `,`, or `return` is a braced initializer (inherits); anything else
+/// — function bodies, control blocks, lambdas — is function scope.
+std::vector<ScopeKind> scope_map(const std::string& stripped);
+
+/// Collapses every whitespace run in `in` to a single space. Used by
+/// cross-file completeness checks so multi-line declarations match.
+std::string collapse_ws(const std::string& in);
+
+}  // namespace ppsim::lint
