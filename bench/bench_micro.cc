@@ -26,6 +26,7 @@
 #include "obs/bench_json.h"
 #include "obs/dispatch_stats.h"
 #include "obs/health.h"
+#include "obs/resource_probe.h"
 #include "obs/span_tracker.h"
 #include "sim/observer.h"
 #include "sim/rng.h"
@@ -205,6 +206,49 @@ void BM_SimulatorScheduleRunIdleSpanTracker(benchmark::State& state) {
       [&](sim::Simulator& s) { arm(s, replay_tracker); });
 }
 BENCHMARK(BM_SimulatorScheduleRunIdleSpanTracker)->Arg(100000);
+
+// The tagged workload with a ResourceProbe sampling on the standard
+// "obs.sample" cadence: the steady state of a scale-observatory run. Each
+// tick reads /proc/self/status once and folds the scheduler gauges, so the
+// whole cost is one small file read per simulated sample period — never
+// per event. CI's bench guard compares this against
+// BM_SimulatorScheduleRunCategorized — the two must stay within noise.
+void BM_SimulatorScheduleRunIdleResourceProbe(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto horizon = sim::Time::micros(100000);
+  auto arm = [&](sim::Simulator& simulator, obs::ResourceProbe& probe) {
+    schedule_spread(simulator, n, "bench.cat");
+    sim::schedule_periodic(
+        simulator, sim::Time::micros(10000),
+        [&simulator, &probe, horizon] {
+          if (simulator.now() >= horizon) return false;
+          obs::ResourceProbe::Inputs input;
+          input.now = simulator.now();
+          input.queue_depth = simulator.pending_events();
+          input.event_horizon = sim::Time::micros(10000);
+          input.events_executed = simulator.events_executed();
+          input.queue_bytes = simulator.pending_events() * 64;
+          input.live_peers = 100;
+          input.live_peer_bytes = 1 << 20;
+          probe.sample(input);
+          return true;
+        },
+        "obs.sample");
+  };
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    obs::ResourceProbe probe;
+    arm(simulator, probe);
+    benchmark::DoNotOptimize(simulator.run());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  // The probe must outlive replay_peak_queue_depth's run() call — the
+  // periodic tick holds a reference to it.
+  obs::ResourceProbe replay_probe;
+  state.counters["peak_queue_depth"] = replay_peak_queue_depth(
+      [&](sim::Simulator& s) { arm(s, replay_probe); });
+}
+BENCHMARK(BM_SimulatorScheduleRunIdleResourceProbe)->Arg(100000);
 
 // Transport send+deliver throughput with no impairment overlay installed:
 // the baseline every fault-free experiment runs at.

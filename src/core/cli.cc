@@ -73,6 +73,15 @@ std::string cli_usage() {
       "                                NDJSON (Figure-6-style time series)\n"
       "  --sample-period SEC           snapshot cadence in sim-seconds\n"
       "                                (default 10; needs --samples-out)\n"
+      "  --sample-window SEC           stream samples to --samples-out in\n"
+      "                                sim-time windows of SEC seconds\n"
+      "                                (bounded obs memory; the file is\n"
+      "                                byte-identical to the end-of-run\n"
+      "                                dump)\n"
+      "  --progress[=SEC]              stderr heartbeat every SEC\n"
+      "                                sim-seconds (default 30): sim/wall\n"
+      "                                time, events/s, peers alive, RSS,\n"
+      "                                ETA; arms the resource probe\n"
       "  --profile                     print a per-event-category wall-clock\n"
       "                                profile after the run\n"
       "  --fault-plan FILE             arm a fault-injection plan\n"
@@ -215,6 +224,23 @@ CliParseResult parse_cli(int argc, const char* const* argv) {
         out.error = "sample period must be positive";
         return out;
       }
+    } else if (arg == "--sample-window") {
+      auto v = need_value(i, "--sample-window");
+      if (!v) return out;
+      o.sample_window_s = std::atoi(v->c_str());
+      if (o.sample_window_s <= 0) {
+        out.error = "sample window must be positive";
+        return out;
+      }
+    } else if (arg == "--progress") {
+      o.progress = true;
+    } else if (arg.rfind("--progress=", 0) == 0) {
+      o.progress = true;
+      o.progress_period_s = std::atoi(arg.c_str() + 11);
+      if (o.progress_period_s <= 0) {
+        out.error = "progress period must be positive";
+        return out;
+      }
     } else if (arg == "--profile") {
       o.profile = true;
     } else if (arg == "--fault-plan") {
@@ -251,6 +277,10 @@ CliParseResult parse_cli(int argc, const char* const* argv) {
   }
   if (o.sample_period_s > 0 && o.samples_out.empty()) {
     out.error = "--sample-period requires --samples-out";
+    return out;
+  }
+  if (o.sample_window_s > 0 && o.samples_out.empty()) {
+    out.error = "--sample-window requires --samples-out";
     return out;
   }
   if (o.trace_sim_events && o.trace_out.empty()) {
@@ -364,10 +394,23 @@ int run_cli(const CliOptions& options, std::ostream& out) {
   if (!options.metrics_out.empty()) ob.metrics = &metrics;
   if (trace_sink.has_value()) ob.trace = &*trace_sink;
   ob.trace_sim_events = options.trace_sim_events;
-  if (options.profile || !options.bench_json.empty()) ob.profiler = &profiler;
+  if (options.profile || !options.bench_json.empty() || options.progress)
+    ob.profiler = &profiler;
   if (!options.samples_out.empty())
     ob.sample_period = sim::Time::seconds(
         options.sample_period_s > 0 ? options.sample_period_s : 10);
+  // Windowed streaming: the samples file must be open for the whole run so
+  // each window can flush into it; the end-of-run write path is skipped.
+  std::ofstream samples_file;
+  if (options.sample_window_s > 0) {
+    samples_file.open(options.samples_out);
+    if (!samples_file) {
+      std::cerr << "error: could not write " << options.samples_out << "\n";
+      return 1;
+    }
+    ob.sample_window = sim::Time::seconds(options.sample_window_s);
+    ob.samples_stream = &samples_file;
+  }
   if (!options.health_rules.empty()) {
     // Watchdogs make the registry meaningful even without --metrics-out
     // (trip counters, dispatch telemetry, the post-mortem snapshot).
@@ -404,6 +447,25 @@ int run_cli(const CliOptions& options, std::ostream& out) {
     ob.trace = &*recorder;
     ob.recorder = &*recorder;
     ob.metrics = &metrics;
+  }
+  // Scale observatory: --progress arms the heartbeat and the resource
+  // probe. The probe's gauges land in the registry only when metrics are
+  // armed too (note: the RSS / wall-throughput gauges are host-dependent,
+  // so a --metrics-out dump from a --progress run is no longer comparable
+  // across machines — docs/OBSERVABILITY.md, "Scale observatory").
+  obs::ResourceProbe resource_probe;
+  std::optional<obs::ProgressMeter> progress_meter;
+  if (options.progress) {
+    resource_probe.bind_metrics(ob.metrics);
+    ob.resource = &resource_probe;
+    obs::ProgressMeter::Options meter_options;
+    meter_options.out = &std::cerr;
+    meter_options.profiler = &profiler;
+    meter_options.total = built.config.scenario.duration;
+    progress_meter.emplace(meter_options);
+    ob.progress = &*progress_meter;
+    if (options.progress_period_s > 0)
+      ob.progress_period = sim::Time::seconds(options.progress_period_s);
   }
 
   ExperimentResult result = run_experiment(built.config);
@@ -504,7 +566,12 @@ int run_cli(const CliOptions& options, std::ostream& out) {
     out << "trace written: " << options.trace_out << " ("
         << trace_sink->events_written() << " events)\n";
   }
-  if (!options.samples_out.empty()) {
+  if (options.sample_window_s > 0) {
+    samples_file.close();
+    out << "samples streamed: " << options.samples_out << " ("
+        << result.samples_flushed << " samples, "
+        << options.sample_window_s << "s windows)\n";
+  } else if (!options.samples_out.empty()) {
     std::ofstream f(options.samples_out);
     if (!f) {
       std::cerr << "error: could not write " << options.samples_out << "\n";

@@ -191,6 +191,7 @@ class Runner : public faults::FaultHost {
   // under fresh handles, so run() flips this after run_until and any
   // still-pending tick unschedules itself instead of firing work.
   bool sampling_active_ = false;
+  bool progress_active_ = false;
 };
 
 void Runner::build_infrastructure() {
@@ -340,6 +341,24 @@ void Runner::collect_sample() {
     }
     input.queue_depth = simulator_.pending_events();
     health_->evaluate(input);
+  }
+  if (obs::ResourceProbe* probe = config_.observability.resource) {
+    // Live-byte accounting only runs with a probe attached, so the plain
+    // sampling path keeps its cost unchanged.
+    std::uint64_t live_bytes = 0;
+    for (const auto& peer : peers_)
+      if (peer->alive()) live_bytes += peer->approx_live_bytes();
+    obs::ResourceProbe::Inputs in;
+    in.now = simulator_.now();
+    in.queue_depth = simulator_.pending_events();
+    in.event_horizon = simulator_.latest_scheduled() - simulator_.now();
+    in.events_executed = simulator_.events_executed();
+    in.queue_bytes = simulator_.approx_queue_bytes();
+    in.live_peers = alive;
+    in.live_peer_bytes = live_bytes;
+    if (const obs::RunProfiler* prof = config_.observability.profiler)
+      in.wall_seconds = prof->wall_seconds_total();
+    probe->sample(in);
   }
 }
 
@@ -578,14 +597,29 @@ ExperimentResult Runner::run() {
     simulator_.add_observer(dispatch_stats.get());
   }
 
-  // Watchdogs and the flight recorder ride the sampling tick; give them a
-  // default cadence when the caller enabled either without choosing one.
+  // Watchdogs, the flight recorder, and the resource probe all ride the
+  // sampling tick; give them a default cadence when the caller enabled any
+  // of them without choosing one.
   const bool wants_health = config_.observability.health_rules != nullptr &&
                             !config_.observability.health_rules->empty();
   sim::Time sample_period = config_.observability.sample_period;
-  if ((wants_health || config_.observability.recorder != nullptr) &&
+  if ((wants_health || config_.observability.recorder != nullptr ||
+       config_.observability.resource != nullptr ||
+       config_.observability.sample_window > sim::Time::zero()) &&
       sample_period <= sim::Time::zero())
     sample_period = sim::Time::seconds(10);
+
+  // Windowed streaming mode: flush each window of samples to the caller's
+  // stream as sim time crosses its boundary, retaining only a bounded tail.
+  if (config_.observability.sample_window > sim::Time::zero()) {
+    assert(config_.observability.samples_stream != nullptr &&
+           "sample_window requires samples_stream");
+    obs::TrafficSampler::WindowOptions window_options;
+    window_options.window = config_.observability.sample_window;
+    window_options.out = config_.observability.samples_stream;
+    window_options.retain = config_.observability.sample_retain;
+    sampler_.enable_windowing(window_options);
+  }
   if (wants_health) {
     obs::HealthMonitor::Options health_options;
     health_options.trace = trace_dest_;
@@ -611,8 +645,35 @@ ExperimentResult Runner::run() {
         "obs.sample");
   }
 
+  // The heartbeat is its own chain so its cadence is independent of the
+  // sampling one; like the sampler tick it reads but never mutates, so
+  // arming it cannot change the simulated trajectory.
+  if (obs::ProgressMeter* meter = config_.observability.progress) {
+    sim::Time progress_period = config_.observability.progress_period;
+    if (progress_period <= sim::Time::zero())
+      progress_period = sim::Time::seconds(30);
+    progress_active_ = true;
+    sim::schedule_periodic(
+        simulator_, progress_period,
+        [this, meter] {
+          if (!progress_active_) return false;
+          obs::ProgressMeter::State state;
+          state.now = simulator_.now();
+          state.events_executed = simulator_.events_executed();
+          for (const auto& peer : peers_)
+            if (peer->alive()) ++state.peers_alive;
+          state.queue_depth = simulator_.pending_events();
+          state.rss_bytes = obs::ResourceProbe::current_rss_bytes();
+          meter->tick(state);
+          return true;
+        },
+        "obs.progress");
+  }
+
   simulator_.run_until(config_.duration);
   sampling_active_ = false;
+  progress_active_ = false;
+  sampler_.flush();  // windowed mode: write out the still-open window
 
   if (config_.observability.profiler != nullptr)
     simulator_.remove_observer(config_.observability.profiler);
@@ -624,7 +685,9 @@ ExperimentResult Runner::run() {
 
   ExperimentResult result;
   result.traffic = traffic_;
-  result.samples = sampler_.samples();
+  result.samples =
+      sampler_.windowed() ? sampler_.tail_samples() : sampler_.samples();
+  result.samples_flushed = sampler_.samples_flushed();
 
   for (const auto& probe : probes_) {
     ProbeResult pr;

@@ -14,6 +14,8 @@
 #include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
+#include "obs/progress.h"
+#include "obs/resource_probe.h"
 #include "obs/sampler.h"
 #include "obs/span_tracker.h"
 #include "obs/trace.h"
@@ -71,6 +73,25 @@ struct ObservabilityConfig {
   /// sinks observe the identical event sequence. Its lineage /
   /// referral-share / critical-path summaries land on ExperimentResult.
   obs::SpanTracker* spans = nullptr;
+  /// Scale observatory (docs/OBSERVABILITY.md "Scale observatory").
+  /// When sample_window is positive the sampler runs in its windowed
+  /// streaming mode: each time sim time crosses a window boundary the
+  /// window's samples are flushed to `samples_stream` (which must be set)
+  /// and only the last `sample_retain` samples stay in memory, so
+  /// ExperimentResult::samples holds the bounded tail instead of the whole
+  /// series. The flushed stream is byte-identical to the end-of-run dump an
+  /// unwindowed run would have written.
+  sim::Time sample_window = sim::Time::zero();
+  std::ostream* samples_stream = nullptr;
+  std::size_t sample_retain = 16;
+  /// Host-resource / scheduler telemetry, sampled on the sampling tick
+  /// (requires sample_period, or it defaults to 10s like the watchdogs).
+  /// Wall-clock inputs are read from `profiler` when one is attached.
+  obs::ResourceProbe* resource = nullptr;
+  /// Live stderr heartbeat, emitted every progress_period of sim time
+  /// (defaulted to 30s when a meter is attached without a period).
+  obs::ProgressMeter* progress = nullptr;
+  sim::Time progress_period = sim::Time::zero();
 };
 
 /// Declarative fault schedule for a run (src/faults, docs/FAULTS.md).
@@ -220,8 +241,12 @@ struct ExperimentResult {
   proto::PeerCounters counter_totals;
   std::array<proto::PeerCounters, net::kNumIspCategories> counters_by_isp{};
   /// Periodic swarm snapshots; empty unless observability.sample_period
-  /// was set (the Figure-6-style time-series source).
+  /// was set (the Figure-6-style time-series source). In windowed mode
+  /// (observability.sample_window) this is only the bounded in-memory tail;
+  /// the full series lives in the flushed samples_stream.
   std::vector<obs::TrafficSample> samples;
+  /// Samples flushed to observability.samples_stream (windowed mode only).
+  std::uint64_t samples_flushed = 0;
   /// Fault-driver summary; all zero when no fault plan was configured.
   std::uint64_t fault_windows_applied = 0;
   std::uint64_t fault_windows_reverted = 0;

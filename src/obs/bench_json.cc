@@ -22,7 +22,13 @@ void write_bench_json(std::ostream& os, std::vector<BenchEntry> entries) {
     write_json_string(os, e.name);
     os << ",\"iterations\":" << e.iterations << ",\"ns_per_op\":";
     write_json_double(os, e.ns_per_op);
-    os << ",\"peak_queue_depth\":" << e.peak_queue_depth << "}\n";
+    os << ",\"peak_queue_depth\":" << e.peak_queue_depth;
+    if (e.rss_peak_bytes > 0) os << ",\"rss_peak_bytes\":" << e.rss_peak_bytes;
+    if (e.wall_s > 0) {
+      os << ",\"wall_s\":";
+      write_json_double(os, e.wall_s);
+    }
+    os << "}\n";
   }
 }
 
@@ -74,6 +80,10 @@ std::vector<BenchEntry> read_bench_json(std::istream& is,
     e.iterations = static_cast<std::uint64_t>(iters);
     e.ns_per_op = ns;
     e.peak_queue_depth = static_cast<std::uint64_t>(depth);
+    double rss = 0, wall = 0;  // optional macro-bench fields
+    if (find_number(line, "rss_peak_bytes", &rss))
+      e.rss_peak_bytes = static_cast<std::uint64_t>(rss);
+    if (find_number(line, "wall_s", &wall)) e.wall_s = wall;
     out.push_back(std::move(e));
   }
   return out;

@@ -16,6 +16,11 @@ struct BenchEntry {
   /// Peak simulator queue depth for scheduler-shaped benches; 0 when the
   /// bench has no simulator underneath.
   std::uint64_t peak_queue_depth = 0;
+  /// Macro-bench resource telemetry (the BENCH_scale sweep). Written only
+  /// when nonzero so entries from micro-benches — and every pre-existing
+  /// BENCH file — keep their exact byte layout.
+  std::uint64_t rss_peak_bytes = 0;
+  double wall_s = 0;  // whole-run wall clock, not per-op
 };
 
 /// NDJSON: a header line {"bench_schema":"ppsim-bench-v1","benchmarks":N}

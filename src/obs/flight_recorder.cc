@@ -32,6 +32,7 @@ std::string sanitize(std::string_view reason) {
 FlightRecorder::FlightRecorder(Options options)
     : options_(std::move(options)) {
   if (options_.ring_capacity == 0) options_.ring_capacity = 1;
+  if (options_.max_dump_per_category == 0) options_.max_dump_per_category = 1;
 }
 
 void FlightRecorder::write(const TraceEvent& event) {
@@ -83,11 +84,27 @@ void FlightRecorder::dump(sim::Time now, std::string_view reason) {
 
   // Header, then three marked sections so the bundle self-describes for
   // ppsim-analyze --postmortem. Events replay in global arrival order by
-  // merging the per-name rings on their arrival index.
+  // merging the per-name rings on their arrival index. Each ring
+  // contributes at most max_dump_per_category (newest) events so a single
+  // bundle's size stays bounded even when rings are sized up for scale
+  // runs; capped rings are declared with explicit truncated marker rows
+  // rather than silently shrinking.
+  struct Truncation {
+    std::string_view name;
+    std::size_t kept;
+    std::size_t dropped;
+  };
   std::vector<const Buffered*> ordered;
   ordered.reserve(events_buffered_);
-  for (const auto& [ev_name, ring] : rings_)
-    for (const Buffered& b : ring) ordered.push_back(&b);
+  std::vector<Truncation> truncated;  // rings_ is a map: sorted by name
+  for (const auto& [ev_name, ring] : rings_) {
+    const std::size_t keep =
+        std::min(ring.size(), options_.max_dump_per_category);
+    if (keep < ring.size())
+      truncated.push_back(Truncation{ev_name, keep, ring.size() - keep});
+    for (std::size_t i = ring.size() - keep; i < ring.size(); ++i)
+      ordered.push_back(&ring[i]);
+  }
   std::sort(ordered.begin(), ordered.end(),
             [](const Buffered* a, const Buffered* b) {
               return a->order < b->order;
@@ -100,7 +117,20 @@ void FlightRecorder::dump(sim::Time now, std::string_view reason) {
   os << ",\"dump\":" << index << ",\"events\":" << ordered.size()
      << ",\"samples\":" << samples_.size() << "}\n";
 
-  os << "{\"section\":\"events\",\"count\":" << ordered.size() << "}\n";
+  os << "{\"section\":\"events\",\"count\":" << ordered.size();
+  // Only stamped when something was cut, so uncapped bundles keep their
+  // exact pre-existing byte layout.
+  if (!truncated.empty()) os << ",\"truncated\":" << truncated.size();
+  os << "}\n";
+  // Marker rows lead the section (deterministic name order) so a reader
+  // knows up front which categories are partial. They carry no "ev" key,
+  // and ppsim-analyze --postmortem recognizes the "truncated" key, so they
+  // never pollute the per-event tally.
+  for (const Truncation& t : truncated) {
+    os << "{\"truncated\":";
+    write_json_string(os, t.name);
+    os << ",\"kept\":" << t.kept << ",\"dropped\":" << t.dropped << "}\n";
+  }
   NdjsonTraceSink events_sink(os);
   for (const Buffered* b : ordered) events_sink.write(b->event);
 

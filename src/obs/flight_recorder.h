@@ -30,6 +30,12 @@ class FlightRecorder final : public TraceSink {
     std::size_t ring_capacity = 64;  // buffered events per event name
     std::size_t sample_window = 16;  // trailing TrafficSamples kept
     std::size_t max_dumps = 16;      // bundles per run, then triggers no-op
+    /// Cap on events *written per event name* in one bundle, bounding the
+    /// per-dump cost when rings are sized up for big runs. A ring holding
+    /// more contributes only its newest max_dump_per_category events, and
+    /// the bundle's events section carries one explicit
+    /// {"truncated":name,"kept":K,"dropped":D} marker row per capped ring.
+    std::size_t max_dump_per_category = 64;
     sim::Time min_dump_gap = sim::Time::seconds(30);  // sim-time debounce
     std::string dir;                 // bundle directory; empty = dumps off
     TraceSink* downstream = nullptr;  // forwarded every event; borrowed

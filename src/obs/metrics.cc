@@ -71,6 +71,15 @@ double Histogram::quantile(double q) const {
   return std::numeric_limits<double>::infinity();
 }
 
+void Histogram::merge(const Histogram& other) {
+  assert(upper_bounds_ == other.upper_bounds_ &&
+         "histogram merge requires identical bucket bounds");
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
 MetricsRegistry::Entry& MetricsRegistry::entry(std::string_view name,
                                                const Labels& labels,
                                                Kind kind) {
@@ -136,6 +145,23 @@ const Histogram* MetricsRegistry::find_histogram(std::string_view name,
   return e == nullptr ? nullptr : e->histogram.get();
 }
 
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const auto& [key, theirs] : other.entries_) {
+    switch (theirs.kind) {
+      case Kind::kCounter:
+        counter(theirs.name, theirs.labels).inc(theirs.counter->value());
+        break;
+      case Kind::kGauge:
+        gauge(theirs.name, theirs.labels).set(theirs.gauge->value());
+        break;
+      case Kind::kHistogram:
+        histogram(theirs.name, theirs.histogram->upper_bounds(), theirs.labels)
+            .merge(*theirs.histogram);
+        break;
+    }
+  }
+}
+
 void MetricsRegistry::write_ndjson(std::ostream& os) const {
   for (const auto& [key, e] : entries_) {
     os << "{\"metric\":";
@@ -188,6 +214,23 @@ void MetricsRegistry::write_ndjson(std::ostream& os) const {
     }
     os << "}\n";
   }
+}
+
+MetricsWindowRing::MetricsWindowRing(std::size_t capacity)
+    : capacity_(capacity), current_(std::make_unique<MetricsRegistry>()) {
+  assert(capacity_ > 0);
+}
+
+void MetricsWindowRing::rotate(std::string label) {
+  windows_.push_back({std::move(label), std::move(current_)});
+  if (windows_.size() > capacity_) windows_.erase(windows_.begin());
+  current_ = std::make_unique<MetricsRegistry>();
+  ++sealed_;
+}
+
+void MetricsWindowRing::merged(MetricsRegistry* out) const {
+  for (const auto& w : windows_) out->merge_from(*w.registry);
+  out->merge_from(*current_);
 }
 
 }  // namespace ppsim::obs

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "sim/time.h"
+
+namespace ppsim::obs {
+
+class RunProfiler;
+
+/// Live-progress heartbeat for long runs: one stderr line per period with
+/// sim time, wall time, event throughput, peers alive, RSS, and an ETA.
+///
+/// Wall-clock numbers come from a borrowed RunProfiler — the sanctioned
+/// steady_clock island — so the meter itself never reads a clock; with no
+/// profiler attached the wall/throughput/ETA columns render as "-". The
+/// meter only writes to its own stream: it cannot perturb the run, and a
+/// disarmed meter costs nothing (the runner doesn't even schedule the
+/// tick).
+///
+/// Line format (kept in sync with docs/OBSERVABILITY.md):
+///   [progress] t=120.0s/360s (33.3%) wall=4.1s events=804905 (195.2k/s)
+///   peers=121 queue=5417 rss=512.3MB eta=8.2s
+class ProgressMeter {
+ public:
+  struct Options {
+    std::ostream* out = nullptr;            // heartbeat destination (borrowed)
+    const RunProfiler* profiler = nullptr;  // wall-clock source (may be null)
+    sim::Time total = sim::Time::zero();    // planned run length (for %, ETA)
+  };
+
+  /// Snapshot the runner gathers on the progress tick.
+  struct State {
+    sim::Time now;
+    std::uint64_t events_executed = 0;
+    std::uint64_t peers_alive = 0;
+    std::size_t queue_depth = 0;
+    std::uint64_t rss_bytes = 0;
+  };
+
+  explicit ProgressMeter(const Options& options) : options_(options) {}
+
+  void tick(const State& state);
+
+  std::uint64_t lines_written() const { return lines_; }
+
+  /// The formatted heartbeat for one snapshot (no trailing newline);
+  /// exposed for tests and for callers that want the line elsewhere.
+  std::string format_line(const State& state) const;
+
+ private:
+  Options options_;
+  std::uint64_t lines_ = 0;
+};
+
+}  // namespace ppsim::obs

@@ -1,8 +1,10 @@
 #include "obs/sampler.h"
 
+#include <cassert>
 #include <cstdlib>
 #include <istream>
 #include <ostream>
+#include <set>
 #include <string>
 
 #include "obs/json.h"
@@ -22,11 +24,42 @@ std::uint64_t matrix_intra_isp(const IspMatrix& m) {
   return t;
 }
 
+void TrafficSampler::enable_windowing(const WindowOptions& options) {
+  assert(options.window > sim::Time::zero() && options.out != nullptr);
+  assert(samples_.empty() && flushed_ == 0 &&
+         "windowing must be configured before the first sample");
+  window_ = options.window;
+  window_end_ = options.window;
+  out_ = options.out;
+  retain_ = options.retain;
+}
+
+void TrafficSampler::flush() {
+  if (!windowed()) return;
+  for (const auto& s : samples_) {
+    write_sample_ndjson(*out_, s);
+    retained_.push_back(s);
+    while (retained_.size() > retain_) retained_.pop_front();
+    ++flushed_;
+  }
+  samples_.clear();
+}
+
+std::vector<TrafficSample> TrafficSampler::tail_samples() const {
+  std::vector<TrafficSample> out(retained_.begin(), retained_.end());
+  out.insert(out.end(), samples_.begin(), samples_.end());
+  return out;
+}
+
 const TrafficSample& TrafficSampler::record(sim::Time now,
                                             const IspMatrix& cumulative,
                                             double neighbor_same_isp_share,
                                             double avg_continuity,
                                             std::uint64_t alive_peers) {
+  if (windowed() && now >= window_end_) {
+    flush();
+    while (window_end_ <= now) window_end_ += window_;
+  }
   TrafficSample s;
   s.t = now;
   s.bytes = cumulative;
@@ -50,33 +83,35 @@ const TrafficSample& TrafficSampler::record(sim::Time now,
   return samples_.back();
 }
 
+void write_sample_ndjson(std::ostream& os, const TrafficSample& s) {
+  os << "{\"t\":";
+  write_json_sim_time(os, s.t);
+  os << ",\"alive\":" << s.alive_peers << ",\"continuity\":";
+  write_json_double(os, s.avg_continuity);
+  os << ",\"neighbor_same_isp\":";
+  write_json_double(os, s.neighbor_same_isp_share);
+  os << ",\"same_isp_cum\":";
+  write_json_double(os, s.same_isp_share_cum);
+  os << ",\"same_isp_interval\":";
+  write_json_double(os, s.same_isp_share_interval);
+  os << ",\"interval_bytes\":" << s.interval_bytes
+     << ",\"interval_same_isp_bytes\":" << s.interval_same_isp_bytes
+     << ",\"bytes\":[";
+  for (std::size_t i = 0; i < s.bytes.size(); ++i) {
+    if (i > 0) os << ',';
+    os << '[';
+    for (std::size_t j = 0; j < s.bytes[i].size(); ++j) {
+      if (j > 0) os << ',';
+      os << s.bytes[i][j];
+    }
+    os << ']';
+  }
+  os << "]}\n";
+}
+
 void write_samples_ndjson(std::ostream& os,
                           const std::vector<TrafficSample>& samples) {
-  for (const auto& s : samples) {
-    os << "{\"t\":";
-    write_json_sim_time(os, s.t);
-    os << ",\"alive\":" << s.alive_peers << ",\"continuity\":";
-    write_json_double(os, s.avg_continuity);
-    os << ",\"neighbor_same_isp\":";
-    write_json_double(os, s.neighbor_same_isp_share);
-    os << ",\"same_isp_cum\":";
-    write_json_double(os, s.same_isp_share_cum);
-    os << ",\"same_isp_interval\":";
-    write_json_double(os, s.same_isp_share_interval);
-    os << ",\"interval_bytes\":" << s.interval_bytes
-       << ",\"interval_same_isp_bytes\":" << s.interval_same_isp_bytes
-       << ",\"bytes\":[";
-    for (std::size_t i = 0; i < s.bytes.size(); ++i) {
-      if (i > 0) os << ',';
-      os << '[';
-      for (std::size_t j = 0; j < s.bytes[i].size(); ++j) {
-        if (j > 0) os << ',';
-        os << s.bytes[i][j];
-      }
-      os << ']';
-    }
-    os << "]}\n";
-  }
+  for (const auto& s : samples) write_sample_ndjson(os, s);
 }
 
 namespace {
@@ -120,9 +155,12 @@ bool parse_matrix(const std::string& line, IspMatrix* out) {
 }  // namespace
 
 std::vector<TrafficSample> read_samples_ndjson(std::istream& is,
-                                               std::size_t* dropped) {
+                                               std::size_t* dropped,
+                                               std::string* error) {
   std::vector<TrafficSample> out;
   if (dropped != nullptr) *dropped = 0;
+  if (error != nullptr) error->clear();
+  std::set<std::int64_t> seen_micros;
   std::string line;
   while (std::getline(is, line)) {
     if (line.empty()) continue;
@@ -143,6 +181,15 @@ std::vector<TrafficSample> read_samples_ndjson(std::istream& is,
       continue;
     }
     s.t = sim::Time::from_seconds(t);
+    if (!seen_micros.insert(s.t.as_micros()).second) {
+      // Each row holds the full (src_isp, dst_isp) matrix for its time, so
+      // a repeated t duplicates every pair cell — the file is corrupt (e.g.
+      // a windowed flush was concatenated twice). Reject it outright.
+      if (error != nullptr)
+        *error = "duplicate sample row at t=" + s.t.to_string() +
+                 " (same time, src_isp, dst_isp cells already present)";
+      return {};
+    }
     s.alive_peers = static_cast<std::uint64_t>(alive);
     s.avg_continuity = continuity;
     s.neighbor_same_isp_share = nbr;

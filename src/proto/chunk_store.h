@@ -51,6 +51,10 @@ class ChunkStore {
 
   std::uint64_t chunks_held() const;
 
+  /// Approximate heap footprint of the retained-window bitmap (for the
+  /// resource probe's live-byte gauges).
+  std::size_t approx_bytes() const { return bits_.size() * sizeof(bool); }
+
   /// Snapshot for advertising; covers [from, highest] intersected with the
   /// retained window.
   BufferMap snapshot(ChunkSeq from) const;

@@ -722,6 +722,36 @@ double Peer::neighbor_latency_estimate(net::IpAddress ip) const {
   return it == neighbors_.end() ? -1.0 : it->second.rtt_s;
 }
 
+std::size_t Peer::approx_live_bytes() const {
+  // Flat allowance for the node bookkeeping (rb-tree / hash-bucket links)
+  // that element sizes alone would under-count.
+  constexpr std::size_t kNodeOverhead = 48;
+  std::size_t total_bytes = 0;
+  total_bytes += origins_.size() *
+           (sizeof(net::IpAddress) + sizeof(CandidateOrigin) + kNodeOverhead);
+  total_bytes += pending_connect_spans_.size() *
+           (sizeof(net::IpAddress) + sizeof(PendingConnectSpan) +
+            kNodeOverhead);
+  total_bytes += trackers_.capacity() * sizeof(net::IpAddress);
+  total_bytes += pool_set_.size() * (sizeof(net::IpAddress) + kNodeOverhead);
+  total_bytes += pool_fifo_.size() * sizeof(net::IpAddress);
+  total_bytes += neighbors_.size() *
+           (sizeof(net::IpAddress) + sizeof(Neighbor) + kNodeOverhead);
+  for (const auto& [ip, n] : neighbors_)
+    total_bytes += n.map.have.capacity() / 8;  // vector<bool> packs 8 per byte
+  total_bytes += pending_connects_.size() *
+           (sizeof(net::IpAddress) + sizeof(sim::Time) + kNodeOverhead);
+  total_bytes += pending_data_.size() *
+           (sizeof(ChunkSeq) + sizeof(PendingData) + kNodeOverhead);
+  total_bytes += pending_list_.size() *
+           (sizeof(net::IpAddress) + sizeof(sim::Time) + kNodeOverhead);
+  total_bytes += recent_neighbors_.size() * sizeof(net::IpAddress);
+  total_bytes += recent_rtt_.size() *
+           (sizeof(net::IpAddress) + sizeof(double) + kNodeOverhead);
+  total_bytes += store_.approx_bytes();
+  return total_bytes;
+}
+
 void Peer::handle(const PeerNetwork::Delivery& delivery) {
   if (!alive_) return;
   const net::IpAddress from = delivery.from;

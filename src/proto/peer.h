@@ -113,6 +113,14 @@ class Peer {
   /// request->reply times), or a negative value if unknown.
   double neighbor_latency_estimate(net::IpAddress ip) const;
 
+  /// Approximate heap footprint of this peer's dynamic state (neighbor
+  /// table, candidate pool, pending-request maps, chunk store) for the
+  /// resource probe's live-byte gauges. An element-size estimate with a
+  /// flat per-node allowance, not allocator-exact accounting — good enough
+  /// to watch growth across peer counts, cheap enough to sum every
+  /// sampling tick.
+  std::size_t approx_live_bytes() const;
+
   /// Introspection snapshot of one neighbor's client-side state.
   struct NeighborSnapshot {
     net::IpAddress ip;

@@ -14,6 +14,7 @@ TimerHandle Simulator::schedule_at(Time when, Callback cb,
                                    const char* category) {
   assert(cb);
   if (when < now_) when = now_;
+  if (when > latest_scheduled_) latest_scheduled_ = when;
   std::uint64_t seq = next_seq_++;
   queue_.push(Event{when, seq, category, std::move(cb)});
   pending_.insert(seq);

@@ -72,6 +72,22 @@ class Simulator {
   std::uint64_t events_executed() const { return events_executed_; }
   std::size_t pending_events() const { return pending_.size(); }
 
+  /// Latest firing time ever scheduled (clamp-adjusted), even if that event
+  /// has since fired or been cancelled. `latest_scheduled() - now()` is the
+  /// scheduler's event horizon: how far into the simulated future the
+  /// pending work currently reaches. Tracked as a two-comparison max in
+  /// schedule_at, so the accounting costs nothing measurable per event.
+  Time latest_scheduled() const { return latest_scheduled_; }
+
+  /// Approximate heap footprint of the pending-event queue (containers'
+  /// element storage only — std::function captures are not visible from
+  /// here). For the resource-probe gauges, not for exact accounting.
+  std::size_t approx_queue_bytes() const {
+    return pending_events() * sizeof(Event) +
+           (pending_.size() + cancelled_.size()) *
+               (sizeof(std::uint64_t) * 2);
+  }
+
   /// Allocates the next causal-tracing span id: a plain monotonic counter,
   /// deterministic by construction (no RNG draw, no wall clock). Callers
   /// must only allocate when causal tracing is enabled so that runs without
@@ -100,6 +116,7 @@ class Simulator {
   };
 
   Time now_;
+  Time latest_scheduled_;
   std::uint64_t next_seq_ = 1;
   std::uint64_t last_span_id_ = 0;
   std::uint64_t events_executed_ = 0;

@@ -9,6 +9,8 @@
 #include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
+#include "obs/progress.h"
+#include "obs/resource_probe.h"
 #include "obs/sampler.h"
 #include "obs/trace.h"
 #include "workload/scenario.h"
@@ -139,6 +141,77 @@ TEST(Observability, SamplingDoesNotPerturbTheSimulation) {
             observed.counter_totals.data_requests_sent);
   ASSERT_EQ(base.sessions.size(), observed.sessions.size());
   EXPECT_GT(trace.total(), 0u);
+}
+
+TEST(Observability, WindowedStreamingMatchesUnwindowedDumpByteForByte) {
+  // The scale-observatory contract: a windowed run's streamed samples file
+  // must be byte-identical to the end-of-run dump an unwindowed run writes,
+  // while holding only a bounded tail in memory.
+  ExperimentConfig plain = small_config();
+  plain.observability.sample_period = sim::Time::seconds(15);
+  const ExperimentResult base = run_experiment(plain);
+  std::ostringstream dump;
+  obs::write_samples_ndjson(dump, base.samples);
+
+  ExperimentConfig windowed = small_config();
+  std::ostringstream stream;
+  windowed.observability.sample_period = sim::Time::seconds(15);
+  windowed.observability.sample_window = sim::Time::seconds(30);
+  windowed.observability.samples_stream = &stream;
+  windowed.observability.sample_retain = 4;
+  const ExperimentResult result = run_experiment(windowed);
+
+  EXPECT_EQ(stream.str(), dump.str());
+  EXPECT_EQ(result.samples_flushed, base.samples.size());
+  // The in-memory series is the bounded tail, not the full run.
+  EXPECT_LE(result.samples.size(), 4u);
+  ASSERT_FALSE(result.samples.empty());
+  EXPECT_EQ(result.samples.back().t.as_micros(),
+            base.samples.back().t.as_micros());
+  // Windowing is output plumbing only; the simulation is untouched.
+  EXPECT_EQ(base.traffic.bytes, result.traffic.bytes);
+}
+
+TEST(Observability, ScaleObservatoryDoesNotPerturbTheSimulation) {
+  ExperimentConfig plain = small_config();
+  const ExperimentResult base = run_experiment(plain);
+
+  // Arm the whole scale observatory: resource probe (with gauges), progress
+  // heartbeat, and windowed streaming.
+  ExperimentConfig observed_cfg = small_config();
+  obs::MetricsRegistry metrics;
+  obs::RunProfiler profiler;
+  obs::ResourceProbe probe;
+  probe.bind_metrics(&metrics);
+  std::ostringstream heartbeat, stream;
+  obs::ProgressMeter meter({.out = &heartbeat,
+                            .profiler = &profiler,
+                            .total = observed_cfg.scenario.duration});
+  observed_cfg.observability.metrics = &metrics;
+  observed_cfg.observability.profiler = &profiler;
+  observed_cfg.observability.resource = &probe;
+  observed_cfg.observability.progress = &meter;
+  observed_cfg.observability.progress_period = sim::Time::seconds(30);
+  observed_cfg.observability.sample_period = sim::Time::seconds(15);
+  observed_cfg.observability.sample_window = sim::Time::seconds(30);
+  observed_cfg.observability.samples_stream = &stream;
+  const ExperimentResult observed = run_experiment(observed_cfg);
+
+  EXPECT_EQ(base.traffic.bytes, observed.traffic.bytes);
+  EXPECT_EQ(base.swarm.peers_spawned, observed.swarm.peers_spawned);
+  EXPECT_EQ(base.counter_totals.bytes_downloaded,
+            observed.counter_totals.bytes_downloaded);
+  ASSERT_EQ(base.sessions.size(), observed.sessions.size());
+
+  // The probe ticked on the sampler cadence and published every gauge.
+  EXPECT_GT(probe.samples_taken(), 0u);
+  for (const std::string_view name : obs::kResourceGaugeNames)
+    EXPECT_NE(metrics.find_gauge(std::string(name)), nullptr) << name;
+  // Deterministic scheduler gauges carry real readings.
+  EXPECT_GT(metrics.find_gauge("live_peers")->value(), 0.0);
+  // The heartbeat fired (180 s run / 30 s period, minus horizon effects).
+  EXPECT_GE(meter.lines_written(), 4u);
+  EXPECT_NE(heartbeat.str().find("[progress] t="), std::string::npos);
 }
 
 TEST(Observability, TraceCoversTheProtocolVocabulary) {

@@ -1,0 +1,14 @@
+#pragma once
+
+// Fixture: kResourceGaugeNames disagrees with the docs table in both
+// directions. sched_undocumented_gauge is published but missing from the
+// table; the table documents phantom_gauge, which is never published.
+
+namespace ppsim::obs {
+
+inline constexpr const char* kResourceGaugeNames[] = {
+    "resource_rss_bytes",
+    "sched_undocumented_gauge",
+};
+
+}  // namespace ppsim::obs

@@ -1,0 +1,13 @@
+#pragma once
+
+// Fixture: the published gauge inventory and the docs table agree exactly,
+// so the resource-gauge-doc check stays silent.
+
+namespace ppsim::obs {
+
+inline constexpr const char* kResourceGaugeNames[] = {
+    "resource_rss_bytes",
+    "sched_queue_depth",
+};
+
+}  // namespace ppsim::obs

@@ -47,6 +47,44 @@ TEST(BenchJson, ReaderCountsMalformedLines) {
   EXPECT_EQ(dropped, 2u);
 }
 
+TEST(BenchJson, MacroFieldsWrittenOnlyWhenNonzeroAndRoundTrip) {
+  BenchEntry micro;
+  micro.name = "BM_Micro";
+  micro.iterations = 10;
+  micro.ns_per_op = 2.5;
+  micro.peak_queue_depth = 3;
+
+  BenchEntry macro;
+  macro.name = "scale/peers:01000";
+  macro.iterations = 100;
+  macro.ns_per_op = 1500.0;
+  macro.peak_queue_depth = 900;
+  macro.rss_peak_bytes = 61489152;
+  macro.wall_s = 25.5;
+
+  std::ostringstream out;
+  write_bench_json(out, {micro, macro});
+  const std::string text = out.str();
+  // Micro rows keep the exact historical layout — no macro keys at all.
+  EXPECT_NE(
+      text.find(
+          "{\"name\":\"BM_Micro\",\"iterations\":10,\"ns_per_op\":2.5,"
+          "\"peak_queue_depth\":3}\n"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(text.find("\"rss_peak_bytes\":61489152,\"wall_s\":25.5}"),
+            std::string::npos)
+      << text;
+
+  std::istringstream in(text);
+  const auto parsed = read_bench_json(in);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].rss_peak_bytes, 0u);  // BM_Micro sorts first
+  EXPECT_DOUBLE_EQ(parsed[0].wall_s, 0.0);
+  EXPECT_EQ(parsed[1].rss_peak_bytes, 61489152u);
+  EXPECT_DOUBLE_EQ(parsed[1].wall_s, 25.5);
+}
+
 TEST(BenchJson, EmptyEntriesStillWriteHeader) {
   std::ostringstream out;
   write_bench_json(out, {});

@@ -158,6 +158,49 @@ TEST_F(FlightRecorderTest, SameInputsDumpByteIdenticalBundles) {
   EXPECT_EQ(slurp(a), slurp(b));
 }
 
+TEST_F(FlightRecorderTest, DumpCapTruncatesPerCategoryWithMarkerRows) {
+  FlightRecorder::Options options;
+  options.dir = dir();
+  options.ring_capacity = 8;        // buffer more than the dump allows
+  options.max_dump_per_category = 3;
+  FlightRecorder recorder(options);
+
+  for (int i = 0; i < 8; ++i) recorder.write(chunk_event(i, i));
+  recorder.write(TraceEvent(sim::Time::seconds(9), "peer_join"));  // under cap
+
+  ASSERT_TRUE(recorder.trigger(sim::Time::seconds(10), "cap-test"));
+  const std::string bundle = slurp(recorder.dump_paths()[0]);
+
+  // Header + section marker count only the kept events and declare the cut.
+  EXPECT_NE(bundle.find("\"events\":4,"), std::string::npos) << bundle;
+  EXPECT_NE(bundle.find("\"section\":\"events\",\"count\":4,\"truncated\":1"),
+            std::string::npos)
+      << bundle;
+  // One marker row for the capped ring; the uncapped one gets none.
+  EXPECT_NE(bundle.find(
+                "{\"truncated\":\"chunk_delivered\",\"kept\":3,\"dropped\":5}"),
+            std::string::npos)
+      << bundle;
+  EXPECT_EQ(bundle.find("\"truncated\":\"peer_join\""), std::string::npos);
+  // The kept events are the newest 3: n=5,6,7 survive, n=4 does not.
+  EXPECT_NE(bundle.find("\"n\":7"), std::string::npos);
+  EXPECT_NE(bundle.find("\"n\":5"), std::string::npos);
+  EXPECT_EQ(bundle.find("\"n\":4"), std::string::npos);
+}
+
+TEST_F(FlightRecorderTest, DefaultDumpCapLeavesBundlesUntouched) {
+  // Default ring capacity == default dump cap, so a default-config bundle
+  // must carry no truncation vocabulary at all — existing consumers and
+  // byte-identity goldens stay valid.
+  FlightRecorder::Options options;
+  options.dir = dir();
+  FlightRecorder recorder(options);
+  for (int i = 0; i < 100; ++i) recorder.write(chunk_event(i, i));
+  ASSERT_TRUE(recorder.trigger(sim::Time::seconds(101), "no-cap"));
+  const std::string bundle = slurp(recorder.dump_paths()[0]);
+  EXPECT_EQ(bundle.find("truncated"), std::string::npos);
+}
+
 TEST_F(FlightRecorderTest, StandaloneSamplingTickStopsCleanly) {
   sim::Simulator simulator;
   FlightRecorder recorder(FlightRecorder::Options{});

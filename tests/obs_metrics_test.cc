@@ -149,6 +149,106 @@ TEST(MetricsRegistry, NdjsonIsStableAndSorted) {
             std::string::npos);
 }
 
+TEST(Histogram, MergeAddsBucketsCountAndSum) {
+  Histogram a({1.0, 10.0});
+  Histogram b({1.0, 10.0});
+  a.observe(0.5);
+  a.observe(5.0);
+  b.observe(5.0);
+  b.observe(50.0);  // overflow bucket
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.sum(), 60.5);
+  EXPECT_EQ(a.bucket_counts()[0], 1u);
+  EXPECT_EQ(a.bucket_counts()[1], 2u);
+  EXPECT_EQ(a.bucket_counts()[2], 1u);  // overflow
+}
+
+TEST(Histogram, MergeIsDeterministicLeftFold) {
+  // Integer-valued observations make FP addition exact, so any fold order
+  // gives the same sum — but the contract is the *caller's* order, and the
+  // serialized form must come out byte-identical for the same fold.
+  auto make = [](double v) {
+    Histogram h({1.0, 10.0});
+    h.observe(v);
+    return h;
+  };
+  Histogram left({1.0, 10.0});
+  for (const double v : {0.5, 5.0, 50.0, 7.0}) left.merge(make(v));
+  Histogram again({1.0, 10.0});
+  for (const double v : {0.5, 5.0, 50.0, 7.0}) again.merge(make(v));
+  EXPECT_EQ(left.count(), again.count());
+  EXPECT_DOUBLE_EQ(left.sum(), again.sum());
+  EXPECT_EQ(left.bucket_counts(), again.bucket_counts());
+}
+
+TEST(MetricsRegistry, MergeFromCombinesAllInstrumentKinds) {
+  MetricsRegistry into;
+  into.counter("events").inc(10);
+  into.gauge("continuity").set(0.5);
+  into.histogram("lat", {1.0}).observe(0.5);
+
+  MetricsRegistry from;
+  from.counter("events").inc(5);
+  from.counter("only_there").inc(3);
+  from.gauge("continuity").set(0.9);
+  from.histogram("lat", {1.0}).observe(2.0);
+
+  into.merge_from(from);
+  EXPECT_EQ(into.find_counter("events")->value(), 15u);
+  EXPECT_EQ(into.find_counter("only_there")->value(), 3u);
+  // Gauges are last-write-wins; the merged-in value is the later write.
+  EXPECT_DOUBLE_EQ(into.find_gauge("continuity")->value(), 0.9);
+  EXPECT_EQ(into.find_histogram("lat")->count(), 2u);
+}
+
+TEST(MetricsWindowRing, RotateSealsAndEvictsBeyondCapacity) {
+  MetricsWindowRing ring(2);
+  ring.current().counter("n").inc(1);
+  ring.rotate("w0");
+  ring.current().counter("n").inc(2);
+  ring.rotate("w1");
+  ring.current().counter("n").inc(4);
+  ring.rotate("w2");  // evicts w0
+  EXPECT_EQ(ring.size(), 2u);
+  EXPECT_EQ(ring.windows_sealed(), 3u);
+  EXPECT_EQ(ring.label(0), "w1");
+  EXPECT_EQ(ring.label(1), "w2");
+  EXPECT_EQ(ring.window(0).find_counter("n")->value(), 2u);
+}
+
+TEST(MetricsWindowRing, MergedFoldsRetainedWindowsThenCurrent) {
+  MetricsWindowRing ring(4);
+  ring.current().counter("n").inc(1);
+  ring.rotate("w0");
+  ring.current().counter("n").inc(2);
+  ring.rotate("w1");
+  ring.current().counter("n").inc(4);  // stays in the open window
+  MetricsRegistry out;
+  ring.merged(&out);
+  EXPECT_EQ(out.find_counter("n")->value(), 7u);
+}
+
+TEST(MetricsWindowRing, MergedDumpIsByteStable) {
+  auto fill = [](MetricsWindowRing* ring) {
+    ring->current().counter("c", {{"isp", "TELE"}}).inc(2);
+    ring->current().histogram("h", {1.0}).observe(0.5);
+    ring->rotate("w0");
+    ring->current().counter("c", {{"isp", "TELE"}}).inc(3);
+    ring->current().histogram("h", {1.0}).observe(5.0);
+  };
+  MetricsWindowRing a(8), b(8);
+  fill(&a);
+  fill(&b);
+  MetricsRegistry ma, mb;
+  a.merged(&ma);
+  b.merged(&mb);
+  std::ostringstream da, db;
+  ma.write_ndjson(da);
+  mb.write_ndjson(db);
+  EXPECT_EQ(da.str(), db.str());
+}
+
 TEST(MetricsRegistry, NdjsonHistogramRow) {
   MetricsRegistry reg;
   Histogram& h = reg.histogram("d", {1.0});

@@ -1,0 +1,62 @@
+#include "obs/progress.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/time.h"
+
+namespace ppsim::obs {
+namespace {
+
+ProgressMeter::State state_at(double t) {
+  ProgressMeter::State s;
+  s.now = sim::Time::seconds(t);
+  s.events_executed = 804905;
+  s.peers_alive = 121;
+  s.queue_depth = 5417;
+  s.rss_bytes = 512u * 1024 * 1024 + 314573;  // ~512.3MB
+  return s;
+}
+
+TEST(ProgressMeter, FormatsWallFreeLineWithDashes) {
+  // No profiler attached: wall, rate, and ETA columns must render as "-"
+  // rather than inventing a clock.
+  ProgressMeter meter({.out = nullptr, .profiler = nullptr,
+                       .total = sim::Time::seconds(360)});
+  EXPECT_EQ(meter.format_line(state_at(120)),
+            "[progress] t=120.0s/360s (33.3%) wall=- events=804905 (-/s) "
+            "peers=121 queue=5417 rss=512.3MB eta=-");
+}
+
+TEST(ProgressMeter, OmitsPercentWithoutTotalAndDashesZeroRss) {
+  ProgressMeter meter({});
+  auto s = state_at(42);
+  s.rss_bytes = 0;
+  EXPECT_EQ(meter.format_line(s),
+            "[progress] t=42.0s wall=- events=804905 (-/s) "
+            "peers=121 queue=5417 rss=- eta=-");
+}
+
+TEST(ProgressMeter, TickWritesOneLinePerCallAndCounts) {
+  std::ostringstream err;
+  ProgressMeter meter(
+      {.out = &err, .profiler = nullptr, .total = sim::Time::seconds(60)});
+  meter.tick(state_at(30));
+  meter.tick(state_at(60));
+  EXPECT_EQ(meter.lines_written(), 2u);
+  const std::string out = err.str();
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+  EXPECT_NE(out.find("[progress] t=30.0s/60s (50.0%)"), std::string::npos);
+  EXPECT_NE(out.find("[progress] t=60.0s/60s (100.0%)"), std::string::npos);
+}
+
+TEST(ProgressMeter, NullStreamTickIsANoOp) {
+  ProgressMeter meter({});
+  meter.tick(state_at(1));
+  EXPECT_EQ(meter.lines_written(), 0u);
+}
+
+}  // namespace
+}  // namespace ppsim::obs

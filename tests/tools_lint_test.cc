@@ -64,7 +64,7 @@ TEST(LintRegistry, FivePassesInOrder) {
 
 TEST(LintGoodTree, NoFindings) {
   const Tree tree = load("goodtree");
-  EXPECT_EQ(tree.files.size(), 8u);
+  EXPECT_EQ(tree.files.size(), 9u);
   const std::vector<Finding> findings = run_all(tree);
   EXPECT_TRUE(findings.empty()) << findings.size() << " findings; first: "
                                 << (findings.empty()
@@ -124,11 +124,19 @@ TEST(LintBadTree, CompletenessFindings) {
   EXPECT_TRUE(has(f, "core/experiment.cc", 1, "drop-counter", "ghost_drops"));
   // uplink_drops is live and reconciled — no finding.
   EXPECT_FALSE(has(f, "net/transport.h", 9, "drop-counter", "uplink_drops"));
+  // Resource gauges vs docs table, both directions.
+  EXPECT_TRUE(has(f, "docs/OBSERVABILITY.md", 3, "resource-gauge-doc",
+                  "sched_undocumented_gauge"));
+  EXPECT_TRUE(has(f, "obs/resource_probe.h", 9, "resource-gauge-doc",
+                  "phantom_gauge"));
+  // The gauge documented and published both ways stays clean.
+  EXPECT_FALSE(has(f, "docs/OBSERVABILITY.md", 3, "resource-gauge-doc",
+                   "resource_rss_bytes"));
 }
 
 TEST(LintBadTree, ExactFindingCountAndSorted) {
   const std::vector<Finding> f = run_all(load("badtree"));
-  EXPECT_EQ(f.size(), 25u);
+  EXPECT_EQ(f.size(), 27u);
   EXPECT_TRUE(std::is_sorted(f.begin(), f.end(), [](const Finding& a,
                                                     const Finding& b) {
     return std::tie(a.pass, a.file, a.line, a.check, a.token) <

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Coverage guard for ppsim-bench-v1 files (docs/OBSERVABILITY.md).
+
+Compares a freshly emitted bench file against the committed baseline by
+*names only* — ns_per_op / rss / wall values are machine-dependent and are
+never compared. Two modes:
+
+  default   every benchmark named in the baseline must be present in the
+            current run: coverage must never silently shrink. Used by the
+            BENCH_micro guard, where CI re-runs the whole suite.
+
+  --subset  every benchmark named in the current run must be present in the
+            baseline: the run is allowed to cover less (a smoke re-running
+            one sweep point), but must not produce rows the committed
+            trajectory does not track. Used by the BENCH_scale smoke.
+
+--min-baseline-rows N additionally fails if the baseline itself holds fewer
+than N rows — pinning, e.g., that BENCH_scale.json keeps >= 3 sweep points.
+
+Exit status: 0 clean, 1 guard violation, 2 usage/file errors.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    """Returns (schema, set-of-names) for one ppsim-bench-v1 NDJSON file."""
+    schema = None
+    names = set()
+    try:
+        with open(path) as f:
+            for lineno, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = json.loads(line)
+                except json.JSONDecodeError as e:
+                    raise SystemExit(f"error: {path}:{lineno}: not JSON: {e}")
+                if "bench_schema" in row:
+                    schema = row["bench_schema"]
+                elif "name" in row:
+                    names.add(row["name"])
+    except OSError as e:
+        raise SystemExit(f"error: cannot read {path}: {e}")
+    return schema, names
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="ppsim-bench-v1 coverage guard (names only, "
+        "values are machine-dependent)")
+    parser.add_argument("--baseline", required=True,
+                        help="committed trajectory file, e.g. "
+                        "bench/BENCH_micro.json")
+    parser.add_argument("--current", required=True,
+                        help="freshly emitted bench file")
+    parser.add_argument("--subset", action="store_true",
+                        help="require current ⊆ baseline instead of "
+                        "baseline ⊆ current")
+    parser.add_argument("--min-baseline-rows", type=int, default=0,
+                        metavar="N",
+                        help="fail if the baseline holds fewer than N rows")
+    args = parser.parse_args()
+
+    base_schema, baseline = load(args.baseline)
+    cur_schema, current = load(args.current)
+    for path, schema in ((args.baseline, base_schema),
+                         (args.current, cur_schema)):
+        if schema != "ppsim-bench-v1":
+            raise SystemExit(
+                f"error: {path}: bench_schema is {schema!r}, "
+                "expected 'ppsim-bench-v1'")
+
+    print(f"baseline={len(baseline)} rows ({args.baseline}), "
+          f"current={len(current)} rows ({args.current})")
+
+    ok = True
+    if len(baseline) < args.min_baseline_rows:
+        print(f"FAIL: baseline holds {len(baseline)} rows, "
+              f"needs >= {args.min_baseline_rows}")
+        ok = False
+    if args.subset:
+        unknown = sorted(current - baseline)
+        if unknown:
+            print("FAIL: current rows missing from the committed baseline "
+                  f"(extend it deliberately): {unknown}")
+            ok = False
+    else:
+        missing = sorted(baseline - current)
+        if missing:
+            print(f"FAIL: benchmarks missing vs baseline: {missing}")
+            ok = False
+    if ok:
+        print("coverage ok")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

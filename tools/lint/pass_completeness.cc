@@ -18,6 +18,12 @@
 // one bucket", PR 3): every `*_drops` field of net::Transport's Stats must
 // have an increment site in net/ and appear in the total-drops
 // reconciliation in core/experiment.cc.
+//
+// Plus the resource-gauge audit (scale observatory): the gauge names
+// obs::ResourceProbe publishes (kResourceGaugeNames in
+// obs/resource_probe.h) and the "Resource and scheduler gauges" table in
+// docs/OBSERVABILITY.md must list exactly the same set, both directions —
+// an undocumented gauge or a documented phantom gauge is a finding.
 
 #include <map>
 #include <set>
@@ -341,11 +347,79 @@ void check_drop_counters(const Tree& tree, std::vector<Finding>* findings) {
   }
 }
 
+void check_resource_gauges(const Tree& tree, std::vector<Finding>* findings) {
+  const SourceFile* probe = find_file(tree, "obs/resource_probe.h");
+  if (probe == nullptr) return;  // tree without the probe (fixtures)
+  // Locate the kResourceGaugeNames declaration in the stripped text (so a
+  // comment mentioning the name cannot match), then read the array's string
+  // literals from the raw text — stripping is offset-preserving, so the
+  // brace positions line up.
+  const std::size_t at = probe->stripped.find("kResourceGaugeNames");
+  if (at == std::string::npos) {
+    add(findings, probe->rel, 1, "resource-gauge-doc", "kResourceGaugeNames",
+        "obs/resource_probe.h no longer declares kResourceGaugeNames; the "
+        "docs cross-check needs the published gauge list");
+    return;
+  }
+  const std::size_t open = probe->stripped.find('{', at);
+  const std::size_t close = open == std::string::npos
+                                ? std::string::npos
+                                : probe->stripped.find('}', open);
+  if (close == std::string::npos) return;
+  std::vector<std::string> gauges;
+  std::size_t pos = open;
+  while (true) {
+    const std::size_t q = probe->raw.find('"', pos);
+    if (q == std::string::npos || q > close) break;
+    const std::size_t q2 = probe->raw.find('"', q + 1);
+    if (q2 == std::string::npos || q2 > close) break;
+    gauges.push_back(probe->raw.substr(q + 1, q2 - q - 1));
+    pos = q2 + 1;
+  }
+  const int decl_line = line_of(probe->raw, at);
+
+  const auto it = tree.docs.find("OBSERVABILITY.md");
+  if (it == tree.docs.end()) return;
+  const std::size_t sec_at =
+      it->second.find("### Resource and scheduler gauges");
+  if (sec_at == std::string::npos) {
+    add(findings, "docs/OBSERVABILITY.md", 1, "resource-gauge-doc",
+        "kResourceGaugeNames",
+        "obs/resource_probe.h publishes resource gauges but "
+        "docs/OBSERVABILITY.md has no \"### Resource and scheduler "
+        "gauges\" table documenting them");
+    return;
+  }
+  std::size_t sec_end = it->second.find("\n## ", sec_at);
+  const std::size_t sub_end = it->second.find("\n### ", sec_at + 1);
+  if (sub_end != std::string::npos &&
+      (sec_end == std::string::npos || sub_end < sec_end))
+    sec_end = sub_end;
+  if (sec_end == std::string::npos) sec_end = it->second.size();
+  const std::string section = it->second.substr(sec_at, sec_end - sec_at);
+  const int doc_line = line_of(it->second, sec_at);
+
+  const std::set<std::string> documented = table_entries(section);
+  const std::set<std::string> published(gauges.begin(), gauges.end());
+  for (const std::string& g : gauges)
+    if (!documented.contains(g))
+      add(findings, "docs/OBSERVABILITY.md", doc_line, "resource-gauge-doc", g,
+          "gauge published by obs::ResourceProbe (kResourceGaugeNames) "
+          "missing from the resource-and-scheduler-gauges table");
+  for (const std::string& d : documented)
+    if (!published.contains(d))
+      add(findings, probe->rel, decl_line, "resource-gauge-doc", d,
+          "the resource-and-scheduler-gauges table documents a gauge "
+          "kResourceGaugeNames does not declare; probe and docs must list "
+          "the same names");
+}
+
 }  // namespace
 
 void pass_completeness(const Tree& tree, std::vector<Finding>* findings) {
   check_message_tables(tree, findings);
   check_drop_counters(tree, findings);
+  check_resource_gauges(tree, findings);
 }
 
 }  // namespace ppsim::lint

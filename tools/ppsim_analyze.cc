@@ -32,6 +32,7 @@
 // simulation involved (docs/OBSERVABILITY.md, "Causal tracing").
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -59,9 +60,14 @@ int analyze_samples(const std::string& path, const std::string& plan_path) {
     return 1;
   }
   std::size_t dropped = 0;
-  const auto samples = obs::read_samples_ndjson(in, &dropped);
+  std::string parse_error;
+  const auto samples = obs::read_samples_ndjson(in, &dropped, &parse_error);
   if (samples.empty()) {
-    std::fprintf(stderr, "error: %s holds no valid samples\n", path.c_str());
+    if (!parse_error.empty())
+      std::fprintf(stderr, "error: %s: %s\n", path.c_str(),
+                   parse_error.c_str());
+    else
+      std::fprintf(stderr, "error: %s holds no valid samples\n", path.c_str());
     return 1;
   }
   std::printf("samples: %s (%zu rows", path.c_str(), samples.size());
@@ -140,9 +146,13 @@ int analyze_postmortem(const std::string& path) {
   std::printf("post-mortem: %s\n", path.c_str());
   std::printf("  trigger: %s at t=%ss\n", reason.c_str(), trigger_t.c_str());
 
-  // Walk the section markers; count rows and tally event names.
+  // Walk the section markers; count rows and tally event names. Truncated
+  // marker rows (capped rings declare {"truncated":name,"kept":K,
+  // "dropped":D} at the head of the events section) are reported
+  // separately, never tallied as events.
   std::string section;
   std::map<std::string, std::uint64_t> events_by_name;
+  std::map<std::string, std::uint64_t> dropped_by_name;
   std::uint64_t samples = 0, metrics = 0;
   while (std::getline(in, line)) {
     const std::string marker = find_json_string(line, "section");
@@ -151,6 +161,15 @@ int analyze_postmortem(const std::string& path) {
       continue;
     }
     if (section == "events") {
+      const std::string capped = find_json_string(line, "truncated");
+      if (!capped.empty()) {
+        double dropped_n = 0;
+        if (const auto pos = line.find("\"dropped\":");
+            pos != std::string::npos)
+          dropped_n = std::strtod(line.c_str() + pos + 10, nullptr);
+        dropped_by_name[capped] = static_cast<std::uint64_t>(dropped_n);
+        continue;
+      }
       ++events_by_name[find_json_string(line, "ev")];
     } else if (section == "samples") {
       ++samples;
@@ -162,10 +181,16 @@ int analyze_postmortem(const std::string& path) {
   for (const auto& [name, n] : events_by_name) events += n;
   std::printf("  buffered events: %llu\n",
               static_cast<unsigned long long>(events));
-  for (const auto& [name, n] : events_by_name)
-    std::printf("    %-24s %8llu\n",
+  for (const auto& [name, n] : events_by_name) {
+    std::printf("    %-24s %8llu",
                 name.empty() ? "(unnamed)" : name.c_str(),
                 static_cast<unsigned long long>(n));
+    if (const auto it = dropped_by_name.find(name);
+        it != dropped_by_name.end())
+      std::printf("  (+%llu truncated)",
+                  static_cast<unsigned long long>(it->second));
+    std::printf("\n");
+  }
   std::printf("  sampler window rows: %llu\n",
               static_cast<unsigned long long>(samples));
   std::printf("  metric rows: %llu\n",
