@@ -28,9 +28,11 @@
 #include "obs/health.h"
 #include "obs/resource_probe.h"
 #include "obs/span_tracker.h"
+#include "proto/message.h"
 #include "sim/observer.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
+#include "wire/codec.h"
 
 namespace {
 
@@ -327,6 +329,49 @@ void BM_StretchedExpFit(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_StretchedExpFit)->Arg(326)->Arg(5000);
+
+// ppsim-wire-v1 codec round-trip (docs/WIRE.md): encode + decode of a
+// representative message per arg — 0: a small control packet (JoinReply),
+// 1: a 120-chunk BufferMapAnnounce (the steady-state gossip load), 2: a
+// default-chunk DataReply (the payload path). Bounds the per-datagram CPU
+// cost a ppsim-node pays on top of the kernel's socket work.
+void BM_WireEncodeDecode(benchmark::State& state) {
+  proto::Message m;
+  switch (state.range(0)) {
+    case 0: {
+      proto::JoinReply jr;
+      jr.channel = 1;
+      jr.source = net::IpAddress(127, 1, 0, 3);
+      jr.trackers = {net::IpAddress(127, 1, 0, 2)};
+      m = jr;
+      break;
+    }
+    case 1: {
+      proto::BufferMapAnnounce bma;
+      bma.channel = 1;
+      bma.map.base = 1000;
+      for (int i = 0; i < 120; ++i) bma.map.have.push_back(i % 3 != 0);
+      m = bma;
+      break;
+    }
+    default: {
+      proto::DataReply dr;
+      dr.channel = 1;
+      dr.chunk = 1000;
+      dr.subpieces = 4;
+      dr.payload_bytes = 5520;
+      m = dr;
+      break;
+    }
+  }
+  std::vector<std::uint8_t> buf;
+  for (auto _ : state) {
+    wire::encode_message(m, /*epoch=*/1, &buf);
+    auto decoded = wire::decode_message(buf.data(), buf.size(), /*epoch=*/1);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_WireEncodeDecode)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_RngFork(benchmark::State& state) {
   sim::Rng rng(7);

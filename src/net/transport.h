@@ -21,6 +21,72 @@ namespace ppsim::net {
 
 enum class Direction : std::uint8_t { kOutgoing = 0, kIncoming = 1 };
 
+/// Abstract delivery contract of a datagram substrate.
+///
+/// This is the seam the protocol entities (proto::Peer/Tracker/Source/
+/// Bootstrap) speak: attach a host with a handler, send best-effort
+/// datagrams, detach on departure. Two implementations exist — the
+/// simulated Network below (latency/bandwidth/loss models over the
+/// discrete-event simulator) and wire::UdpTransport (real nonblocking UDP
+/// sockets driven by a wall-clock loop; see src/wire/ and docs/WIRE.md).
+/// Protocol code written against this interface runs unmodified in both
+/// worlds, which is what keeps sim and wire behavior identical.
+///
+/// The contract is deliberately UDP-shaped: send() may fail synchronously
+/// (returns false) only for drops the sender could observe locally (unknown
+/// source, full local queue); every later loss is silent and lands in a
+/// Stats bucket. Handlers are invoked on the single event-loop thread of
+/// the owning substrate — implementations never call them concurrently.
+template <typename Payload>
+class DatagramTransport {
+ public:
+  /// Delivered datagram as seen by the receiving host.
+  struct Delivery {
+    IpAddress from;
+    IpAddress to;
+    Payload payload;
+    std::uint64_t wire_bytes = 0;
+    sim::Time sent_at;  // when the sender handed it to its uplink
+  };
+
+  using Handler = std::function<void(const Delivery&)>;
+
+  /// Drop accounting: every packet ends in exactly one bucket — delivered,
+  /// or one of the *_drops. The sim Network fills every bucket; the wire
+  /// transport maps its socket-level outcomes onto the same buckets
+  /// (docs/WIRE.md, "Drop accounting") so tooling reads one schema.
+  struct Stats {
+    std::uint64_t packets_sent = 0;
+    std::uint64_t packets_delivered = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t uplink_drops = 0;
+    std::uint64_t core_drops = 0;
+    std::uint64_t downlink_drops = 0;
+    std::uint64_t dead_destination_drops = 0;
+    // Fault-injection drops (zero unless an ImpairmentOverlay is active).
+    std::uint64_t blackout_drops = 0;
+    std::uint64_t brownout_drops = 0;
+    std::uint64_t degrade_drops = 0;
+  };
+
+  virtual ~DatagramTransport() = default;
+
+  /// Attaches a host. The handler is invoked for every delivered datagram.
+  virtual void attach(IpAddress ip, IspId isp, IspCategory category,
+                      const AccessProfile& profile, Handler handler) = 0;
+
+  /// Detaches a host (peer leaves). In-flight packets to it are dropped.
+  virtual void detach(IpAddress ip) = 0;
+
+  virtual bool attached(IpAddress ip) const = 0;
+
+  /// Sends a datagram. Returns false only for locally observable drops.
+  virtual bool send(IpAddress from, IpAddress to, Payload payload,
+                    std::uint64_t wire_bytes) = 0;
+
+  virtual const Stats& stats() const = 0;
+};
+
 /// UDP-like datagram network over the simulator.
 ///
 /// Templated on the payload type so the substrate stays independent of the
@@ -38,18 +104,12 @@ enum class Direction : std::uint8_t { kOutgoing = 0, kIncoming = 1 };
 /// A per-host *tap* observes every sent and received datagram; the capture
 /// library uses it to record Wireshark-style traces at probe hosts.
 template <typename Payload>
-class Network {
+class Network : public DatagramTransport<Payload> {
  public:
-  /// Delivered datagram as seen by the receiving host.
-  struct Delivery {
-    IpAddress from;
-    IpAddress to;
-    Payload payload;
-    std::uint64_t wire_bytes = 0;
-    sim::Time sent_at;  // when the sender handed it to its uplink
-  };
+  using Delivery = typename DatagramTransport<Payload>::Delivery;
+  using Handler = typename DatagramTransport<Payload>::Handler;
+  using Stats = typename DatagramTransport<Payload>::Stats;
 
-  using Handler = std::function<void(const Delivery&)>;
   /// (direction, local endpoint, remote endpoint, payload, bytes)
   using Tap = std::function<void(Direction, IpAddress local, IpAddress remote,
                                  const Payload&, std::uint64_t)>;
@@ -76,7 +136,7 @@ class Network {
 
   /// Attaches a host. The handler is invoked for every delivered datagram.
   void attach(IpAddress ip, IspId isp, IspCategory category,
-              const AccessProfile& profile, Handler handler) {
+              const AccessProfile& profile, Handler handler) override {
     assert(!ip.is_unspecified());
     auto [it, inserted] = hosts_.try_emplace(ip);
     assert(inserted && "IP already attached");
@@ -90,9 +150,9 @@ class Network {
   /// Detaches a host (peer leaves). In-flight packets to it are dropped on
   /// arrival; a later re-attach of the same IP is a distinct host (packets
   /// addressed to the old incarnation are not delivered to the new one).
-  void detach(IpAddress ip) { hosts_.erase(ip); }
+  void detach(IpAddress ip) override { hosts_.erase(ip); }
 
-  bool attached(IpAddress ip) const { return hosts_.contains(ip); }
+  bool attached(IpAddress ip) const override { return hosts_.contains(ip); }
 
   std::size_t host_count() const { return hosts_.size(); }
 
@@ -148,7 +208,7 @@ class Network {
   /// happen later and are reported via stats only — the sender cannot
   /// observe them, as in real life.
   bool send(IpAddress from, IpAddress to, Payload payload,
-            std::uint64_t wire_bytes) {
+            std::uint64_t wire_bytes) override {
     auto sit = hosts_.find(from);
     if (sit == hosts_.end()) return false;
     Host& sender = sit->second;
@@ -231,20 +291,7 @@ class Network {
     return true;
   }
 
-  struct Stats {
-    std::uint64_t packets_sent = 0;
-    std::uint64_t packets_delivered = 0;
-    std::uint64_t bytes_sent = 0;
-    std::uint64_t uplink_drops = 0;
-    std::uint64_t core_drops = 0;
-    std::uint64_t downlink_drops = 0;
-    std::uint64_t dead_destination_drops = 0;
-    // Fault-injection drops (zero unless an ImpairmentOverlay is active).
-    std::uint64_t blackout_drops = 0;
-    std::uint64_t brownout_drops = 0;
-    std::uint64_t degrade_drops = 0;
-  };
-  const Stats& stats() const { return stats_; }
+  const Stats& stats() const override { return stats_; }
 
  private:
   struct Host {

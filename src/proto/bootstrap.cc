@@ -3,7 +3,7 @@
 namespace ppsim::proto {
 
 BootstrapServer::BootstrapServer(sim::Simulator& simulator,
-                                 PeerNetwork& network,
+                                 PeerTransport& network,
                                  const HostIdentity& identity,
                                  sim::Time processing_delay)
     : simulator_(simulator),
@@ -12,7 +12,7 @@ BootstrapServer::BootstrapServer(sim::Simulator& simulator,
       processing_delay_(processing_delay) {
   network_.attach(identity_.ip, identity_.isp, identity_.category,
                   identity_.profile,
-                  [this](const PeerNetwork::Delivery& d) { handle(d); });
+                  [this](const PeerTransport::Delivery& d) { handle(d); });
 }
 
 BootstrapServer::~BootstrapServer() { network_.detach(identity_.ip); }
@@ -29,7 +29,7 @@ void BootstrapServer::reply(net::IpAddress to, Message m) {
                       });
 }
 
-void BootstrapServer::handle(const PeerNetwork::Delivery& delivery) {
+void BootstrapServer::handle(const PeerTransport::Delivery& delivery) {
   if (dark_) return;  // fault window: unreachable, request lost
   if (std::holds_alternative<ChannelListQuery>(delivery.payload)) {
     ChannelListReply r;

@@ -27,7 +27,7 @@ class BootstrapServer {
     std::vector<std::vector<net::IpAddress>> tracker_groups;
   };
 
-  BootstrapServer(sim::Simulator& simulator, PeerNetwork& network,
+  BootstrapServer(sim::Simulator& simulator, PeerTransport& network,
                   const HostIdentity& identity,
                   sim::Time processing_delay = sim::Time::millis(3));
   ~BootstrapServer();
@@ -55,11 +55,11 @@ class BootstrapServer {
   bool dark() const { return dark_; }
 
  private:
-  void handle(const PeerNetwork::Delivery& delivery);
+  void handle(const PeerTransport::Delivery& delivery);
   void reply(net::IpAddress to, Message m);
 
   sim::Simulator& simulator_;
-  PeerNetwork& network_;
+  PeerTransport& network_;
   HostIdentity identity_;
   sim::Time processing_delay_;
   // Ordered so the channel list is served in a stable order.

@@ -8,7 +8,14 @@
 
 namespace ppsim::proto {
 
-/// The datagram network all protocol entities speak over.
+/// The transport seam all protocol entities speak over. Entities hold this
+/// abstract view so the same unmodified protocol logic runs over the
+/// simulated network (net::Network) and the real-wire UDP transport
+/// (wire::UdpTransport).
+using PeerTransport = net::DatagramTransport<Message>;
+
+/// The simulated datagram network (composition roots that need the
+/// sim-specific surface — schedule(), ImpairmentOverlay, taps — keep this).
 using PeerNetwork = net::Network<Message>;
 
 /// Everything a protocol entity needs to attach itself to the network.

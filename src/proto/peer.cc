@@ -11,7 +11,7 @@ namespace {
 constexpr double kEwmaAlpha = 0.25;  // weight of the newest latency sample
 }
 
-Peer::Peer(sim::Simulator& simulator, PeerNetwork& network,
+Peer::Peer(sim::Simulator& simulator, PeerTransport& network,
            const HostIdentity& identity, ChannelSpec channel,
            net::IpAddress bootstrap, sim::Rng rng, PeerConfig config,
            std::unique_ptr<SelectionPolicy> policy)
@@ -26,7 +26,7 @@ Peer::Peer(sim::Simulator& simulator, PeerNetwork& network,
       store_(config.chunk_retention) {
   network_.attach(identity_.ip, identity_.isp, identity_.category,
                   identity_.profile,
-                  [this](const PeerNetwork::Delivery& d) { handle(d); });
+                  [this](const PeerTransport::Delivery& d) { handle(d); });
   alive_ = true;
 }
 
@@ -752,7 +752,7 @@ std::size_t Peer::approx_live_bytes() const {
   return total_bytes;
 }
 
-void Peer::handle(const PeerNetwork::Delivery& delivery) {
+void Peer::handle(const PeerTransport::Delivery& delivery) {
   if (!alive_) return;
   const net::IpAddress from = delivery.from;
 

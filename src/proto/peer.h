@@ -50,7 +50,7 @@ namespace ppsim::proto {
 /// the run completes — leave() makes all callbacks inert).
 class Peer {
  public:
-  Peer(sim::Simulator& simulator, PeerNetwork& network,
+  Peer(sim::Simulator& simulator, PeerTransport& network,
        const HostIdentity& identity, ChannelSpec channel,
        net::IpAddress bootstrap, sim::Rng rng, PeerConfig config = {},
        std::unique_ptr<SelectionPolicy> policy = nullptr);
@@ -190,14 +190,14 @@ class Peer {
   void maybe_start_playback();
 
   // --- plumbing ---
-  void handle(const PeerNetwork::Delivery& delivery);
+  void handle(const PeerTransport::Delivery& delivery);
   void send(net::IpAddress to, Message m, bool with_processing_delay = true);
   void add_neighbor(net::IpAddress ip, double initial_latency_s,
                     BufferMap map);
   void drop_neighbor(net::IpAddress ip, bool notify);
 
   sim::Simulator& simulator_;
-  PeerNetwork& network_;
+  PeerTransport& network_;
   HostIdentity identity_;
   ChannelSpec channel_;
   net::IpAddress bootstrap_;

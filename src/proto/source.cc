@@ -4,7 +4,7 @@
 
 namespace ppsim::proto {
 
-StreamSource::StreamSource(sim::Simulator& simulator, PeerNetwork& network,
+StreamSource::StreamSource(sim::Simulator& simulator, PeerTransport& network,
                            const HostIdentity& identity, ChannelSpec channel,
                            std::vector<net::IpAddress> trackers, sim::Rng rng,
                            Config config)
@@ -21,7 +21,7 @@ StreamSource::StreamSource(sim::Simulator& simulator, PeerNetwork& network,
                  : config.chunk_retention) {
   network_.attach(identity_.ip, identity_.isp, identity_.category,
                   identity_.profile,
-                  [this](const PeerNetwork::Delivery& d) { handle(d); });
+                  [this](const PeerTransport::Delivery& d) { handle(d); });
 }
 
 StreamSource::~StreamSource() { network_.detach(identity_.ip); }
@@ -102,7 +102,7 @@ void StreamSource::touch_neighbor(net::IpAddress ip) {
   if (it != neighbors_.end()) it->second.last_seen = simulator_.now();
 }
 
-void StreamSource::handle(const PeerNetwork::Delivery& delivery) {
+void StreamSource::handle(const PeerTransport::Delivery& delivery) {
   const net::IpAddress from = delivery.from;
 
   if (const auto* connect = std::get_if<ConnectQuery>(&delivery.payload)) {

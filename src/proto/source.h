@@ -37,7 +37,7 @@ class StreamSource {
  public:
   using Config = SourceConfig;
 
-  StreamSource(sim::Simulator& simulator, PeerNetwork& network,
+  StreamSource(sim::Simulator& simulator, PeerTransport& network,
                const HostIdentity& identity, ChannelSpec channel,
                std::vector<net::IpAddress> trackers, sim::Rng rng,
                Config config = {});
@@ -67,7 +67,7 @@ class StreamSource {
   std::size_t neighbor_count() const { return neighbors_.size(); }
 
  private:
-  void handle(const PeerNetwork::Delivery& delivery);
+  void handle(const PeerTransport::Delivery& delivery);
   void produce_chunk();
   void announce_maps();
   void refresh_trackers();
@@ -75,7 +75,7 @@ class StreamSource {
   void touch_neighbor(net::IpAddress ip);
 
   sim::Simulator& simulator_;
-  PeerNetwork& network_;
+  PeerTransport& network_;
   HostIdentity identity_;
   ChannelSpec channel_;
   std::vector<net::IpAddress> trackers_;

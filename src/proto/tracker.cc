@@ -4,7 +4,7 @@
 
 namespace ppsim::proto {
 
-TrackerServer::TrackerServer(sim::Simulator& simulator, PeerNetwork& network,
+TrackerServer::TrackerServer(sim::Simulator& simulator, PeerTransport& network,
                              const HostIdentity& identity, sim::Rng rng,
                              Config config)
     : simulator_(simulator),
@@ -14,7 +14,7 @@ TrackerServer::TrackerServer(sim::Simulator& simulator, PeerNetwork& network,
       config_(config) {
   network_.attach(identity_.ip, identity_.isp, identity_.category,
                   identity_.profile,
-                  [this](const PeerNetwork::Delivery& d) { handle(d); });
+                  [this](const PeerTransport::Delivery& d) { handle(d); });
 }
 
 TrackerServer::~TrackerServer() { network_.detach(identity_.ip); }
@@ -44,7 +44,7 @@ std::size_t TrackerServer::member_count(ChannelId channel) {
   return it == members_.end() ? 0 : it->second.size();
 }
 
-void TrackerServer::handle(const PeerNetwork::Delivery& delivery) {
+void TrackerServer::handle(const PeerTransport::Delivery& delivery) {
   const auto* query = std::get_if<TrackerQuery>(&delivery.payload);
   if (query == nullptr) return;  // trackers speak only the tracker protocol
   if (dark_) return;             // fault window: unreachable, query lost

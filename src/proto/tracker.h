@@ -41,7 +41,7 @@ class TrackerServer {
   using Config = TrackerConfig;
 
   /// Attaches itself to the network under `identity`.
-  TrackerServer(sim::Simulator& simulator, PeerNetwork& network,
+  TrackerServer(sim::Simulator& simulator, PeerTransport& network,
                 const HostIdentity& identity, sim::Rng rng,
                 Config config = {});
   ~TrackerServer();
@@ -72,7 +72,7 @@ class TrackerServer {
   std::uint64_t queries_served() const { return queries_served_; }
 
  private:
-  void handle(const PeerNetwork::Delivery& delivery);
+  void handle(const PeerTransport::Delivery& delivery);
   void refresh(ChannelId channel, net::IpAddress member);
   void expire(ChannelId channel);
 
@@ -82,7 +82,7 @@ class TrackerServer {
   };
 
   sim::Simulator& simulator_;
-  PeerNetwork& network_;
+  PeerTransport& network_;
   HostIdentity identity_;
   sim::Rng rng_;
   Config config_;

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <chrono>
+
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace ppsim::wire {
+
+/// Real-time clock adapter: maps the monotonic wall clock onto the sim
+/// timeline, with t=0 at construction. This file is the *only* place the
+/// deployment mode reads a wall clock — protocol entities keep consuming
+/// sim::Simulator::now(), which the node's run loop advances to wall time
+/// (the sim/proto/net modules stay under the audit's wall-clock ban; the
+/// wire module is exempt by design, see docs/WIRE.md).
+class WallClock {
+ public:
+  WallClock() : start_(std::chrono::steady_clock::now()) {}
+
+  /// Monotonic time elapsed since construction, as sim time.
+  sim::Time now() const {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    return sim::Time::from_seconds(
+        std::chrono::duration<double>(elapsed).count());
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Advances `simulator` to wall time `target`. run_until alone leaves now()
+/// resting at the last executed event when the queue drains early, so a
+/// no-op event is pinned at the target first — handlers and timers always
+/// observe now() == wall time at the top of each loop iteration.
+inline void advance_to_wall(sim::Simulator& simulator, sim::Time target) {
+  if (target < simulator.now()) return;
+  simulator.schedule_at(target, [] {}, "wire.tick");
+  simulator.run_until(target);
+}
+
+}  // namespace ppsim::wire

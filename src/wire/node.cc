@@ -1,0 +1,251 @@
+#include "wire/node.h"
+
+#include <cassert>
+#include <fstream>
+#include <memory>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "net/asn_db.h"
+#include "obs/metrics.h"
+#include "obs/sampler.h"
+#include "obs/trace.h"
+#include "proto/bootstrap.h"
+#include "proto/peer.h"
+#include "proto/source.h"
+#include "proto/tracker.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+#include "wire/clock.h"
+
+namespace ppsim::wire {
+
+namespace {
+
+/// A node's HostIdentity, attributed via the loopback ASN database. The
+/// access profile is informational on the wire (the kernel enforces real
+/// capacity); the default profile keeps the field well-formed.
+proto::HostIdentity loopback_identity(const net::IspRegistry& registry,
+                                      const net::AsnDatabase& db,
+                                      net::IpAddress ip) {
+  const net::IspCategory category = db.category_or_foreign(ip);
+  const auto ids = registry.in_category(category);
+  assert(!ids.empty());
+  return proto::HostIdentity{ip, ids.front(), category,
+                             net::AccessProfile{}};
+}
+
+}  // namespace
+
+net::IspRegistry loopback_registry() {
+  net::IspRegistry registry;
+  struct Block {
+    const char* name;
+    std::uint32_t asn;
+    net::IspCategory category;
+    std::uint8_t second_octet;
+  };
+  // ASNs echo the standard topology's backbone numbers so analysis output
+  // reads the same in sim and wire runs.
+  const Block blocks[] = {
+      {"LOOP-TELE", 4134, net::IspCategory::kTele, 1},
+      {"LOOP-CNC", 4837, net::IspCategory::kCnc, 2},
+      {"LOOP-CER", 4538, net::IspCategory::kCer, 3},
+      {"LOOP-OTHER-CN", 9394, net::IspCategory::kOtherCn, 4},
+      {"LOOP-FOREIGN", 701, net::IspCategory::kForeign, 5},
+  };
+  for (const auto& b : blocks) {
+    const net::IspId id = registry.add(b.name, b.asn, b.category);
+    registry.add_prefix(
+        id, net::Prefix(net::IpAddress(127, b.second_octet, 0, 0), 16));
+  }
+  return registry;
+}
+
+NodeReport run_node(const NodeConfig& config,
+                    const std::function<bool()>& stop) {
+  const net::IspRegistry registry = loopback_registry();
+  const net::AsnDatabase db = net::AsnDatabase::from_registry(registry);
+
+  sim::Simulator simulator;
+  UdpTransport::Config transport_config;
+  transport_config.port = config.port;
+  transport_config.epoch = config.epoch;
+  UdpTransport transport(transport_config);
+  sim::Rng rng(config.seed);
+
+  // --- observability sinks (all optional, mirroring the sim CLI) ---
+  std::ofstream trace_os;
+  std::unique_ptr<obs::NdjsonTraceSink> trace_sink;
+  if (!config.trace_out.empty()) {
+    trace_os.open(config.trace_out);
+    trace_sink = std::make_unique<obs::NdjsonTraceSink>(trace_os);
+  }
+  obs::MetricsRegistry metrics;
+  obs::TrafficSampler sampler;
+  obs::IspMatrix traffic{};
+
+  std::uint64_t payload_total = 0;
+  std::uint64_t payload_same_isp = 0;
+  const net::IspCategory own_category = db.category_or_foreign(config.ip);
+  transport.set_delivery_tap([&](const UdpTransport::Delivery& d) {
+    if (const auto* dr = std::get_if<proto::DataReply>(&d.payload)) {
+      const auto src = static_cast<std::size_t>(db.category_or_foreign(d.from));
+      const auto dst = static_cast<std::size_t>(db.category_or_foreign(d.to));
+      traffic[src][dst] += dr->payload_bytes;
+      payload_total += dr->payload_bytes;
+      if (src == dst) payload_same_isp += dr->payload_bytes;
+    }
+  });
+
+  // --- the entity this process hosts ---
+  std::unique_ptr<proto::BootstrapServer> bootstrap;
+  std::unique_ptr<proto::TrackerServer> tracker;
+  std::unique_ptr<proto::StreamSource> source;
+  std::unique_ptr<proto::Peer> peer;
+  switch (config.role) {
+    case NodeRole::kHub: {
+      bootstrap = std::make_unique<proto::BootstrapServer>(
+          simulator, transport,
+          loopback_identity(registry, db, config.bootstrap));
+      tracker = std::make_unique<proto::TrackerServer>(
+          simulator, transport,
+          loopback_identity(registry, db, config.tracker), rng.fork(1));
+      proto::BootstrapServer::ChannelEntry entry;
+      entry.channel = config.channel.id;
+      entry.source = config.source;
+      entry.tracker_groups = {{config.tracker}};
+      bootstrap->register_channel(std::move(entry));
+      if (trace_sink != nullptr) {
+        bootstrap->set_trace_sink(trace_sink.get());
+        tracker->set_trace_sink(trace_sink.get());
+      }
+      break;
+    }
+    case NodeRole::kSource: {
+      source = std::make_unique<proto::StreamSource>(
+          simulator, transport, loopback_identity(registry, db, config.ip),
+          config.channel, std::vector<net::IpAddress>{config.tracker},
+          rng.fork(2));
+      if (trace_sink != nullptr) source->set_trace_sink(trace_sink.get());
+      source->start();
+      break;
+    }
+    case NodeRole::kPeer: {
+      peer = std::make_unique<proto::Peer>(
+          simulator, transport, loopback_identity(registry, db, config.ip),
+          config.channel, config.bootstrap, rng.fork(3));
+      if (trace_sink != nullptr) peer->set_trace_sink(trace_sink.get());
+      peer->join();
+      break;
+    }
+  }
+
+  // --- the real-time loop: wall clock -> simulator -> sockets ---
+  WallClock clock;
+  sim::Time next_sample = config.sample_period;
+  const auto collect_sample = [&] {
+    double continuity = 0.0;
+    std::uint64_t viewers = 0;
+    std::uint64_t same_isp_links = 0;
+    std::uint64_t total_links = 0;
+    if (peer != nullptr && peer->alive()) {
+      const auto& c = peer->counters();
+      if (c.chunks_played + c.chunks_missed > 0) {
+        continuity = c.continuity();
+        viewers = 1;
+      }
+      for (const auto& ip : peer->neighbor_ips()) {
+        ++total_links;
+        if (db.category_or_foreign(ip) == own_category) ++same_isp_links;
+      }
+    }
+    sampler.record(
+        simulator.now(), traffic,
+        total_links == 0 ? 0.0
+                         : static_cast<double>(same_isp_links) /
+                               static_cast<double>(total_links),
+        viewers == 0 ? 0.0 : continuity, viewers);
+  };
+
+  for (;;) {
+    if (stop()) break;
+    const sim::Time wall = clock.now();
+    if (config.duration > sim::Time::zero() && wall >= config.duration) break;
+    advance_to_wall(simulator, wall);
+    transport.poll(/*timeout_ms=*/2);
+    transport.dispatch(simulator.now());
+    if (config.sample_period > sim::Time::zero() && wall >= next_sample) {
+      collect_sample();
+      next_sample = next_sample + config.sample_period;
+    }
+  }
+
+  // --- graceful shutdown ---
+  // Leaving notifies neighbors; a short drain window lets the goodbyes (and
+  // any replies already queued to us) clear before sockets close.
+  if (peer != nullptr) peer->leave();
+  if (source != nullptr) source->stop();
+  const sim::Time drain_until = clock.now() + sim::Time::millis(200);
+  while (clock.now() < drain_until) {
+    advance_to_wall(simulator, clock.now());
+    transport.poll(/*timeout_ms=*/10);
+    transport.dispatch(simulator.now());
+  }
+  if (config.sample_period > sim::Time::zero()) collect_sample();
+
+  // --- report + sink flush (runs on every exit path, signal included) ---
+  NodeReport report;
+  report.transport = transport.stats();
+  report.rx_errors = transport.rx_errors();
+  if (peer != nullptr) {
+    report.counters = peer->counters();
+    report.continuity = report.counters.continuity();
+  }
+  if (source != nullptr) {
+    report.chunks_produced = source->chunks_produced();
+    report.requests_served = source->requests_served();
+  }
+  if (tracker != nullptr) report.queries_served = tracker->queries_served();
+  if (bootstrap != nullptr) report.joins_served = bootstrap->joins_served();
+  report.samples_recorded = sampler.samples().size();
+  report.delivered_locality =
+      payload_total == 0 ? 0.0
+                         : static_cast<double>(payload_same_isp) /
+                               static_cast<double>(payload_total);
+
+  if (!config.samples_out.empty()) {
+    std::ofstream os(config.samples_out);
+    obs::write_samples_ndjson(os, sampler.samples());
+  }
+  if (!config.metrics_out.empty()) {
+    metrics.counter("wire_packets_sent").inc(report.transport.packets_sent);
+    metrics.counter("wire_packets_delivered")
+        .inc(report.transport.packets_delivered);
+    metrics.counter("wire_bytes_sent").inc(report.transport.bytes_sent);
+    metrics.counter("wire_uplink_drops").inc(report.transport.uplink_drops);
+    metrics.counter("wire_downlink_drops")
+        .inc(report.transport.downlink_drops);
+    metrics.counter("wire_dead_destination_drops")
+        .inc(report.transport.dead_destination_drops);
+    metrics.counter("wire_rx_errors").inc(report.rx_errors.total());
+    if (peer != nullptr) {
+      proto::for_each_field(
+          report.counters, [&](const char* name, const std::uint64_t& v) {
+            metrics.counter(std::string("peer_") + name).inc(v);
+          });
+      metrics.gauge("continuity").set(report.continuity);
+    }
+    metrics.gauge("delivered_locality").set(report.delivered_locality);
+    std::ofstream os(config.metrics_out);
+    metrics.write_ndjson(os);
+  }
+  if (trace_os.is_open()) {
+    trace_os.flush();
+    trace_os.close();
+  }
+  return report;
+}
+
+}  // namespace ppsim::wire

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/isp.h"
+#include "proto/channel.h"
+#include "proto/counters.h"
+#include "sim/time.h"
+#include "wire/udp.h"
+
+namespace ppsim::wire {
+
+/// What one ppsim-node process runs. A deployment is one kHub (bootstrap +
+/// tracker, two IPs in one process), one kSource, and N kPeer processes,
+/// mirroring the sim experiment's infrastructure split.
+enum class NodeRole : std::uint8_t { kHub = 0, kSource = 1, kPeer = 2 };
+
+/// Configuration of one node process (tools/ppsim_node.cc maps CLI flags
+/// onto this 1:1; docs/WIRE.md documents the flags).
+struct NodeConfig {
+  NodeRole role = NodeRole::kPeer;
+  net::IpAddress ip;         // this node's address (all roles)
+  net::IpAddress bootstrap;  // hub binds it via `ip`; peers join through it
+  net::IpAddress tracker;    // hub binds it; the source registers with it
+  net::IpAddress source;     // hub advertises it as the channel's playlink
+  std::uint16_t port = 0;    // shared deployment UDP port
+  std::uint16_t epoch = 1;   // ppsim-wire-v1 channel epoch
+  proto::ChannelSpec channel;  // must agree across the deployment
+  sim::Time duration;        // zero: run until the stop callback fires
+  std::uint64_t seed = 1;
+
+  // Observability sinks, the same surface the sim CLI exposes; empty paths
+  // disable a sink. All files are flushed on graceful shutdown (SIGINT/
+  // SIGTERM included), never left mid-line.
+  std::string metrics_out;
+  std::string samples_out;
+  std::string trace_out;
+  sim::Time sample_period = sim::Time::seconds(5);
+};
+
+/// End-of-run summary, printed by ppsim-node and asserted by the loopback
+/// smoke harness (tools/wire_smoke.py).
+struct NodeReport {
+  proto::PeerCounters counters;  // peer role; zero otherwise
+  UdpTransport::Stats transport;
+  UdpTransport::RxErrors rx_errors;
+  double continuity = 0.0;            // peer role
+  std::uint64_t chunks_produced = 0;  // source role
+  std::uint64_t requests_served = 0;  // source role
+  std::uint64_t queries_served = 0;   // hub role (tracker)
+  std::uint64_t joins_served = 0;     // hub role (bootstrap)
+  std::uint64_t samples_recorded = 0;
+  /// Same-ISP share of DataReply payload bytes this node received.
+  double delivered_locality = 0.0;
+};
+
+/// The loopback deployment topology: one /16 of 127.0.0.0/8 per paper
+/// reporting category (127.1/16 TELE, 127.2/16 CNC, 127.3/16 CER,
+/// 127.4/16 OTHER_CN, 127.5/16 FOREIGN), so a node's ISP attribution is a
+/// pure function of the address it binds — the wire analogue of the sim's
+/// prefix-allocated standard_topology().
+net::IspRegistry loopback_registry();
+
+/// Runs one node until `stop()` returns true or `config.duration` elapses
+/// (when nonzero). Single-threaded: simulator events, socket poll and
+/// handler dispatch alternate on the caller's thread, so `stop` is polled
+/// every loop iteration (signal handlers set a flag; they never run node
+/// code). Flushes every configured sink before returning.
+NodeReport run_node(const NodeConfig& config,
+                    const std::function<bool()>& stop);
+
+}  // namespace ppsim::wire

@@ -1,0 +1,16 @@
+// Fixture: wire codec tag table with completeness holes.
+#pragma once
+#include <cstdint>
+
+#include "proto/message.h"
+
+namespace ppsim::wire {
+
+enum class Tag : std::uint8_t {
+  kPing = 0,
+  kStale = 1,  // completeness: wire-tag (not a Message variant member)
+};
+
+std::uint8_t encode(const proto::Message& m);
+
+}  // namespace ppsim::wire

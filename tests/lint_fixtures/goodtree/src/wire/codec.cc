@@ -1,0 +1,22 @@
+// Fixture: encode branch + decode branch for every variant member.
+#include "wire/codec.h"
+
+namespace ppsim::wire {
+
+struct EncodeVisitor {
+  std::uint8_t operator()(const proto::Ping&) const { return 0; }
+};
+
+std::uint8_t decode(std::uint8_t tag) {
+  switch (static_cast<Tag>(tag)) {
+    case Tag::kPing:
+      return 0;
+  }
+  return 1;
+}
+
+std::uint8_t encode(const proto::Message& m) {
+  return std::visit(EncodeVisitor{}, m);
+}
+
+}  // namespace ppsim::wire

@@ -1,0 +1,15 @@
+// Fixture: complete wire codec tag table for the single-message variant.
+#pragma once
+#include <cstdint>
+
+#include "proto/message.h"
+
+namespace ppsim::wire {
+
+enum class Tag : std::uint8_t {
+  kPing = 0,
+};
+
+std::uint8_t encode(const proto::Message& m);
+
+}  // namespace ppsim::wire

@@ -64,7 +64,7 @@ TEST(LintRegistry, FivePassesInOrder) {
 
 TEST(LintGoodTree, NoFindings) {
   const Tree tree = load("goodtree");
-  EXPECT_EQ(tree.files.size(), 9u);
+  EXPECT_EQ(tree.files.size(), 11u);
   const std::vector<Finding> findings = run_all(tree);
   EXPECT_TRUE(findings.empty()) << findings.size() << " findings; first: "
                                 << (findings.empty()
@@ -124,6 +124,20 @@ TEST(LintBadTree, CompletenessFindings) {
   EXPECT_TRUE(has(f, "core/experiment.cc", 1, "drop-counter", "ghost_drops"));
   // uplink_drops is live and reconciled — no finding.
   EXPECT_FALSE(has(f, "net/transport.h", 9, "drop-counter", "uplink_drops"));
+  // Wire codec coverage: Tag enum, encode/decode branches, docs table —
+  // missing members and stale extras in both directions.
+  EXPECT_TRUE(has(f, "wire/codec.h", 9, "wire-tag", "Pong"));
+  EXPECT_TRUE(has(f, "wire/codec.h", 9, "wire-tag", "Ghost"));
+  EXPECT_TRUE(has(f, "wire/codec.h", 9, "wire-tag", "Stale"));
+  EXPECT_FALSE(has(f, "wire/codec.h", 9, "wire-tag", "Ping"));
+  EXPECT_TRUE(has(f, "wire/codec.cc", 1, "wire-encode", "Pong"));
+  EXPECT_TRUE(has(f, "wire/codec.cc", 1, "wire-encode", "Ghost"));
+  EXPECT_TRUE(has(f, "wire/codec.cc", 1, "wire-decode", "Pong"));
+  EXPECT_TRUE(has(f, "wire/codec.cc", 1, "wire-decode", "Ghost"));
+  EXPECT_TRUE(has(f, "docs/WIRE.md", 3, "wire-doc", "Pong"));
+  EXPECT_TRUE(has(f, "docs/WIRE.md", 3, "wire-doc", "Ghost"));
+  EXPECT_TRUE(has(f, "docs/WIRE.md", 3, "wire-doc", "Phantom"));
+  EXPECT_FALSE(has(f, "docs/WIRE.md", 3, "wire-doc", "Ping"));
   // Resource gauges vs docs table, both directions.
   EXPECT_TRUE(has(f, "docs/OBSERVABILITY.md", 3, "resource-gauge-doc",
                   "sched_undocumented_gauge"));
@@ -136,7 +150,7 @@ TEST(LintBadTree, CompletenessFindings) {
 
 TEST(LintBadTree, ExactFindingCountAndSorted) {
   const std::vector<Finding> f = run_all(load("badtree"));
-  EXPECT_EQ(f.size(), 27u);
+  EXPECT_EQ(f.size(), 37u);
   EXPECT_TRUE(std::is_sorted(f.begin(), f.end(), [](const Finding& a,
                                                     const Finding& b) {
     return std::tie(a.pass, a.file, a.line, a.check, a.token) <

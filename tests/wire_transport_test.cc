@@ -1,0 +1,177 @@
+#include "wire/udp.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "net/bandwidth.h"
+#include "net/ip.h"
+#include "proto/message.h"
+#include "sim/time.h"
+
+namespace ppsim::wire {
+namespace {
+
+// Each test binds its own far-corner port so parallel ctest shards never
+// collide; sockets close with the transport at the end of the test body.
+constexpr std::uint16_t kBasePort = 46310;
+
+net::AccessProfile test_profile() { return net::AccessProfile{}; }
+
+proto::Message sample_query() { return proto::JoinQuery{42}; }
+
+struct Inbox {
+  std::vector<proto::PeerTransport::Delivery> deliveries;
+  proto::PeerTransport::Handler handler() {
+    return [this](const proto::PeerTransport::Delivery& d) {
+      deliveries.push_back(d);
+    };
+  }
+};
+
+TEST(WireUdpTransport, DeliversBetweenAttachedHosts) {
+  UdpTransport transport({.port = kBasePort, .epoch = 3});
+  const net::IpAddress a(127, 1, 0, 1);
+  const net::IpAddress b(127, 2, 0, 1);
+  Inbox inbox_a, inbox_b;
+  transport.attach(a, net::IspId{1}, net::IspCategory::kTele, test_profile(),
+                   inbox_a.handler());
+  transport.attach(b, net::IspId{2}, net::IspCategory::kCnc, test_profile(),
+                   inbox_b.handler());
+  EXPECT_TRUE(transport.attached(a));
+  EXPECT_TRUE(transport.attached(b));
+  EXPECT_EQ(transport.host_count(), 2u);
+
+  const proto::Message m = sample_query();
+  const std::uint64_t bytes = proto::wire_size(m);
+  ASSERT_TRUE(transport.send(a, b, m, bytes));
+  ASSERT_GE(transport.poll(500), 1);
+  EXPECT_EQ(transport.rx_queue_depth(), 1u);
+  EXPECT_EQ(transport.dispatch(sim::Time::from_seconds(1.0)), 1);
+
+  ASSERT_EQ(inbox_b.deliveries.size(), 1u);
+  EXPECT_TRUE(inbox_a.deliveries.empty());
+  const auto& d = inbox_b.deliveries.front();
+  EXPECT_EQ(d.from, a);
+  EXPECT_EQ(d.to, b);
+  EXPECT_EQ(d.wire_bytes, bytes);
+  EXPECT_EQ(d.sent_at, sim::Time::from_seconds(1.0));
+  ASSERT_TRUE(std::holds_alternative<proto::JoinQuery>(d.payload));
+  EXPECT_EQ(std::get<proto::JoinQuery>(d.payload).channel, 42u);
+
+  const auto& stats = transport.stats();
+  EXPECT_EQ(stats.packets_sent, 1u);
+  EXPECT_EQ(stats.packets_delivered, 1u);
+  EXPECT_EQ(stats.bytes_sent, bytes);
+  EXPECT_EQ(transport.rx_errors().total(), 0u);
+}
+
+TEST(WireUdpTransport, UnknownSenderIsRejectedUncounted) {
+  UdpTransport transport({.port = kBasePort + 1});
+  const net::IpAddress b(127, 2, 0, 1);
+  Inbox inbox;
+  transport.attach(b, net::IspId{2}, net::IspCategory::kCnc, test_profile(),
+                   inbox.handler());
+  // Mirrors the sim Network: a send from a host that never attached is a
+  // caller bug, refused without touching the packet ledger.
+  EXPECT_FALSE(transport.send(net::IpAddress(127, 9, 0, 9), b, sample_query(),
+                              proto::wire_size(sample_query())));
+  EXPECT_EQ(transport.stats().packets_sent, 0u);
+}
+
+TEST(WireUdpTransport, DetachedDestinationCountsDeadDrop) {
+  UdpTransport transport({.port = kBasePort + 2});
+  const net::IpAddress a(127, 1, 0, 1);
+  const net::IpAddress b(127, 2, 0, 1);
+  Inbox inbox_a, inbox_b;
+  transport.attach(a, net::IspId{1}, net::IspCategory::kTele, test_profile(),
+                   inbox_a.handler());
+  transport.attach(b, net::IspId{2}, net::IspCategory::kCnc, test_profile(),
+                   inbox_b.handler());
+  ASSERT_TRUE(transport.send(a, b, sample_query(),
+                             proto::wire_size(sample_query())));
+  ASSERT_GE(transport.poll(500), 1);
+  transport.detach(b);  // departs while the datagram sits in the rx queue
+  EXPECT_FALSE(transport.attached(b));
+  EXPECT_EQ(transport.dispatch(sim::Time()), 0);
+  EXPECT_TRUE(inbox_b.deliveries.empty());
+  EXPECT_EQ(transport.stats().dead_destination_drops, 1u);
+  EXPECT_EQ(transport.stats().packets_delivered, 0u);
+}
+
+TEST(WireUdpTransport, ReceiveQueueOverflowCountsDownlinkDrops) {
+  UdpTransport transport({.port = kBasePort + 3, .rx_queue_limit = 2});
+  const net::IpAddress a(127, 1, 0, 1);
+  const net::IpAddress b(127, 2, 0, 1);
+  Inbox inbox_a, inbox_b;
+  transport.attach(a, net::IspId{1}, net::IspCategory::kTele, test_profile(),
+                   inbox_a.handler());
+  transport.attach(b, net::IspId{2}, net::IspCategory::kCnc, test_profile(),
+                   inbox_b.handler());
+  const proto::Message m = sample_query();
+  for (int i = 0; i < 5; ++i)
+    ASSERT_TRUE(transport.send(a, b, m, proto::wire_size(m)));
+  // Give the kernel a beat to surface all five datagrams, then drain.
+  int enqueued = 0;
+  for (int tries = 0; tries < 50 && enqueued < 2; ++tries)
+    enqueued += transport.poll(100);
+  EXPECT_EQ(transport.rx_queue_depth(), 2u);
+  EXPECT_EQ(transport.stats().downlink_drops, 3u);
+  EXPECT_EQ(transport.dispatch(sim::Time()), 2);
+  EXPECT_EQ(inbox_b.deliveries.size(), 2u);
+}
+
+TEST(WireUdpTransport, EpochMismatchIsCountedNotDelivered) {
+  // Two transports = two deployments sharing the loopback wire but keyed
+  // to different channel epochs; the stale sender's packets must be
+  // rejected at decode, before any handler.
+  UdpTransport current({.port = kBasePort + 4, .epoch = 2});
+  UdpTransport stale({.port = kBasePort + 4, .epoch = 1});
+  const net::IpAddress a(127, 1, 0, 1);
+  const net::IpAddress b(127, 2, 0, 1);
+  Inbox inbox_a, inbox_b;
+  stale.attach(a, net::IspId{1}, net::IspCategory::kTele, test_profile(),
+               inbox_a.handler());
+  current.attach(b, net::IspId{2}, net::IspCategory::kCnc, test_profile(),
+                 inbox_b.handler());
+  ASSERT_TRUE(stale.send(a, b, sample_query(),
+                         proto::wire_size(sample_query())));
+  int enqueued = 0;
+  for (int tries = 0; tries < 50 && current.rx_errors().bad_epoch == 0;
+       ++tries)
+    enqueued += current.poll(100);
+  EXPECT_EQ(enqueued, 0);
+  EXPECT_EQ(current.rx_errors().bad_epoch, 1u);
+  EXPECT_EQ(current.rx_errors().total(), 1u);
+  EXPECT_EQ(current.dispatch(sim::Time()), 0);
+  EXPECT_TRUE(inbox_b.deliveries.empty());
+}
+
+TEST(WireUdpTransport, DeliveryTapSeesEveryDelivery) {
+  UdpTransport transport({.port = kBasePort + 5});
+  const net::IpAddress a(127, 1, 0, 1);
+  const net::IpAddress b(127, 2, 0, 1);
+  Inbox inbox_a, inbox_b;
+  transport.attach(a, net::IspId{1}, net::IspCategory::kTele, test_profile(),
+                   inbox_a.handler());
+  transport.attach(b, net::IspId{2}, net::IspCategory::kCnc, test_profile(),
+                   inbox_b.handler());
+  int tapped = 0;
+  transport.set_delivery_tap([&](const proto::PeerTransport::Delivery& d) {
+    ++tapped;
+    EXPECT_EQ(d.to, b);
+  });
+  const proto::Message m = sample_query();
+  ASSERT_TRUE(transport.send(a, b, m, proto::wire_size(m)));
+  ASSERT_TRUE(transport.send(a, b, m, proto::wire_size(m)));
+  int enqueued = 0;
+  for (int tries = 0; tries < 50 && enqueued < 2; ++tries)
+    enqueued += transport.poll(100);
+  EXPECT_EQ(transport.dispatch(sim::Time()), 2);
+  EXPECT_EQ(tapped, 2);
+  EXPECT_EQ(inbox_b.deliveries.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ppsim::wire

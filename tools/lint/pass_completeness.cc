@@ -19,12 +19,19 @@
 // have an increment site in net/ and appear in the total-drops
 // reconciliation in core/experiment.cc.
 //
+// Plus the wire-codec audit (real-wire mode, docs/WIRE.md): every Message
+// variant must have a Tag entry in wire/codec.h (wire-tag), an encode
+// branch and a decode branch in wire/codec.cc (wire-encode / wire-decode),
+// and a packet-table row in docs/WIRE.md (wire-doc) — and each of those
+// four tables must name only variant members, both directions.
+//
 // Plus the resource-gauge audit (scale observatory): the gauge names
 // obs::ResourceProbe publishes (kResourceGaugeNames in
 // obs/resource_probe.h) and the "Resource and scheduler gauges" table in
 // docs/OBSERVABILITY.md must list exactly the same set, both directions —
 // an undocumented gauge or a documented phantom gauge is a finding.
 
+#include <cctype>
 #include <map>
 #include <set>
 #include <string>
@@ -347,6 +354,111 @@ void check_drop_counters(const Tree& tree, std::vector<Finding>* findings) {
   }
 }
 
+/// Wire-codec coverage: proto/message.h's variant vs the four per-message
+/// tables of the real-wire mode — the Tag enum (wire/codec.h), the encode
+/// visitor and the decode switch (wire/codec.cc), and the packet-format
+/// table in docs/WIRE.md. A message type silently missing from any of them
+/// would be unsendable (encode falls through), undecodable (decode rejects
+/// its tag), or undocumented on the wire.
+void check_wire_codec(const Tree& tree, std::vector<Finding>* findings) {
+  const SourceFile* codec_h = find_file(tree, "wire/codec.h");
+  if (codec_h == nullptr) return;  // tree without the wire layer (fixtures)
+  const SourceFile* msg_h = find_file(tree, "proto/message.h");
+  if (msg_h == nullptr) return;
+  const std::vector<std::string> variant = parse_variant(msg_h->stripped);
+  if (variant.empty()) return;
+  const std::set<std::string> in_variant(variant.begin(), variant.end());
+
+  // Tag entries: `kX` enumerators inside `enum class Tag { ... }`.
+  const std::size_t tag_at = codec_h->stripped.find("enum class Tag");
+  if (tag_at == std::string::npos) {
+    add(findings, codec_h->rel, 1, "wire-tag", "Tag",
+        "wire/codec.h no longer declares `enum class Tag`; the codec "
+        "coverage audit needs the per-message tag list");
+    return;
+  }
+  const int tag_line = line_of(codec_h->stripped, tag_at);
+  const std::size_t tag_open = codec_h->stripped.find('{', tag_at);
+  const std::size_t tag_close = tag_open == std::string::npos
+                                    ? std::string::npos
+                                    : codec_h->stripped.find('}', tag_open);
+  if (tag_close == std::string::npos) return;
+  std::set<std::string> tags;
+  for (std::size_t i = tag_open; i < tag_close;) {
+    if (!is_ident_char(codec_h->stripped[i])) {
+      ++i;
+      continue;
+    }
+    std::size_t end = i;
+    while (end < tag_close && is_ident_char(codec_h->stripped[end])) ++end;
+    const std::string ident = codec_h->stripped.substr(i, end - i);
+    if (ident.size() > 1 && ident[0] == 'k' &&
+        (std::isupper(static_cast<unsigned char>(ident[1])) != 0))
+      tags.insert(ident.substr(1));  // kJoinQuery -> JoinQuery
+    i = end;
+  }
+
+  for (const std::string& name : variant)
+    if (!tags.contains(name))
+      add(findings, codec_h->rel, tag_line, "wire-tag", name,
+          "message type has no enumerator in wire::Tag; the wire cannot "
+          "carry it (add `k" + name + "` with the variant's index)");
+  for (const std::string& name : tags)
+    if (!in_variant.contains(name))
+      add(findings, codec_h->rel, tag_line, "wire-tag", name,
+          "wire::Tag names a type that is not a Message variant member; "
+          "remove the stale enumerator");
+
+  // Encode visitor + decode switch branches in wire/codec.cc.
+  if (const SourceFile* codec_cc = find_file(tree, "wire/codec.cc")) {
+    const std::string flat = collapse_ws(codec_cc->stripped);
+    for (const std::string& name : variant) {
+      if (flat.find("(const proto::" + name + "&") == std::string::npos &&
+          flat.find("(const " + name + "&") == std::string::npos)
+        add(findings, codec_cc->rel, 1, "wire-encode", name,
+            "wire/codec.cc has no encode branch (operator() overload) for "
+            "this message type; encode_message would not compile-break, "
+            "it would visit the wrong overload set");
+      if (flat.find("case Tag::k" + name + ":") == std::string::npos)
+        add(findings, codec_cc->rel, 1, "wire-decode", name,
+            "wire/codec.cc has no `case Tag::k" + name +
+                ":` decode branch; datagrams carrying this tag would be "
+                "rejected as undecodable");
+    }
+  }
+
+  // Packet-format table in docs/WIRE.md, both directions.
+  const auto doc = tree.docs.find("WIRE.md");
+  if (doc == tree.docs.end()) {
+    add(findings, "docs/WIRE.md", 1, "wire-doc", "WIRE.md",
+        "the wire layer exists but docs/WIRE.md is missing; the packet "
+        "format table is the format's only human-readable spec");
+    return;
+  }
+  const std::size_t sec_at = doc->second.find("## Packet formats");
+  if (sec_at == std::string::npos) {
+    add(findings, "docs/WIRE.md", 1, "wire-doc", "Packet formats",
+        "docs/WIRE.md has no \"## Packet formats\" section; the audit "
+        "cross-checks its table against the Message variant");
+    return;
+  }
+  std::size_t sec_end = doc->second.find("\n## ", sec_at);
+  if (sec_end == std::string::npos) sec_end = doc->second.size();
+  const std::string section = doc->second.substr(sec_at, sec_end - sec_at);
+  const int doc_line = line_of(doc->second, sec_at);
+  const std::set<std::string> documented = table_entries(section);
+  for (const std::string& name : variant)
+    if (!documented.contains(name))
+      add(findings, "docs/WIRE.md", doc_line, "wire-doc", name,
+          "message type missing from the packet-formats table; every "
+          "variant's body layout must be documented");
+  for (const std::string& name : documented)
+    if (!in_variant.contains(name))
+      add(findings, "docs/WIRE.md", doc_line, "wire-doc", name,
+          "packet-formats table documents a type that is not a Message "
+          "variant member; drop the stale row");
+}
+
 void check_resource_gauges(const Tree& tree, std::vector<Finding>* findings) {
   const SourceFile* probe = find_file(tree, "obs/resource_probe.h");
   if (probe == nullptr) return;  // tree without the probe (fixtures)
@@ -419,6 +531,7 @@ void check_resource_gauges(const Tree& tree, std::vector<Finding>* findings) {
 void pass_completeness(const Tree& tree, std::vector<Finding>* findings) {
   check_message_tables(tree, findings);
   check_drop_counters(tree, findings);
+  check_wire_codec(tree, findings);
   check_resource_gauges(tree, findings);
 }
 

@@ -10,6 +10,7 @@
 //   workload  -> net, proto, sim
 //   baseline  -> net, proto, sim
 //   capture   -> analysis, net, proto, sim
+//   wire      -> net, obs, proto, sim  (real-socket deployment mode)
 //   core      -> everything (the composition root)
 //
 // Upward or undeclared edges get `illegal-include`; includes naming a
@@ -45,6 +46,7 @@ const std::map<std::string, std::set<std::string>>& allowed_deps() {
       {"workload", {"net", "proto", "sim"}},
       {"baseline", {"net", "proto", "sim"}},
       {"capture", {"analysis", "net", "proto", "sim"}},
+      {"wire", {"net", "obs", "proto", "sim"}},
       {"core",
        {"analysis", "baseline", "capture", "faults", "net", "obs", "proto",
         "sim", "workload"}},

@@ -34,9 +34,11 @@ void pass_float_order(const Tree& tree, std::vector<Finding>* findings);
 
 /// variant-membership / span-member / wire-size-visitor / name-visitor /
 /// trace-io-write / trace-io-parse / span-doc / span-stamp / drop-counter /
-/// resource-gauge-doc: cross-checks the proto/message.h variant against
-/// every per-message-type table so a new message type cannot silently skip
-/// one, and the ResourceProbe gauge list against its docs table.
+/// wire-tag / wire-encode / wire-decode / wire-doc / resource-gauge-doc:
+/// cross-checks the proto/message.h variant against every per-message-type
+/// table so a new message type cannot silently skip one — including the
+/// wire codec's Tag enum, encode/decode branches and docs/WIRE.md packet
+/// table — and the ResourceProbe gauge list against its docs table.
 void pass_completeness(const Tree& tree, std::vector<Finding>* findings);
 
 }  // namespace ppsim::lint

@@ -1,0 +1,221 @@
+#!/usr/bin/env python3
+"""Loopback smoke deployment for the real-wire mode (docs/WIRE.md).
+
+Launches one hub (bootstrap + tracker), one stream source and N peers as
+separate ppsim-node processes on 127.0.0.0/8 — second octet encodes the
+ISP, so peers land in different ISPs and the per-ISP sample matrix gets
+off-diagonal traffic. Runs for --duration seconds, then asserts:
+
+  * every process exits 0 and reports zero wire rx_errors;
+  * the source produced chunks and served requests;
+  * at least one surviving peer played chunks with continuity > 0;
+  * a peer's --samples-out NDJSON parses via `ppsim-analyze --samples`;
+  * (unless --no-kill) a peer SIGTERMed mid-run still exits 0 and still
+    writes parseable metrics/samples NDJSON — the graceful-shutdown pin.
+
+Exit 0 on success, 1 on any failed check, with a greppable FAIL line.
+
+Usage:
+  tools/wire_smoke.py --build-dir build [--peers 4] [--duration 30]
+                      [--port 47161] [--sample-period 5] [--no-kill]
+                      [--artifacts-dir DIR]
+"""
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+# Peer addresses cycle through the loopback ISP blocks (127.<n>.0.0/16;
+# see wire::loopback_registry): TELE, CNC, CER, OTHER_CN, FOREIGN.
+HUB_BOOTSTRAP = "127.1.0.1"
+HUB_TRACKER = "127.1.0.2"
+SOURCE_IP = "127.1.0.3"
+PEER_BLOCKS = [1, 2, 3, 4, 5]
+
+failures = []
+
+
+def check(ok, what):
+    tag = "ok" if ok else "FAIL"
+    print(f"wire-smoke {tag}: {what}")
+    if not ok:
+        failures.append(what)
+
+
+def parse_report(stdout):
+    """Collects key=value fields from the ppsim-node summary lines."""
+    fields = {}
+    for line in stdout.splitlines():
+        if not line.startswith("ppsim-node "):
+            continue
+        for token in line.split()[1:]:
+            if "=" in token:
+                key, _, value = token.partition("=")
+                fields[key] = value
+    return fields
+
+
+def ndjson_parses(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            lines = [line for line in f if line.strip()]
+        for line in lines:
+            json.loads(line)
+        return len(lines)
+    except (OSError, json.JSONDecodeError):
+        return -1
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--build-dir", required=True)
+    ap.add_argument("--peers", type=int, default=4)
+    ap.add_argument("--duration", type=float, default=30.0)
+    ap.add_argument("--port", type=int, default=47161)
+    ap.add_argument("--sample-period", type=float, default=5.0)
+    ap.add_argument("--no-kill", action="store_true",
+                    help="skip the SIGTERM-mid-run graceful-shutdown check")
+    ap.add_argument("--artifacts-dir", default=None,
+                    help="keep NDJSON artifacts here (default: temp dir)")
+    args = ap.parse_args()
+
+    node = os.path.join(args.build_dir, "tools", "ppsim-node")
+    analyze = os.path.join(args.build_dir, "tools", "ppsim-analyze")
+    for binary in (node, analyze):
+        if not os.access(binary, os.X_OK):
+            print(f"wire-smoke FAIL: missing binary {binary}")
+            return 1
+
+    out_dir = args.artifacts_dir or tempfile.mkdtemp(prefix="wire_smoke_")
+    os.makedirs(out_dir, exist_ok=True)
+    print(f"wire-smoke: artifacts in {out_dir}")
+
+    kill_victim = None if args.no_kill or args.peers < 2 else args.peers - 1
+
+    def spawn(name, role, ip, duration, extra=()):
+        argv = [
+            node, f"--role={role}", f"--ip={ip}", f"--port={args.port}",
+            f"--duration-s={duration}",
+            f"--sample-period-s={args.sample_period}",
+            f"--bootstrap={HUB_BOOTSTRAP}", f"--tracker={HUB_TRACKER}",
+            f"--source={SOURCE_IP}",
+            f"--metrics-out={out_dir}/{name}_metrics.ndjson",
+            f"--samples-out={out_dir}/{name}_samples.ndjson",
+        ] + list(extra)
+        log = open(os.path.join(out_dir, f"{name}.log"), "w+")
+        proc = subprocess.Popen(argv, stdout=log, stderr=subprocess.STDOUT)
+        return {"name": name, "proc": proc, "log": log}
+
+    procs = []
+    # Servers outlive the peers slightly so departing goodbyes don't land on
+    # closed sockets.
+    server_duration = args.duration + 2.0
+    procs.append(spawn("hub", "hub", HUB_BOOTSTRAP, server_duration))
+    time.sleep(0.3)
+    procs.append(spawn("source", "source", SOURCE_IP, server_duration))
+    time.sleep(0.3)
+    peers = []
+    for i in range(args.peers):
+        block = PEER_BLOCKS[i % len(PEER_BLOCKS)]
+        entry = spawn(f"peer{i}", "peer", f"127.{block}.0.{10 + i}",
+                      args.duration, extra=[f"--seed={i + 1}"])
+        peers.append(entry)
+        procs.append(entry)
+        time.sleep(0.1)
+
+    if kill_victim is not None:
+        time.sleep(args.duration / 2.0)
+        victim = peers[kill_victim]
+        print(f"wire-smoke: SIGTERM {victim['name']} mid-run "
+              f"(pid {victim['proc'].pid})")
+        victim["proc"].send_signal(signal.SIGTERM)
+
+    deadline = time.monotonic() + server_duration + 30.0
+    for entry in procs:
+        remaining = max(1.0, deadline - time.monotonic())
+        try:
+            entry["proc"].wait(timeout=remaining)
+        except subprocess.TimeoutExpired:
+            entry["proc"].kill()
+            entry["proc"].wait()
+            check(False, f"{entry['name']} hung past deadline")
+
+    reports = {}
+    for entry in procs:
+        entry["log"].seek(0)
+        stdout = entry["log"].read()
+        entry["log"].close()
+        reports[entry["name"]] = parse_report(stdout)
+        check(entry["proc"].returncode == 0,
+              f"{entry['name']} exit code {entry['proc'].returncode}")
+
+    for name, rep in reports.items():
+        check(rep.get("rx_errors") == "0",
+              f"{name} rx_errors={rep.get('rx_errors')}")
+
+    src = reports["source"]
+    check(int(src.get("chunks_produced", 0)) > 0,
+          f"source chunks_produced={src.get('chunks_produced')}")
+    check(int(src.get("requests_served", 0)) > 0,
+          f"source requests_served={src.get('requests_served')}")
+    check(int(reports["hub"].get("joins_served", 0)) >= args.peers,
+          f"hub joins_served={reports['hub'].get('joins_served')}")
+
+    survivors = [p for i, p in enumerate(peers) if i != kill_victim]
+    best = None
+    for entry in survivors:
+        rep = reports[entry["name"]]
+        played = int(rep.get("chunks_played", 0))
+        continuity = float(rep.get("continuity", 0.0))
+        print(f"wire-smoke: {entry['name']} chunks_played={played} "
+              f"continuity={continuity:.4f} "
+              f"locality={rep.get('locality')}")
+        if best is None or played > best[1]:
+            best = (entry["name"], played, continuity)
+    check(best is not None and best[1] > 0,
+          f"delivered chunks on best surviving peer ({best})")
+    check(best is not None and best[2] > 0.0,
+          f"continuity > 0 on best surviving peer ({best})")
+
+    sample_file = os.path.join(out_dir, f"{survivors[0]['name']}_samples.ndjson")
+    analyzed = subprocess.run([analyze, "--samples", sample_file],
+                              capture_output=True, text=True)
+    check(analyzed.returncode == 0,
+          f"ppsim-analyze --samples {sample_file} "
+          f"(rc={analyzed.returncode})")
+    if analyzed.returncode == 0:
+        print(analyzed.stdout.rstrip()[:2000])
+
+    if kill_victim is not None:
+        name = peers[kill_victim]["name"]
+        # The SIGTERM path must flush complete NDJSON, not truncated lines.
+        metric_rows = ndjson_parses(os.path.join(out_dir,
+                                                 f"{name}_metrics.ndjson"))
+        sample_rows = ndjson_parses(os.path.join(out_dir,
+                                                 f"{name}_samples.ndjson"))
+        check(metric_rows > 0, f"killed {name} metrics NDJSON parses "
+                               f"({metric_rows} rows)")
+        check(sample_rows > 0, f"killed {name} samples NDJSON parses "
+                               f"({sample_rows} rows)")
+        killed_analyzed = subprocess.run(
+            [analyze, "--samples",
+             os.path.join(out_dir, f"{name}_samples.ndjson")],
+            capture_output=True, text=True)
+        check(killed_analyzed.returncode == 0,
+              f"ppsim-analyze on killed {name} samples "
+              f"(rc={killed_analyzed.returncode})")
+
+    if failures:
+        print(f"wire-smoke FAIL: {len(failures)} check(s) failed")
+        return 1
+    print("wire-smoke PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
