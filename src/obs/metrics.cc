@@ -162,58 +162,62 @@ void MetricsRegistry::merge_from(const MetricsRegistry& other) {
   }
 }
 
-void MetricsRegistry::write_ndjson(std::ostream& os) const {
+void MetricsRegistry::for_each(
+    const std::function<void(const EntryView&)>& fn) const {
   for (const auto& [key, e] : entries_) {
-    os << "{\"metric\":";
-    write_json_string(os, e.name);
-    os << ",\"type\":";
-    switch (e.kind) {
-      case Kind::kCounter:
-        os << "\"counter\"";
-        break;
-      case Kind::kGauge:
-        os << "\"gauge\"";
-        break;
-      case Kind::kHistogram:
-        os << "\"histogram\"";
-        break;
-    }
-    os << ",\"labels\":{";
-    for (std::size_t i = 0; i < e.labels.size(); ++i) {
-      if (i > 0) os << ',';
-      write_json_string(os, e.labels[i].first);
-      os << ':';
-      write_json_string(os, e.labels[i].second);
-    }
-    os << '}';
-    switch (e.kind) {
-      case Kind::kCounter:
-        os << ",\"value\":" << e.counter->value();
-        break;
-      case Kind::kGauge:
-        os << ",\"value\":";
-        write_json_double(os, e.gauge->value());
-        break;
-      case Kind::kHistogram: {
-        const Histogram& h = *e.histogram;
-        os << ",\"count\":" << h.count() << ",\"sum\":";
-        write_json_double(os, h.sum());
-        os << ",\"buckets\":[";
-        for (std::size_t i = 0; i < h.bucket_counts().size(); ++i) {
-          if (i > 0) os << ',';
-          os << "{\"le\":";
-          if (i < h.upper_bounds().size())
-            write_json_double(os, h.upper_bounds()[i]);
-          else
-            os << "\"+inf\"";
-          os << ",\"count\":" << h.bucket_counts()[i] << '}';
-        }
-        os << ']';
-        break;
-      }
-    }
-    os << "}\n";
+    EntryView view{key, e.name, e.labels,
+                   e.kind == Kind::kCounter ? e.counter.get() : nullptr,
+                   e.kind == Kind::kGauge ? e.gauge.get() : nullptr,
+                   e.kind == Kind::kHistogram ? e.histogram.get() : nullptr};
+    fn(view);
   }
+}
+
+void MetricsRegistry::write_ndjson(std::ostream& os) const {
+  for_each([&os](const EntryView& e) { write_entry_ndjson(os, e); });
+}
+
+void write_entry_ndjson(std::ostream& os,
+                        const MetricsRegistry::EntryView& e) {
+  os << "{\"metric\":";
+  write_json_string(os, e.name);
+  os << ",\"type\":";
+  if (e.counter != nullptr)
+    os << "\"counter\"";
+  else if (e.gauge != nullptr)
+    os << "\"gauge\"";
+  else
+    os << "\"histogram\"";
+  os << ",\"labels\":{";
+  for (std::size_t i = 0; i < e.labels.size(); ++i) {
+    if (i > 0) os << ',';
+    write_json_string(os, e.labels[i].first);
+    os << ':';
+    write_json_string(os, e.labels[i].second);
+  }
+  os << '}';
+  if (e.counter != nullptr) {
+    os << ",\"value\":" << e.counter->value();
+  } else if (e.gauge != nullptr) {
+    os << ",\"value\":";
+    write_json_double(os, e.gauge->value());
+  } else {
+    const Histogram& h = *e.histogram;
+    os << ",\"count\":" << h.count() << ",\"sum\":";
+    write_json_double(os, h.sum());
+    os << ",\"buckets\":[";
+    for (std::size_t i = 0; i < h.bucket_counts().size(); ++i) {
+      if (i > 0) os << ',';
+      os << "{\"le\":";
+      if (i < h.upper_bounds().size())
+        write_json_double(os, h.upper_bounds()[i]);
+      else
+        os << "\"+inf\"";
+      os << ",\"count\":" << h.bucket_counts()[i] << '}';
+    }
+    os << ']';
+  }
+  os << "}\n";
 }
 
 MetricsWindowRing::MetricsWindowRing(std::size_t capacity)

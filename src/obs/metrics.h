@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <map>
 #include <memory>
@@ -107,6 +108,23 @@ class MetricsRegistry {
 
   std::size_t size() const { return entries_.size(); }
 
+  /// Read-only view of one registered instance. Exactly one of the three
+  /// pointers is non-null. `key` is the serialized identity
+  /// name{k="v",...} the registry sorts by — stable across processes, so
+  /// it doubles as the change-tracking key of the telemetry delta encoder.
+  struct EntryView {
+    const std::string& key;
+    const std::string& name;
+    const Labels& labels;  // sorted by key
+    const Counter* counter = nullptr;
+    const Gauge* gauge = nullptr;
+    const Histogram* histogram = nullptr;
+  };
+
+  /// Visits every instance in lexicographic identity order — the exact
+  /// order write_ndjson emits rows in.
+  void for_each(const std::function<void(const EntryView&)>& fn) const;
+
   /// One JSON object per line, instances in lexicographic identity order,
   /// keys in a fixed order — byte-stable for a given registry state. See
   /// docs/OBSERVABILITY.md for the schema.
@@ -179,5 +197,12 @@ class MetricsWindowRing {
   std::unique_ptr<MetricsRegistry> current_;
   std::uint64_t sealed_ = 0;
 };
+
+/// Writes the one-line NDJSON row for a single instance — byte-identical
+/// to the row write_ndjson emits for it (trailing newline included). The
+/// telemetry delta encoder ships these rows verbatim, which is what makes
+/// a collector-side fold byte-comparable to the node's own sink file.
+void write_entry_ndjson(std::ostream& os,
+                        const MetricsRegistry::EntryView& e);
 
 }  // namespace ppsim::obs

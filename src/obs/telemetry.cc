@@ -1,0 +1,176 @@
+#include "obs/telemetry.h"
+
+#include <cstdlib>
+#include <istream>
+#include <sstream>
+#include <string>
+
+namespace ppsim::obs {
+
+namespace {
+
+/// Reads a JSON string starting at raw[pos] (which must be '"'), undoing
+/// the write_json_escaped escapes. Returns false on malformed input;
+/// advances pos past the closing quote on success.
+bool read_json_string(const std::string& raw, std::size_t* pos,
+                      std::string* out) {
+  std::size_t i = *pos;
+  if (i >= raw.size() || raw[i] != '"') return false;
+  ++i;
+  out->clear();
+  while (i < raw.size()) {
+    const char c = raw[i];
+    if (c == '"') {
+      *pos = i + 1;
+      return true;
+    }
+    if (c == '\\') {
+      if (i + 1 >= raw.size()) return false;
+      const char esc = raw[i + 1];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (i + 5 >= raw.size()) return false;
+          const std::string hex = raw.substr(i + 2, 4);
+          char* end = nullptr;
+          const long code = std::strtol(hex.c_str(), &end, 16);
+          if (end != hex.c_str() + 4 || code < 0 || code > 0x7f) return false;
+          out->push_back(static_cast<char>(code));
+          i += 4;
+          break;
+        }
+        default: return false;
+      }
+      i += 2;
+      continue;
+    }
+    out->push_back(c);
+    ++i;
+  }
+  return false;  // unterminated
+}
+
+}  // namespace
+
+std::vector<std::string> MetricsDeltaTracker::collect_impl(
+    const MetricsRegistry& registry, bool full) {
+  std::vector<std::string> rows;
+  registry.for_each([&](const MetricsRegistry::EntryView& e) {
+    std::ostringstream os;
+    write_entry_ndjson(os, e);
+    std::string row = os.str();
+    if (!row.empty() && row.back() == '\n') row.pop_back();
+    auto [it, inserted] = last_.emplace(e.key, row);
+    if (!inserted) {
+      if (!full && it->second == row) return;
+      it->second = row;
+    }
+    rows.push_back(std::move(row));
+  });
+  return rows;
+}
+
+std::vector<std::string> MetricsDeltaTracker::collect(
+    const MetricsRegistry& registry) {
+  return collect_impl(registry, /*full=*/false);
+}
+
+std::vector<std::string> MetricsDeltaTracker::collect_full(
+    const MetricsRegistry& registry) {
+  return collect_impl(registry, /*full=*/true);
+}
+
+bool parse_metric_ndjson(const std::string& line, ParsedMetric* out) {
+  *out = ParsedMetric{};
+  std::size_t pos = line.find("{\"metric\":");
+  if (pos != 0) return false;
+  pos += 10;
+  if (!read_json_string(line, &pos, &out->name)) return false;
+
+  const std::size_t type_pos = line.find(",\"type\":\"", pos);
+  if (type_pos == std::string::npos) return false;
+  std::size_t p = type_pos + 8;
+  std::string type;
+  if (!read_json_string(line, &p, &type)) return false;
+
+  const std::size_t labels_pos = line.find(",\"labels\":{", p);
+  if (labels_pos == std::string::npos) return false;
+  p = labels_pos + 11;
+  out->labels.clear();
+  if (p < line.size() && line[p] != '}') {
+    while (true) {
+      std::string k, v;
+      if (!read_json_string(line, &p, &k)) return false;
+      if (p >= line.size() || line[p] != ':') return false;
+      ++p;
+      if (!read_json_string(line, &p, &v)) return false;
+      out->labels.emplace_back(std::move(k), std::move(v));
+      if (p < line.size() && line[p] == ',') {
+        ++p;
+        continue;
+      }
+      break;
+    }
+  }
+  if (p >= line.size() || line[p] != '}') return false;
+  ++p;
+
+  if (type == "histogram") {
+    out->kind = ParsedMetric::Kind::kSkipped;
+    return true;
+  }
+  if (line.compare(p, 9, ",\"value\":") != 0) return false;
+  p += 9;
+  const char* start = line.c_str() + p;
+  char* end = nullptr;
+  if (type == "counter") {
+    out->kind = ParsedMetric::Kind::kCounter;
+    out->counter_value =
+        static_cast<std::uint64_t>(std::strtoull(start, &end, 10));
+  } else if (type == "gauge") {
+    out->kind = ParsedMetric::Kind::kGauge;
+    out->gauge_value = std::strtod(start, &end);
+  } else {
+    return false;
+  }
+  return end != start;
+}
+
+bool apply_metric(const ParsedMetric& m, MetricsRegistry* registry) {
+  switch (m.kind) {
+    case ParsedMetric::Kind::kCounter: {
+      Counter& c = registry->counter(m.name, m.labels);
+      if (m.counter_value > c.value()) c.inc(m.counter_value - c.value());
+      return true;
+    }
+    case ParsedMetric::Kind::kGauge:
+      registry->gauge(m.name, m.labels).set(m.gauge_value);
+      return true;
+    case ParsedMetric::Kind::kSkipped:
+      return false;
+  }
+  return false;
+}
+
+std::size_t read_metrics_ndjson(std::istream& is, MetricsRegistry* registry,
+                                std::size_t* skipped) {
+  std::size_t applied = 0;
+  if (skipped != nullptr) *skipped = 0;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    ParsedMetric m;
+    if (parse_metric_ndjson(line, &m) && apply_metric(m, registry)) {
+      ++applied;
+    } else if (skipped != nullptr) {
+      ++*skipped;
+    }
+  }
+  return applied;
+}
+
+}  // namespace ppsim::obs

@@ -1,0 +1,267 @@
+#include "wire/collector.h"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/telemetry.h"
+
+namespace ppsim::wire {
+
+void fold_fleet_metrics(
+    const std::map<net::IpAddress, const obs::MetricsRegistry*>& nodes,
+    obs::MetricsRegistry* out) {
+  for (const auto& [ip, reg] : nodes) {
+    const std::string node_label = ip.to_string();
+    reg->for_each([&](const obs::MetricsRegistry::EntryView& e) {
+      obs::Labels labeled = e.labels;
+      labeled.emplace_back("node", node_label);
+      if (e.counter != nullptr) {
+        out->counter(e.name, labeled).inc(e.counter->value());
+        out->counter(e.name, e.labels).inc(e.counter->value());
+      } else if (e.gauge != nullptr) {
+        out->gauge(e.name, labeled).set(e.gauge->value());
+      } else {
+        out->histogram(e.name, e.histogram->upper_bounds(), labeled)
+            .merge(*e.histogram);
+        out->histogram(e.name, e.histogram->upper_bounds(), e.labels)
+            .merge(*e.histogram);
+      }
+    });
+  }
+}
+
+bool fold_fleet_matrix(
+    const std::map<net::IpAddress, const obs::TrafficSample*>& nodes,
+    obs::TrafficSample* out) {
+  *out = obs::TrafficSample{};
+  if (nodes.empty()) return false;
+  double continuity_weighted = 0;
+  double neighbor_weighted = 0;
+  for (const auto& [ip, s] : nodes) {
+    if (s->t > out->t) out->t = s->t;
+    for (std::size_t i = 0; i < s->bytes.size(); ++i)
+      for (std::size_t j = 0; j < s->bytes[i].size(); ++j)
+        out->bytes[i][j] += s->bytes[i][j];
+    out->interval_bytes += s->interval_bytes;
+    out->interval_same_isp_bytes += s->interval_same_isp_bytes;
+    out->alive_peers += s->alive_peers;
+    const double w = static_cast<double>(s->alive_peers);
+    continuity_weighted += w * s->avg_continuity;
+    neighbor_weighted += w * s->neighbor_same_isp_share;
+  }
+  const std::uint64_t total = obs::matrix_total(out->bytes);
+  const std::uint64_t intra = obs::matrix_intra_isp(out->bytes);
+  out->same_isp_share_cum =
+      total == 0 ? 0.0
+                 : static_cast<double>(intra) / static_cast<double>(total);
+  out->same_isp_share_interval =
+      out->interval_bytes == 0
+          ? 0.0
+          : static_cast<double>(out->interval_same_isp_bytes) /
+                static_cast<double>(out->interval_bytes);
+  if (out->alive_peers > 0) {
+    const double w = static_cast<double>(out->alive_peers);
+    out->avg_continuity = continuity_weighted / w;
+    out->neighbor_same_isp_share = neighbor_weighted / w;
+  }
+  return true;
+}
+
+namespace {
+
+const char* status_name(Collector::NodeStatus s) {
+  switch (s) {
+    case Collector::NodeStatus::kUp: return "up";
+    case Collector::NodeStatus::kClosed: return "closed";
+    case Collector::NodeStatus::kLost: return "lost";
+  }
+  return "?";
+}
+
+bool parse_sample_line(const std::string& line, obs::TrafficSample* out) {
+  std::istringstream is(line);
+  const auto rows = obs::read_samples_ndjson(is);
+  if (rows.size() != 1) return false;
+  *out = rows.front();
+  return true;
+}
+
+}  // namespace
+
+void Collector::emit_event(const char* event, net::IpAddress ip,
+                           const Node& node) {
+  if (config_.events_out == nullptr) return;
+  *config_.events_out << "[collect] event=" << event
+                      << " node=" << ip.to_string() << " role=" << node.role
+                      << " last_seq=" << node.last_seq << std::endl;
+}
+
+bool Collector::ingest(const std::string& datagram, sim::Time now) {
+  std::istringstream is(datagram);
+  std::string line;
+  if (!std::getline(is, line)) {
+    ++malformed_;
+    return false;
+  }
+  TelemetryHeartbeat hb;
+  if (classify_telemetry_record(line) != TelemetryRecord::kHeartbeat ||
+      !decode_heartbeat(line, &hb)) {
+    ++malformed_;
+    return false;
+  }
+
+  auto it = nodes_.find(hb.node);
+  const bool is_new = it == nodes_.end();
+  if (!is_new && hb.seq <= it->second.last_seq) {
+    ++dups_;
+    return false;
+  }
+  Node& node = is_new ? nodes_[hb.node] : it->second;
+  const NodeStatus prev = is_new ? NodeStatus::kUp : node.status;
+  node.role = hb.role;
+  node.epoch = hb.epoch;
+  node.last_seq = hb.seq;
+  node.last_heard = now;
+  node.uptime = hb.uptime;
+  ++node.datagrams;
+  ++accepted_;
+  if (is_new) emit_event("node-up", hb.node, node);
+  if (hb.closing) {
+    node.status = NodeStatus::kClosed;
+    if (prev != NodeStatus::kClosed) emit_event("node-closed", hb.node, node);
+  } else if (prev == NodeStatus::kLost) {
+    node.status = NodeStatus::kUp;
+    emit_event("node-recovered", hb.node, node);
+  }
+
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    switch (classify_telemetry_record(line)) {
+      case TelemetryRecord::kMetric: {
+        obs::ParsedMetric m;
+        if (parse_metric_ndjson(line, &m) && apply_metric(m, &node.metrics)) {
+          ++metric_rows_;
+        } else {
+          ++unknown_records_;
+        }
+        break;
+      }
+      case TelemetryRecord::kSample: {
+        obs::TrafficSample s;
+        if (parse_sample_line(line, &s)) {
+          if (!node.has_sample || s.t > node.latest.t) {
+            node.latest = s;
+            node.has_sample = true;
+          }
+          ++sample_rows_;
+        } else {
+          ++unknown_records_;
+        }
+        break;
+      }
+      case TelemetryRecord::kHeartbeat:
+      case TelemetryRecord::kUnknown:
+        ++unknown_records_;
+        break;
+    }
+  }
+  return true;
+}
+
+void Collector::tick(sim::Time now) {
+  for (auto& [ip, node] : nodes_) {
+    if (node.status == NodeStatus::kUp &&
+        now - node.last_heard > config_.heartbeat_timeout) {
+      node.status = NodeStatus::kLost;
+      emit_event("node-lost", ip, node);
+    }
+  }
+  if (config_.fleet_samples_out == nullptr) return;
+  std::map<net::IpAddress, const obs::TrafficSample*> latest;
+  for (const auto& [ip, node] : nodes_)
+    if (node.has_sample) latest.emplace(ip, &node.latest);
+  obs::TrafficSample fleet;
+  if (fold_fleet_matrix(latest, &fleet) && fleet.t > last_fleet_t_) {
+    obs::write_sample_ndjson(*config_.fleet_samples_out, fleet);
+    config_.fleet_samples_out->flush();
+    last_fleet_t_ = fleet.t;
+  }
+}
+
+std::size_t Collector::closed_count() const {
+  std::size_t n = 0;
+  for (const auto& [ip, node] : nodes_)
+    if (node.status == NodeStatus::kClosed) ++n;
+  return n;
+}
+
+std::size_t Collector::lost_count() const {
+  std::size_t n = 0;
+  for (const auto& [ip, node] : nodes_)
+    if (node.status == NodeStatus::kLost) ++n;
+  return n;
+}
+
+void Collector::write_summary(std::ostream& os, sim::Time now) const {
+  std::map<net::IpAddress, const obs::TrafficSample*> latest;
+  double continuity_floor = -1.0;
+  double rss_bytes = 0;
+  double events_per_s = 0;
+  for (const auto& [ip, node] : nodes_) {
+    if (node.has_sample) {
+      latest.emplace(ip, &node.latest);
+      if (node.latest.alive_peers > 0 &&
+          (continuity_floor < 0 ||
+           node.latest.avg_continuity < continuity_floor))
+        continuity_floor = node.latest.avg_continuity;
+    }
+    if (const obs::Gauge* g = node.metrics.find_gauge("resource_rss_bytes"))
+      rss_bytes += g->value();
+    if (const obs::Gauge* g =
+            node.metrics.find_gauge("sched_events_per_wall_s"))
+      events_per_s += g->value();
+  }
+  obs::TrafficSample fleet;
+  fold_fleet_matrix(latest, &fleet);
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "[collect] t=%.1f nodes=%zu up=%zu closed=%zu lost=%zu "
+                "continuity_floor=%.3f intra_isp_share=%.3f rss_bytes=%.0f "
+                "events_per_s=%.1f datagrams=%llu dups=%llu",
+                now.as_seconds(), nodes_.size(),
+                nodes_.size() - closed_count() - lost_count(), closed_count(),
+                lost_count(), continuity_floor < 0 ? 0.0 : continuity_floor,
+                fleet.same_isp_share_cum, rss_bytes, events_per_s,
+                static_cast<unsigned long long>(accepted_),
+                static_cast<unsigned long long>(dups_));
+  os << buf << std::endl;
+}
+
+void Collector::fold_closed_metrics(obs::MetricsRegistry* out) const {
+  std::map<net::IpAddress, const obs::MetricsRegistry*> closed;
+  for (const auto& [ip, node] : nodes_)
+    if (node.status == NodeStatus::kClosed) closed.emplace(ip, &node.metrics);
+  fold_fleet_metrics(closed, out);
+}
+
+bool Collector::fold_closed_matrix(obs::TrafficSample* out) const {
+  std::map<net::IpAddress, const obs::TrafficSample*> closed;
+  for (const auto& [ip, node] : nodes_)
+    if (node.status == NodeStatus::kClosed && node.has_sample)
+      closed.emplace(ip, &node.latest);
+  return fold_fleet_matrix(closed, out);
+}
+
+void Collector::write_node_reports(std::ostream& os) const {
+  for (const auto& [ip, node] : nodes_) {
+    os << "node=" << ip.to_string() << " role=" << node.role
+       << " status=" << status_name(node.status)
+       << " last_seq=" << node.last_seq << " datagrams=" << node.datagrams
+       << " metric_rows_seen=" << node.metrics.size() << "\n";
+  }
+}
+
+}  // namespace ppsim::wire

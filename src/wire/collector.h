@@ -1,0 +1,126 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "net/ip.h"
+#include "obs/metrics.h"
+#include "obs/sampler.h"
+#include "sim/time.h"
+#include "wire/telemetry.h"
+
+namespace ppsim::wire {
+
+/// Deterministic fleet folds, shared verbatim between the live collector
+/// and ppsim-analyze's offline `--fleet` mode — the same code path over
+/// the same per-node inputs is what makes the collector's artifacts
+/// byte-identical to an offline fold of the per-node sink files.
+///
+/// Metrics fold, nodes visited in ascending IP order: every counter lands
+/// twice — once labeled node=<ip> (the per-node view) and once unlabeled
+/// (the fleet total, counters summed); gauges land node-labeled only (a
+/// fleet "total" of last-write-wins values is meaningless); histograms
+/// land node-labeled and merged into an unlabeled total.
+void fold_fleet_metrics(
+    const std::map<net::IpAddress, const obs::MetricsRegistry*>& nodes,
+    obs::MetricsRegistry* out);
+
+/// Matrix fold over each node's latest cumulative sample: byte matrices
+/// and interval/alive counts sum elementwise, t is the max across nodes,
+/// shares are recomputed from the summed matrix, and the per-peer means
+/// (neighbor same-ISP share, continuity) are alive-weighted, accumulated
+/// in ascending IP order so the floating-point fold is reproducible.
+/// Returns false (and leaves *out zeroed) when `nodes` is empty.
+bool fold_fleet_matrix(
+    const std::map<net::IpAddress, const obs::TrafficSample*>& nodes,
+    obs::TrafficSample* out);
+
+/// The ppsim-collect ingest core: dedup, per-node state, heartbeat-timeout
+/// loss detection, live fleet time series, final fold. Transport-free and
+/// clock-free — the caller (tools/ppsim_collect.cc) owns the socket and
+/// feeds wall time in, so the core is unit-testable without sockets.
+class Collector {
+ public:
+  enum class NodeStatus : std::uint8_t { kUp = 0, kClosed = 1, kLost = 2 };
+
+  struct Config {
+    /// A node silent for longer than this is declared lost (unless its
+    /// closing snapshot already arrived).
+    sim::Time heartbeat_timeout = sim::Time::seconds(10);
+    /// Live fleet-level sample stream (write_sample_ndjson rows, one per
+    /// advance of the fleet's sample clock); null disables.
+    std::ostream* fleet_samples_out = nullptr;
+    /// Node lifecycle events (`event=node-up|node-closed|node-lost|
+    /// node-recovered node=<ip> ...` lines); null disables.
+    std::ostream* events_out = nullptr;
+  };
+
+  explicit Collector(Config config) : config_(config) {}
+
+  /// Ingests one telemetry datagram received at wall time `now`. Returns
+  /// true when the datagram was accepted (well-formed heartbeat, seq not
+  /// already seen); duplicates and malformed datagrams are counted and
+  /// dropped whole.
+  bool ingest(const std::string& datagram, sim::Time now);
+
+  /// Periodic work: heartbeat-timeout scan and live fleet-sample
+  /// emission. Call on the receive loop's idle ticks.
+  void tick(sim::Time now);
+
+  /// One human-readable fleet summary line (nodes up/closed/lost,
+  /// continuity floor, intra-ISP share, aggregate RSS and event rate).
+  void write_summary(std::ostream& os, sim::Time now) const;
+
+  /// Final artifacts, restricted to nodes whose closing snapshot arrived —
+  /// the only nodes whose own sink files are complete, so the offline
+  /// fold sees the same population.
+  void fold_closed_metrics(obs::MetricsRegistry* out) const;
+  bool fold_closed_matrix(obs::TrafficSample* out) const;
+
+  /// Per-node final lines (`node=<ip> role=... status=... last_seq=...`),
+  /// ascending IP order; the smoke harness matches last_seq against each
+  /// node's reported telemetry_seq.
+  void write_node_reports(std::ostream& os) const;
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t closed_count() const;
+  std::size_t lost_count() const;
+  std::uint64_t datagrams_accepted() const { return accepted_; }
+  std::uint64_t duplicates_dropped() const { return dups_; }
+  std::uint64_t malformed_dropped() const { return malformed_; }
+  std::uint64_t unknown_records() const { return unknown_records_; }
+  std::uint64_t metric_rows_applied() const { return metric_rows_; }
+  std::uint64_t sample_rows_applied() const { return sample_rows_; }
+
+ private:
+  struct Node {
+    std::string role;
+    std::uint16_t epoch = 0;
+    std::uint64_t last_seq = 0;
+    sim::Time last_heard = sim::Time::zero();
+    sim::Time uptime = sim::Time::zero();
+    NodeStatus status = NodeStatus::kUp;
+    obs::MetricsRegistry metrics;
+    bool has_sample = false;
+    obs::TrafficSample latest;  // the max-t sample seen
+    std::uint64_t datagrams = 0;
+  };
+
+  void emit_event(const char* event, net::IpAddress ip, const Node& node);
+
+  Config config_;
+  // Ascending IP order — the pinned fold order. Entries are stable
+  // (std::map), which Node's non-movable MetricsRegistry relies on.
+  std::map<net::IpAddress, Node> nodes_;
+  sim::Time last_fleet_t_ = sim::Time::micros(-1);
+  std::uint64_t accepted_ = 0;
+  std::uint64_t dups_ = 0;
+  std::uint64_t malformed_ = 0;
+  std::uint64_t unknown_records_ = 0;
+  std::uint64_t metric_rows_ = 0;
+  std::uint64_t sample_rows_ = 0;
+};
+
+}  // namespace ppsim::wire

@@ -3,13 +3,17 @@
 #include <cassert>
 #include <fstream>
 #include <memory>
+#include <sstream>
+#include <string>
 #include <utility>
 #include <variant>
 #include <vector>
 
 #include "net/asn_db.h"
 #include "obs/metrics.h"
+#include "obs/resource_probe.h"
 #include "obs/sampler.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "proto/bootstrap.h"
 #include "proto/peer.h"
@@ -18,6 +22,7 @@
 #include "sim/rng.h"
 #include "sim/simulator.h"
 #include "wire/clock.h"
+#include "wire/telemetry.h"
 
 namespace ppsim::wire {
 
@@ -34,6 +39,15 @@ proto::HostIdentity loopback_identity(const net::IspRegistry& registry,
   assert(!ids.empty());
   return proto::HostIdentity{ip, ids.front(), category,
                              net::AccessProfile{}};
+}
+
+const char* role_name(NodeRole role) {
+  switch (role) {
+    case NodeRole::kHub: return "hub";
+    case NodeRole::kSource: return "source";
+    case NodeRole::kPeer: return "peer";
+  }
+  return "?";
 }
 
 }  // namespace
@@ -82,7 +96,13 @@ NodeReport run_node(const NodeConfig& config,
     trace_os.open(config.trace_out);
     trace_sink = std::make_unique<obs::NdjsonTraceSink>(trace_os);
   }
+  // The registry is *live*: update_metrics() below converges it onto the
+  // transport/protocol state whenever a telemetry snapshot or the final
+  // sink write needs it, so the rows a snapshot ships are the rows the
+  // sink file ends up holding — the byte-identity the collector relies on.
   obs::MetricsRegistry metrics;
+  obs::ResourceProbe probe;
+  probe.bind_metrics(&metrics);
   obs::TrafficSampler sampler;
   obs::IspMatrix traffic{};
 
@@ -142,9 +162,107 @@ NodeReport run_node(const NodeConfig& config,
     }
   }
 
+  // --- live metrics: converge the registry onto the current state ---
+  const auto bump = [](obs::Counter& c, std::uint64_t v) {
+    if (v > c.value()) c.inc(v - c.value());
+  };
+  const auto update_metrics = [&] {
+    const auto& ts = transport.stats();
+    bump(metrics.counter("wire_packets_sent"), ts.packets_sent);
+    bump(metrics.counter("wire_packets_delivered"), ts.packets_delivered);
+    bump(metrics.counter("wire_bytes_sent"), ts.bytes_sent);
+    bump(metrics.counter("wire_uplink_drops"), ts.uplink_drops);
+    bump(metrics.counter("wire_downlink_drops"), ts.downlink_drops);
+    bump(metrics.counter("wire_dead_destination_drops"),
+         ts.dead_destination_drops);
+    const auto& rx = transport.rx_errors();
+    bump(metrics.counter("wire_rx_errors"), rx.total());
+    for_each_rx_error(rx, [&](std::string_view bucket, std::uint64_t v) {
+      bump(metrics.counter("wire_rx_errors",
+                           {{"bucket", std::string(bucket)}}),
+           v);
+    });
+    if (peer != nullptr) {
+      const proto::PeerCounters counters = peer->counters();
+      proto::for_each_field(
+          counters, [&](const char* name, const std::uint64_t& v) {
+            bump(metrics.counter(std::string("peer_") + name), v);
+          });
+      metrics.gauge("continuity").set(counters.continuity());
+    }
+    metrics.gauge("delivered_locality")
+        .set(payload_total == 0
+                 ? 0.0
+                 : static_cast<double>(payload_same_isp) /
+                       static_cast<double>(payload_total));
+  };
+  const auto sample_resources = [&](sim::Time wall) {
+    obs::ResourceProbe::Inputs in;
+    in.now = simulator.now();
+    in.queue_depth = simulator.pending_events();
+    in.event_horizon = simulator.latest_scheduled() - simulator.now();
+    in.events_executed = simulator.events_executed();
+    in.queue_bytes = simulator.approx_queue_bytes();
+    if (peer != nullptr && peer->alive()) {
+      in.live_peers = 1;
+      in.live_peer_bytes = peer->approx_live_bytes();
+    }
+    in.wall_seconds = wall.as_seconds();
+    probe.sample(in);
+  };
+
+  // --- the telemetry plane (optional; docs/OBSERVABILITY.md) ---
+  std::unique_ptr<TelemetryClient> telemetry;
+  if (!config.telemetry_to.empty()) {
+    net::IpAddress collect_ip;
+    std::uint16_t collect_port = 0;
+    if (parse_host_port(config.telemetry_to, &collect_ip, &collect_port))
+      telemetry = std::make_unique<TelemetryClient>(collect_ip, collect_port);
+  }
+  obs::MetricsDeltaTracker delta_tracker;
+  std::uint64_t telemetry_next_seq = 0;
+  std::size_t samples_shipped = 0;
+  const auto ship_telemetry = [&](sim::Time wall, bool closing) {
+    if (telemetry == nullptr) return;
+    update_metrics();
+    sample_resources(wall);
+    const std::vector<std::string> metric_rows =
+        closing ? delta_tracker.collect_full(metrics)
+                : delta_tracker.collect(metrics);
+    if (closing) samples_shipped = 0;  // full snapshot: re-ship every sample
+    std::vector<std::string> sample_rows;
+    const auto& samples = sampler.samples();
+    for (std::size_t i = samples_shipped; i < samples.size(); ++i) {
+      std::ostringstream row_os;
+      obs::write_sample_ndjson(row_os, samples[i]);
+      std::string row = row_os.str();
+      if (!row.empty() && row.back() == '\n') row.pop_back();
+      sample_rows.push_back(std::move(row));
+    }
+    samples_shipped = samples.size();
+    TelemetryHeartbeat hb;
+    hb.node = config.ip;
+    hb.role = role_name(config.role);
+    hb.epoch = config.epoch;
+    hb.uptime = wall;
+    hb.closing = closing;
+    // The closing snapshot ships twice with *fresh* seqs (the collector's
+    // dedup window would drop a re-send under the same seqs); both passes
+    // carry identical rows, so whichever arrives last wins identically.
+    const int passes = closing ? 2 : 1;
+    for (int pass = 0; pass < passes; ++pass) {
+      hb.seq = telemetry_next_seq;
+      const auto datagrams =
+          build_telemetry_datagrams(hb, metric_rows, sample_rows);
+      for (const auto& d : datagrams) telemetry->send(d);
+      telemetry_next_seq += datagrams.size();
+    }
+  };
+
   // --- the real-time loop: wall clock -> simulator -> sockets ---
   WallClock clock;
   sim::Time next_sample = config.sample_period;
+  sim::Time next_telemetry = config.telemetry_period;
   const auto collect_sample = [&] {
     double continuity = 0.0;
     std::uint64_t viewers = 0;
@@ -180,6 +298,11 @@ NodeReport run_node(const NodeConfig& config,
       collect_sample();
       next_sample = next_sample + config.sample_period;
     }
+    if (telemetry != nullptr && config.telemetry_period > sim::Time::zero() &&
+        wall >= next_telemetry) {
+      ship_telemetry(wall, /*closing=*/false);
+      next_telemetry = next_telemetry + config.telemetry_period;
+    }
   }
 
   // --- graceful shutdown ---
@@ -194,6 +317,10 @@ NodeReport run_node(const NodeConfig& config,
     transport.dispatch(simulator.now());
   }
   if (config.sample_period > sim::Time::zero()) collect_sample();
+  // The closing snapshot goes out before the local sinks are written: by
+  // the time the process's own files exist, the collector has (modulo UDP
+  // loss, which the double-send covers) the same rows.
+  ship_telemetry(clock.now(), /*closing=*/true);
 
   // --- report + sink flush (runs on every exit path, signal included) ---
   NodeReport report;
@@ -214,30 +341,23 @@ NodeReport run_node(const NodeConfig& config,
       payload_total == 0 ? 0.0
                          : static_cast<double>(payload_same_isp) /
                                static_cast<double>(payload_total);
+  if (telemetry != nullptr) {
+    report.telemetry_seq =
+        telemetry_next_seq == 0 ? 0 : telemetry_next_seq - 1;
+    report.telemetry_datagrams = telemetry->datagrams_sent();
+  }
 
   if (!config.samples_out.empty()) {
     std::ofstream os(config.samples_out);
     obs::write_samples_ndjson(os, sampler.samples());
   }
   if (!config.metrics_out.empty()) {
-    metrics.counter("wire_packets_sent").inc(report.transport.packets_sent);
-    metrics.counter("wire_packets_delivered")
-        .inc(report.transport.packets_delivered);
-    metrics.counter("wire_bytes_sent").inc(report.transport.bytes_sent);
-    metrics.counter("wire_uplink_drops").inc(report.transport.uplink_drops);
-    metrics.counter("wire_downlink_drops")
-        .inc(report.transport.downlink_drops);
-    metrics.counter("wire_dead_destination_drops")
-        .inc(report.transport.dead_destination_drops);
-    metrics.counter("wire_rx_errors").inc(report.rx_errors.total());
-    if (peer != nullptr) {
-      proto::for_each_field(
-          report.counters, [&](const char* name, const std::uint64_t& v) {
-            metrics.counter(std::string("peer_") + name).inc(v);
-          });
-      metrics.gauge("continuity").set(report.continuity);
+    if (telemetry == nullptr) {
+      // No closing snapshot converged the registry; do it here so the sink
+      // carries the end-of-run state.
+      update_metrics();
+      sample_resources(clock.now());
     }
-    metrics.gauge("delivered_locality").set(report.delivered_locality);
     std::ofstream os(config.metrics_out);
     metrics.write_ndjson(os);
   }

@@ -38,6 +38,13 @@ struct NodeConfig {
   std::string samples_out;
   std::string trace_out;
   sim::Time sample_period = sim::Time::seconds(5);
+
+  // Fleet telemetry (docs/OBSERVABILITY.md, "Fleet telemetry"): when
+  // `telemetry_to` holds an "IP:PORT" collector address, the node ships a
+  // ppsim-telemetry-v1 snapshot every `telemetry_period` and a final full
+  // ("closing") snapshot on shutdown. Empty disables the plane entirely.
+  std::string telemetry_to;
+  sim::Time telemetry_period = sim::Time::seconds(2);
 };
 
 /// End-of-run summary, printed by ppsim-node and asserted by the loopback
@@ -54,6 +61,12 @@ struct NodeReport {
   std::uint64_t samples_recorded = 0;
   /// Same-ISP share of DataReply payload bytes this node received.
   double delivered_locality = 0.0;
+  /// Telemetry plane: seq of the last datagram shipped (0 when disabled or
+  /// nothing sent) and datagrams handed to the socket. The collector's
+  /// per-node last_seq must match telemetry_seq after a graceful shutdown —
+  /// the smoke harness pins exactly that.
+  std::uint64_t telemetry_seq = 0;
+  std::uint64_t telemetry_datagrams = 0;
 };
 
 /// The loopback deployment topology: one /16 of 127.0.0.0/8 per paper

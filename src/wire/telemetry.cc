@@ -1,0 +1,171 @@
+#include "wire/telemetry.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace ppsim::wire {
+
+namespace {
+
+/// Finds `"key":` and returns the index just past the colon, or npos.
+std::size_t find_key(const std::string& line, std::string_view key) {
+  std::string needle = "\"";
+  needle += key;
+  needle += "\":";
+  const std::size_t pos = line.find(needle);
+  return pos == std::string::npos ? std::string::npos : pos + needle.size();
+}
+
+/// Reads the quoted string value at `pos` (heartbeat fields never contain
+/// escapes — IPs, role names, state names).
+bool read_plain_string(const std::string& line, std::size_t pos,
+                       std::string* out) {
+  if (pos == std::string::npos || pos >= line.size() || line[pos] != '"')
+    return false;
+  const std::size_t end = line.find('"', pos + 1);
+  if (end == std::string::npos) return false;
+  *out = line.substr(pos + 1, end - pos - 1);
+  return true;
+}
+
+bool read_u64(const std::string& line, std::size_t pos, std::uint64_t* out) {
+  if (pos == std::string::npos || pos >= line.size()) return false;
+  const char* start = line.c_str() + pos;
+  char* end = nullptr;
+  *out = static_cast<std::uint64_t>(std::strtoull(start, &end, 10));
+  return end != start;
+}
+
+}  // namespace
+
+TelemetryRecord classify_telemetry_record(std::string_view line) {
+  if (line.rfind("{\"telemetry_schema\"", 0) == 0)
+    return TelemetryRecord::kHeartbeat;
+  if (line.rfind("{\"metric\":", 0) == 0) return TelemetryRecord::kMetric;
+  if (line.rfind("{\"t\":", 0) == 0) return TelemetryRecord::kSample;
+  return TelemetryRecord::kUnknown;
+}
+
+std::string encode_heartbeat(const TelemetryHeartbeat& hb) {
+  std::ostringstream os;
+  os << "{\"telemetry_schema\":\"" << kTelemetrySchema << "\",\"node\":\""
+     << hb.node.to_string() << "\",\"role\":\"" << hb.role
+     << "\",\"epoch\":" << hb.epoch << ",\"seq\":" << hb.seq
+     << ",\"uptime_s\":";
+  obs::write_json_sim_time(os, hb.uptime);
+  os << ",\"state\":\"" << (hb.closing ? "closing" : "up") << "\"}";
+  return os.str();
+}
+
+bool decode_heartbeat(const std::string& line, TelemetryHeartbeat* out) {
+  *out = TelemetryHeartbeat{};
+  std::string schema;
+  if (!read_plain_string(line, find_key(line, "telemetry_schema"), &schema) ||
+      schema != kTelemetrySchema)
+    return false;
+  std::string node;
+  if (!read_plain_string(line, find_key(line, "node"), &node)) return false;
+  const auto ip = net::IpAddress::parse(node);
+  if (!ip.has_value()) return false;
+  out->node = *ip;
+  if (!read_plain_string(line, find_key(line, "role"), &out->role))
+    return false;
+  std::uint64_t epoch = 0;
+  if (!read_u64(line, find_key(line, "epoch"), &epoch) || epoch > 0xffff)
+    return false;
+  out->epoch = static_cast<std::uint16_t>(epoch);
+  if (!read_u64(line, find_key(line, "seq"), &out->seq)) return false;
+  const std::size_t up_pos = find_key(line, "uptime_s");
+  if (up_pos == std::string::npos) return false;
+  out->uptime = sim::Time::from_seconds(std::strtod(line.c_str() + up_pos,
+                                                    nullptr));
+  std::string state;
+  if (!read_plain_string(line, find_key(line, "state"), &state)) return false;
+  if (state != "up" && state != "closing") return false;
+  out->closing = state == "closing";
+  return true;
+}
+
+std::vector<std::string> build_telemetry_datagrams(
+    const TelemetryHeartbeat& hb, const std::vector<std::string>& metric_rows,
+    const std::vector<std::string>& sample_rows, std::size_t max_bytes) {
+  std::vector<std::string> datagrams;
+  TelemetryHeartbeat head = hb;
+  std::string current;
+  const auto open = [&] { current = encode_heartbeat(head); };
+  const auto seal = [&] {
+    datagrams.push_back(std::move(current));
+    ++head.seq;
+    open();
+  };
+  open();
+  const auto append = [&](const std::string& row) {
+    // +1 for the separating newline; an oversized row ships alone.
+    if (current.size() + 1 + row.size() > max_bytes &&
+        current.size() > encode_heartbeat(head).size())
+      seal();
+    current += '\n';
+    current += row;
+  };
+  for (const auto& row : metric_rows) append(row);
+  for (const auto& row : sample_rows) append(row);
+  datagrams.push_back(std::move(current));
+  return datagrams;
+}
+
+TelemetryClient::TelemetryClient(net::IpAddress to, std::uint16_t port)
+    : to_(to), port_(port) {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ >= 0) ::fcntl(fd_, F_SETFL, O_NONBLOCK);
+}
+
+TelemetryClient::~TelemetryClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool TelemetryClient::send(const std::string& datagram) {
+  if (fd_ < 0) {
+    ++send_errors_;
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  addr.sin_addr.s_addr = htonl(to_.value());
+  const ssize_t n =
+      ::sendto(fd_, datagram.data(), datagram.size(), 0,
+               reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+  if (n == static_cast<ssize_t>(datagram.size())) {
+    ++sent_;
+    return true;
+  }
+  ++send_errors_;
+  return false;
+}
+
+bool parse_host_port(const std::string& spec, net::IpAddress* ip,
+                     std::uint16_t* port) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= spec.size())
+    return false;
+  const auto parsed = net::IpAddress::parse(spec.substr(0, colon));
+  if (!parsed.has_value()) return false;
+  char* end = nullptr;
+  const unsigned long p = std::strtoul(spec.c_str() + colon + 1, &end, 10);
+  if (end == spec.c_str() + colon + 1 || *end != '\0' || p == 0 || p > 0xffff)
+    return false;
+  *ip = *parsed;
+  *port = static_cast<std::uint16_t>(p);
+  return true;
+}
+
+}  // namespace ppsim::wire

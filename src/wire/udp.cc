@@ -9,6 +9,8 @@
 
 #include <cassert>
 #include <cerrno>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <utility>
 #include <vector>
@@ -54,10 +56,18 @@ void UdpTransport::attach(net::IpAddress ip, net::IspId /*isp*/,
                sizeof(config_.socket_buffer_bytes));
   sockaddr_in sa = make_sockaddr(ip, config_.port);
   if (::bind(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) != 0) {
+    // Loud on every build: a node that cannot bind its address has no
+    // recovery path, and an assert would vanish under NDEBUG, leaving the
+    // process running deaf. The smoke harness keys its port-retry logic
+    // off this message.
+    std::fprintf(stderr,
+                 "ppsim-wire: bind(%s:%u) failed: %s "
+                 "(address not local or port in use)\n",
+                 ip.to_string().c_str(), unsigned{config_.port},
+                 std::strerror(errno));
     ::close(fd);
     sockets_.erase(it);
-    assert(false && "bind() failed: address not local or port in use");
-    return;
+    std::abort();
   }
   it->second.fd = fd;
   it->second.handler = std::move(handler);

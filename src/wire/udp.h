@@ -1,9 +1,11 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
+#include <string_view>
 
 #include "net/transport.h"
 #include "proto/host.h"
@@ -124,5 +126,29 @@ class UdpTransport final : public proto::PeerTransport {
   RxErrors rx_errors_;
   DeliveryTap tap_;
 };
+
+/// The rx-error bucket inventory, one name per RxErrors field, in field
+/// order. These become the `bucket` label of the wire_rx_errors metric
+/// (docs/WIRE.md, "Rx error counters"); ppsim-audit's completeness pass
+/// cross-checks this array against both the struct fields and the docs
+/// table.
+inline constexpr std::array<std::string_view, 8> kRxErrorBucketNames = {
+    "truncated", "bad_magic", "bad_version", "bad_epoch",
+    "bad_tag",   "bad_length", "bad_aux",    "bad_reserved",
+};
+
+/// Visits every rx-error bucket as (name, count), in kRxErrorBucketNames
+/// order — the loop the metrics exporter and the node report share.
+template <typename Fn>
+void for_each_rx_error(const UdpTransport::RxErrors& e, Fn&& fn) {
+  fn(kRxErrorBucketNames[0], e.truncated);
+  fn(kRxErrorBucketNames[1], e.bad_magic);
+  fn(kRxErrorBucketNames[2], e.bad_version);
+  fn(kRxErrorBucketNames[3], e.bad_epoch);
+  fn(kRxErrorBucketNames[4], e.bad_tag);
+  fn(kRxErrorBucketNames[5], e.bad_length);
+  fn(kRxErrorBucketNames[6], e.bad_aux);
+  fn(kRxErrorBucketNames[7], e.bad_reserved);
+}
 
 }  // namespace ppsim::wire

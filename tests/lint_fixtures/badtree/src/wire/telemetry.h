@@ -1,0 +1,13 @@
+#pragma once
+
+// Fixture: the record inventory declares Ghost, which the docs table
+// never mentions; the table documents Phantom, which is never declared.
+
+namespace ppsim::wire {
+
+inline constexpr const char* kTelemetryRecordNames[] = {
+    "Heartbeat",
+    "Ghost",
+};
+
+}  // namespace ppsim::wire

@@ -1,0 +1,26 @@
+#pragma once
+
+// Fixture: rx-error buckets disagree everywhere. bad_unexported is a
+// declared counter missing from kRxErrorBucketNames; bad_ghost is
+// exported but never declared; bad_magic and bad_ghost are missing from
+// the docs table, which in turn documents bad_doc_phantom.
+
+namespace ppsim::wire {
+
+class UdpTransport {
+ public:
+  struct RxErrors {
+    std::uint64_t truncated = 0;
+    std::uint64_t bad_magic = 0;
+    std::uint64_t bad_unexported = 0;
+    std::uint64_t total() const { return truncated + bad_magic; }
+  };
+};
+
+inline constexpr const char* kRxErrorBucketNames[] = {
+    "truncated",
+    "bad_magic",
+    "bad_ghost",
+};
+
+}  // namespace ppsim::wire

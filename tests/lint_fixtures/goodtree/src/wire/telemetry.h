@@ -1,0 +1,14 @@
+#pragma once
+
+// Fixture: the telemetry record-type inventory and the "Telemetry record
+// types" table in docs/OBSERVABILITY.md agree exactly, so
+// telemetry-record-doc stays silent.
+
+namespace ppsim::wire {
+
+inline constexpr const char* kTelemetryRecordNames[] = {
+    "Heartbeat",
+    "Metric",
+};
+
+}  // namespace ppsim::wire

@@ -1,0 +1,24 @@
+#pragma once
+
+// Fixture: the RxErrors counter fields, the kRxErrorBucketNames export
+// table and the "Rx error counters" table in docs/WIRE.md agree exactly,
+// so rx-error-export and rx-error-doc stay silent. The total() helper and
+// its field uses must not parse as extra buckets.
+
+namespace ppsim::wire {
+
+class UdpTransport {
+ public:
+  struct RxErrors {
+    std::uint64_t truncated = 0;
+    std::uint64_t bad_magic = 0;
+    std::uint64_t total() const { return truncated + bad_magic; }
+  };
+};
+
+inline constexpr const char* kRxErrorBucketNames[] = {
+    "truncated",
+    "bad_magic",
+};
+
+}  // namespace ppsim::wire

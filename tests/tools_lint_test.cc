@@ -64,7 +64,7 @@ TEST(LintRegistry, FivePassesInOrder) {
 
 TEST(LintGoodTree, NoFindings) {
   const Tree tree = load("goodtree");
-  EXPECT_EQ(tree.files.size(), 11u);
+  EXPECT_EQ(tree.files.size(), 13u);
   const std::vector<Finding> findings = run_all(tree);
   EXPECT_TRUE(findings.empty()) << findings.size() << " findings; first: "
                                 << (findings.empty()
@@ -146,11 +146,26 @@ TEST(LintBadTree, CompletenessFindings) {
   // The gauge documented and published both ways stays clean.
   EXPECT_FALSE(has(f, "docs/OBSERVABILITY.md", 3, "resource-gauge-doc",
                    "resource_rss_bytes"));
+  // Rx-error buckets: struct field vs export table vs docs table.
+  EXPECT_TRUE(has(f, "wire/udp.h", 20, "rx-error-export", "bad_unexported"));
+  EXPECT_TRUE(has(f, "wire/udp.h", 20, "rx-error-export", "bad_ghost"));
+  EXPECT_TRUE(has(f, "docs/WIRE.md", 12, "rx-error-doc", "bad_magic"));
+  EXPECT_TRUE(has(f, "docs/WIRE.md", 12, "rx-error-doc", "bad_ghost"));
+  EXPECT_TRUE(has(f, "wire/udp.h", 20, "rx-error-doc", "bad_doc_phantom"));
+  // truncated is declared, exported and documented — no finding.
+  EXPECT_FALSE(has(f, "wire/udp.h", 20, "rx-error-export", "truncated"));
+  // Telemetry record inventory vs docs table, both directions.
+  EXPECT_TRUE(has(f, "docs/OBSERVABILITY.md", 10, "telemetry-record-doc",
+                  "Ghost"));
+  EXPECT_TRUE(has(f, "wire/telemetry.h", 8, "telemetry-record-doc",
+                  "Phantom"));
+  EXPECT_FALSE(has(f, "docs/OBSERVABILITY.md", 10, "telemetry-record-doc",
+                   "Heartbeat"));
 }
 
 TEST(LintBadTree, ExactFindingCountAndSorted) {
   const std::vector<Finding> f = run_all(load("badtree"));
-  EXPECT_EQ(f.size(), 37u);
+  EXPECT_EQ(f.size(), 44u);
   EXPECT_TRUE(std::is_sorted(f.begin(), f.end(), [](const Finding& a,
                                                     const Finding& b) {
     return std::tie(a.pass, a.file, a.line, a.check, a.token) <

@@ -2,8 +2,8 @@
 """Coverage guard for ppsim-bench-v1 files (docs/OBSERVABILITY.md).
 
 Compares a freshly emitted bench file against the committed baseline by
-*names only* — ns_per_op / rss / wall values are machine-dependent and are
-never compared. Two modes:
+*names* — ns_per_op / rss / wall values are machine-dependent and are
+never compared exactly. Two coverage modes:
 
   default   every benchmark named in the baseline must be present in the
             current run: coverage must never silently shrink. Used by the
@@ -17,6 +17,13 @@ never compared. Two modes:
 --min-baseline-rows N additionally fails if the baseline itself holds fewer
 than N rows — pinning, e.g., that BENCH_scale.json keeps >= 3 sweep points.
 
+--max-regress-pct X adds a loose per-row value check on top of coverage:
+for every benchmark present in both files with a positive ns_per_op on both
+sides, fail if the current ns/op exceeds baseline by more than X percent.
+Absolute values stay machine-dependent, so X must be generous (CI uses
+several hundred percent — the guard exists to catch order-of-magnitude
+cliffs, not jitter). Rows missing ns_per_op on either side are skipped.
+
 Exit status: 0 clean, 1 guard violation, 2 usage/file errors.
 """
 
@@ -26,9 +33,10 @@ import sys
 
 
 def load(path):
-    """Returns (schema, set-of-names) for one ppsim-bench-v1 NDJSON file."""
+    """Returns (schema, {name: ns_per_op-or-None}) for one ppsim-bench-v1
+    NDJSON file."""
     schema = None
-    names = set()
+    rows = {}
     try:
         with open(path) as f:
             for lineno, line in enumerate(f, 1):
@@ -42,16 +50,18 @@ def load(path):
                 if "bench_schema" in row:
                     schema = row["bench_schema"]
                 elif "name" in row:
-                    names.add(row["name"])
+                    ns = row.get("ns_per_op")
+                    rows[row["name"]] = ns if isinstance(ns, (int, float)) \
+                        else None
     except OSError as e:
         raise SystemExit(f"error: cannot read {path}: {e}")
-    return schema, names
+    return schema, rows
 
 
 def main():
     parser = argparse.ArgumentParser(
-        description="ppsim-bench-v1 coverage guard (names only, "
-        "values are machine-dependent)")
+        description="ppsim-bench-v1 coverage guard (names always; values "
+        "only via the loose --max-regress-pct threshold)")
     parser.add_argument("--baseline", required=True,
                         help="committed trajectory file, e.g. "
                         "bench/BENCH_micro.json")
@@ -63,6 +73,10 @@ def main():
     parser.add_argument("--min-baseline-rows", type=int, default=0,
                         metavar="N",
                         help="fail if the baseline holds fewer than N rows")
+    parser.add_argument("--max-regress-pct", type=float, default=0,
+                        metavar="X",
+                        help="fail if any shared benchmark's ns_per_op "
+                        "worsens by more than X%% vs baseline (0 disables)")
     args = parser.parse_args()
 
     base_schema, baseline = load(args.baseline)
@@ -83,16 +97,31 @@ def main():
               f"needs >= {args.min_baseline_rows}")
         ok = False
     if args.subset:
-        unknown = sorted(current - baseline)
+        unknown = sorted(set(current) - set(baseline))
         if unknown:
             print("FAIL: current rows missing from the committed baseline "
                   f"(extend it deliberately): {unknown}")
             ok = False
     else:
-        missing = sorted(baseline - current)
+        missing = sorted(set(baseline) - set(current))
         if missing:
             print(f"FAIL: benchmarks missing vs baseline: {missing}")
             ok = False
+    if args.max_regress_pct > 0:
+        checked = 0
+        for name in sorted(set(baseline) & set(current)):
+            base_ns, cur_ns = baseline[name], current[name]
+            if not base_ns or not cur_ns or base_ns <= 0 or cur_ns <= 0:
+                continue
+            checked += 1
+            regress_pct = (cur_ns / base_ns - 1.0) * 100.0
+            if regress_pct > args.max_regress_pct:
+                print(f"FAIL: {name}: ns_per_op {base_ns:g} -> {cur_ns:g} "
+                      f"(+{regress_pct:.0f}%, limit "
+                      f"+{args.max_regress_pct:g}%)")
+                ok = False
+        print(f"regression check: {checked} shared rows vs "
+              f"+{args.max_regress_pct:g}% limit")
     if ok:
         print("coverage ok")
     return 0 if ok else 1

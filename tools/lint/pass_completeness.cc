@@ -30,6 +30,16 @@
 // obs/resource_probe.h) and the "Resource and scheduler gauges" table in
 // docs/OBSERVABILITY.md must list exactly the same set, both directions —
 // an undocumented gauge or a documented phantom gauge is a finding.
+//
+// Plus the rx-error audit (fleet telemetry plane): every counter field of
+// wire::UdpTransport::RxErrors must appear in kRxErrorBucketNames (the
+// for_each_rx_error export table that feeds --metrics-out and telemetry
+// snapshots) and in the "Rx error counters" table of docs/WIRE.md, both
+// directions — a codec rejection bucket the fleet cannot see is a finding.
+//
+// Plus the telemetry-record audit: the kTelemetryRecordNames inventory in
+// wire/telemetry.h and the "Telemetry record types" table in
+// docs/OBSERVABILITY.md must list exactly the same record types.
 
 #include <cctype>
 #include <map>
@@ -526,6 +536,170 @@ void check_resource_gauges(const Tree& tree, std::vector<Finding>* findings) {
           "the same names");
 }
 
+/// Reads the string literals of an `inline constexpr std::array<...> name
+/// = { "...", ... };` declaration. The declaration is located in the
+/// stripped text (so a comment mentioning the name cannot match) and the
+/// literals come from the raw text — stripping is offset-preserving, so
+/// the brace positions line up. Returns false when `name` is absent.
+bool parse_string_array(const SourceFile& f, std::string_view name,
+                        std::vector<std::string>* out, int* decl_line) {
+  const std::size_t at = f.stripped.find(name);
+  if (at == std::string::npos) return false;
+  *decl_line = line_of(f.raw, at);
+  const std::size_t open = f.stripped.find('{', at);
+  const std::size_t close =
+      open == std::string::npos ? std::string::npos
+                                : f.stripped.find('}', open);
+  if (close == std::string::npos) return true;
+  std::size_t pos = open;
+  while (true) {
+    const std::size_t q = f.raw.find('"', pos);
+    if (q == std::string::npos || q > close) break;
+    const std::size_t q2 = f.raw.find('"', q + 1);
+    if (q2 == std::string::npos || q2 > close) break;
+    out->push_back(f.raw.substr(q + 1, q2 - q - 1));
+    pos = q2 + 1;
+  }
+  return true;
+}
+
+/// One `### heading` (or `## heading`) doc section, ending at the next
+/// heading of either level. Returns false when the doc or heading is
+/// missing.
+bool doc_section_of(const Tree& tree, const std::string& doc_name,
+                    std::string_view heading, std::string* section,
+                    int* line) {
+  const auto it = tree.docs.find(doc_name);
+  if (it == tree.docs.end()) return false;
+  const std::size_t at = it->second.find(heading);
+  if (at == std::string::npos) return false;
+  std::size_t end = it->second.find("\n## ", at);
+  const std::size_t sub = it->second.find("\n### ", at + 1);
+  if (sub != std::string::npos && (end == std::string::npos || sub < end))
+    end = sub;
+  if (end == std::string::npos) end = it->second.size();
+  *section = it->second.substr(at, end - at);
+  *line = line_of(it->second, at);
+  return true;
+}
+
+void check_rx_errors(const Tree& tree, std::vector<Finding>* findings) {
+  const SourceFile* udp = find_file(tree, "wire/udp.h");
+  if (udp == nullptr) return;  // tree without the wire layer (fixtures)
+
+  // Counter fields declared inside `struct RxErrors { ... }` — an
+  // identifier directly followed by `=` (skipping the total() helper and
+  // its field uses, which are followed by `+`, `;` or `(`).
+  std::vector<std::string> fields;
+  int struct_line = 1;
+  for (const StructDecl& s : parse_structs(udp->stripped)) {
+    if (s.name != "RxErrors") continue;
+    struct_line = s.line;
+    std::size_t i = 0;
+    while ((i = s.body.find("uint64_t", i)) != std::string::npos) {
+      if (!word_match(s.body, i, "uint64_t")) {
+        i += 8;
+        continue;
+      }
+      std::size_t b = skip_ws(s.body, i + 8);
+      std::size_t end = b;
+      while (end < s.body.size() && is_ident_char(s.body[end])) ++end;
+      const std::size_t after = skip_ws(s.body, end);
+      if (end > b && after < s.body.size() && s.body[after] == '=')
+        fields.push_back(s.body.substr(b, end - b));
+      i = end;
+    }
+  }
+  if (fields.empty()) return;  // no RxErrors struct to audit
+
+  std::vector<std::string> buckets;
+  int array_line = 1;
+  if (!parse_string_array(*udp, "kRxErrorBucketNames", &buckets,
+                          &array_line)) {
+    add(findings, udp->rel, struct_line, "rx-error-export",
+        "kRxErrorBucketNames",
+        "wire/udp.h declares RxErrors but no kRxErrorBucketNames export "
+        "table; nodes cannot publish the rejection buckets as labeled "
+        "counters");
+    return;
+  }
+  const std::set<std::string> exported(buckets.begin(), buckets.end());
+  const std::set<std::string> declared(fields.begin(), fields.end());
+  for (const std::string& f : fields)
+    if (!exported.contains(f))
+      add(findings, udp->rel, array_line, "rx-error-export", f,
+          "RxErrors counter missing from kRxErrorBucketNames — codec "
+          "rejections landing in this bucket never reach --metrics-out or "
+          "telemetry snapshots");
+  for (const std::string& b : buckets)
+    if (!declared.contains(b))
+      add(findings, udp->rel, array_line, "rx-error-export", b,
+          "kRxErrorBucketNames exports a bucket RxErrors does not declare; "
+          "for_each_rx_error and the struct must list the same fields");
+
+  std::string section;
+  int doc_line = 1;
+  if (!doc_section_of(tree, "WIRE.md", "### Rx error counters", &section,
+                      &doc_line)) {
+    add(findings, "docs/WIRE.md", 1, "rx-error-doc", "Rx error counters",
+        "wire/udp.h exports rx-error buckets but docs/WIRE.md has no "
+        "\"### Rx error counters\" table documenting them");
+    return;
+  }
+  const std::set<std::string> documented = table_entries(section);
+  for (const std::string& b : buckets)
+    if (!documented.contains(b))
+      add(findings, "docs/WIRE.md", doc_line, "rx-error-doc", b,
+          "exported rx-error bucket missing from the rx-error-counters "
+          "table");
+  for (const std::string& d : documented)
+    if (!exported.contains(d))
+      add(findings, udp->rel, array_line, "rx-error-doc", d,
+          "the rx-error-counters table documents a bucket "
+          "kRxErrorBucketNames does not export; table and export list "
+          "must match");
+}
+
+void check_telemetry_records(const Tree& tree,
+                             std::vector<Finding>* findings) {
+  const SourceFile* th = find_file(tree, "wire/telemetry.h");
+  if (th == nullptr) return;  // tree without the telemetry plane (fixtures)
+  std::vector<std::string> records;
+  int array_line = 1;
+  if (!parse_string_array(*th, "kTelemetryRecordNames", &records,
+                          &array_line)) {
+    add(findings, th->rel, 1, "telemetry-record-doc", "kTelemetryRecordNames",
+        "wire/telemetry.h no longer declares kTelemetryRecordNames; the "
+        "docs cross-check needs the record-type inventory");
+    return;
+  }
+  std::string section;
+  int doc_line = 1;
+  if (!doc_section_of(tree, "OBSERVABILITY.md", "### Telemetry record types",
+                      &section, &doc_line)) {
+    add(findings, "docs/OBSERVABILITY.md", 1, "telemetry-record-doc",
+        "kTelemetryRecordNames",
+        "wire/telemetry.h declares telemetry record types but "
+        "docs/OBSERVABILITY.md has no \"### Telemetry record types\" "
+        "table documenting the datagram layout");
+    return;
+  }
+  const std::set<std::string> documented = table_entries(section);
+  const std::set<std::string> declared(records.begin(), records.end());
+  for (const std::string& r : records)
+    if (!documented.contains(r))
+      add(findings, "docs/OBSERVABILITY.md", doc_line,
+          "telemetry-record-doc", r,
+          "telemetry record type (kTelemetryRecordNames) missing from the "
+          "telemetry-record-types table");
+  for (const std::string& d : documented)
+    if (!declared.contains(d))
+      add(findings, th->rel, array_line, "telemetry-record-doc", d,
+          "the telemetry-record-types table documents a record type "
+          "kTelemetryRecordNames does not declare; inventory and docs "
+          "must list the same names");
+}
+
 }  // namespace
 
 void pass_completeness(const Tree& tree, std::vector<Finding>* findings) {
@@ -533,6 +707,8 @@ void pass_completeness(const Tree& tree, std::vector<Finding>* findings) {
   check_drop_counters(tree, findings);
   check_wire_codec(tree, findings);
   check_resource_gauges(tree, findings);
+  check_rx_errors(tree, findings);
+  check_telemetry_records(tree, findings);
 }
 
 }  // namespace ppsim::lint

@@ -10,6 +10,7 @@
 //   ppsim-analyze --health <trace.ndjson>
 //   ppsim-analyze --postmortem <bundle.ndjson>
 //   ppsim-analyze --spans <spans.ndjson>
+//   ppsim-analyze --fleet --node IP=metrics[,samples] ...
 //
 // The probe IP is inferred from the records' local address when not given.
 // Sections: returned, sources, data, response, contrib, rtt, all.
@@ -30,6 +31,10 @@
 // the referral-lineage table, the same-ISP referral-share series, and the
 // startup critical-path percentiles from the recorded rows alone — no
 // simulation involved (docs/OBSERVABILITY.md, "Causal tracing").
+// --fleet folds per-node wire sink files (--metrics-out / --samples-out of
+// each ppsim-node) into the fleet view: per-node table, merged counters and
+// the global traffic matrix — the offline twin of ppsim-collect, sharing
+// its fold code so both produce byte-identical artifacts.
 
 #include <cstdio>
 #include <cstdlib>
@@ -40,6 +45,8 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "capture/analyzer.h"
 #include "capture/trace_io.h"
 #include "core/report.h"
@@ -47,8 +54,11 @@
 #include "faults/resilience.h"
 #include "net/asn_db.h"
 #include "obs/health.h"
+#include "obs/metrics.h"
 #include "obs/sampler.h"
 #include "obs/span_tracker.h"
+#include "obs/telemetry.h"
+#include "wire/collector.h"
 
 namespace {
 
@@ -224,6 +234,115 @@ int analyze_spans(const std::string& path) {
   return 0;
 }
 
+// --fleet: offline fold of per-node sink files through the exact code path
+// ppsim-collect uses live (wire::fold_fleet_metrics / fold_fleet_matrix),
+// so the artifacts the two produce over the same nodes are byte-identical —
+// the self-check the collector smoke pins (docs/OBSERVABILITY.md, "Fleet
+// telemetry").
+int analyze_fleet(const std::vector<std::string>& node_specs,
+                  const std::string& metrics_out,
+                  const std::string& matrix_out) {
+  using namespace ppsim;
+  std::map<net::IpAddress, std::unique_ptr<obs::MetricsRegistry>> regs;
+  std::map<net::IpAddress, obs::TrafficSample> last_samples;
+  std::map<net::IpAddress, std::size_t> sample_counts;
+
+  for (const auto& spec : node_specs) {
+    const auto eq = spec.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr,
+                   "error: --node wants IP=metrics.ndjson[,samples.ndjson], "
+                   "got '%s'\n",
+                   spec.c_str());
+      return 2;
+    }
+    const auto ip = net::IpAddress::parse(spec.substr(0, eq));
+    if (!ip.has_value()) {
+      std::fprintf(stderr, "error: --node: bad IP in '%s'\n", spec.c_str());
+      return 2;
+    }
+    const std::string paths = spec.substr(eq + 1);
+    const auto comma = paths.find(',');
+    const std::string metrics_path = paths.substr(0, comma);
+    const std::string samples_path =
+        comma == std::string::npos ? "" : paths.substr(comma + 1);
+
+    if (!metrics_path.empty()) {
+      std::ifstream in(metrics_path);
+      if (!in) {
+        std::fprintf(stderr, "warning: %s: cannot read, node %s skipped\n",
+                     metrics_path.c_str(), spec.substr(0, eq).c_str());
+        continue;
+      }
+      auto reg = std::make_unique<obs::MetricsRegistry>();
+      std::size_t skipped = 0;
+      obs::read_metrics_ndjson(in, reg.get(), &skipped);
+      if (skipped > 0)
+        std::fprintf(stderr, "warning: %s: %zu rows skipped\n",
+                     metrics_path.c_str(), skipped);
+      regs.emplace(*ip, std::move(reg));
+    }
+    if (!samples_path.empty()) {
+      std::ifstream in(samples_path);
+      if (in) {
+        const auto samples = obs::read_samples_ndjson(in);
+        if (!samples.empty()) {
+          last_samples.emplace(*ip, samples.back());
+          sample_counts.emplace(*ip, samples.size());
+        }
+      }
+    }
+  }
+  if (regs.empty() && last_samples.empty()) {
+    std::fprintf(stderr, "error: --fleet folded zero nodes\n");
+    return 1;
+  }
+
+  std::map<net::IpAddress, const obs::MetricsRegistry*> reg_view;
+  for (const auto& [ip, reg] : regs) reg_view.emplace(ip, reg.get());
+  std::map<net::IpAddress, const obs::TrafficSample*> sample_view;
+  for (const auto& [ip, s] : last_samples) sample_view.emplace(ip, &s);
+
+  obs::MetricsRegistry merged;
+  wire::fold_fleet_metrics(reg_view, &merged);
+  obs::TrafficSample fleet;
+  const bool have_matrix = wire::fold_fleet_matrix(sample_view, &fleet);
+
+  std::printf("fleet: %zu nodes (%zu with metrics, %zu with samples)\n\n",
+              std::max(regs.size(), last_samples.size()), regs.size(),
+              last_samples.size());
+  std::printf("  %-16s %12s %10s %10s %6s %8s\n", "node", "last_t",
+              "intra_isp", "contin", "alive", "samples");
+  for (const auto& [ip, s] : last_samples) {
+    std::printf("  %-16s %12.6f %10.3f %10.3f %6llu %8zu\n",
+                ip.to_string().c_str(), s.t.as_seconds(),
+                s.same_isp_share_cum, s.avg_continuity,
+                static_cast<unsigned long long>(s.alive_peers),
+                sample_counts[ip]);
+  }
+  if (have_matrix) {
+    std::printf(
+        "\nfleet totals: t=%.6f intra_isp_share=%.3f interval_share=%.3f "
+        "alive=%llu continuity=%.3f bytes=%llu\n",
+        fleet.t.as_seconds(), fleet.same_isp_share_cum,
+        fleet.same_isp_share_interval,
+        static_cast<unsigned long long>(fleet.alive_peers),
+        fleet.avg_continuity,
+        static_cast<unsigned long long>(obs::matrix_total(fleet.bytes)));
+  }
+  std::printf("merged metric instances: %zu\n", merged.size());
+
+  if (!metrics_out.empty()) {
+    std::ofstream os(metrics_out);
+    merged.write_ndjson(os);
+  }
+  if (!matrix_out.empty()) {
+    std::ofstream os(matrix_out);
+    if (have_matrix) obs::write_sample_ndjson(os, fleet);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -236,6 +355,10 @@ int main(int argc, char** argv) {
   std::string health_path;
   std::string postmortem_path;
   std::string spans_path;
+  bool fleet = false;
+  std::vector<std::string> fleet_nodes;
+  std::string fleet_metrics_out;
+  std::string fleet_matrix_out;
   std::vector<std::string> sections;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -253,6 +376,14 @@ int main(int argc, char** argv) {
       postmortem_path = argv[++i];
     } else if (arg == "--spans" && i + 1 < argc) {
       spans_path = argv[++i];
+    } else if (arg == "--fleet") {
+      fleet = true;
+    } else if (arg == "--node" && i + 1 < argc) {
+      fleet_nodes.push_back(argv[++i]);
+    } else if (arg == "--fleet-metrics-out" && i + 1 < argc) {
+      fleet_metrics_out = argv[++i];
+    } else if (arg == "--fleet-matrix-out" && i + 1 < argc) {
+      fleet_matrix_out = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: ppsim-analyze <trace-file> [--probe-ip A.B.C.D] "
@@ -261,7 +392,9 @@ int main(int argc, char** argv) {
           "[--fault-plan plan.txt]\n"
           "       ppsim-analyze --health <trace.ndjson>\n"
           "       ppsim-analyze --postmortem <bundle.ndjson>\n"
-          "       ppsim-analyze --spans <spans.ndjson>\n");
+          "       ppsim-analyze --spans <spans.ndjson>\n"
+          "       ppsim-analyze --fleet --node IP=metrics[,samples] ...\n"
+          "         [--fleet-metrics-out F] [--fleet-matrix-out F]\n");
       return 0;
     } else if (!arg.empty() && arg[0] != '-') {
       path = arg;
@@ -273,6 +406,13 @@ int main(int argc, char** argv) {
   if (!fault_plan_path.empty() && samples_path.empty()) {
     std::fprintf(stderr, "error: --fault-plan requires --samples\n");
     return 2;
+  }
+  if (fleet) {
+    if (fleet_nodes.empty()) {
+      std::fprintf(stderr, "error: --fleet requires at least one --node\n");
+      return 2;
+    }
+    return analyze_fleet(fleet_nodes, fleet_metrics_out, fleet_matrix_out);
   }
   if (!health_path.empty()) return analyze_health(health_path);
   if (!postmortem_path.empty()) return analyze_postmortem(postmortem_path);

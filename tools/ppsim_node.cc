@@ -13,6 +13,7 @@
 #include <string>
 
 #include "wire/node.h"
+#include "wire/telemetry.h"
 
 namespace {
 
@@ -39,7 +40,8 @@ void usage() {
       "  [--bootstrap=IP] [--tracker=IP] [--source=IP] [--epoch=N]\n"
       "  [--channel=N] [--bitrate-bps=R] [--duration-s=S] [--seed=N]\n"
       "  [--metrics-out=F] [--samples-out=F] [--trace-out=F]\n"
-      "  [--sample-period-s=S]\n"
+      "  [--sample-period-s=S] [--telemetry-to=IP:PORT]\n"
+      "  [--telemetry-period-s=S]\n"
       "Addresses must be loopback (127.x/16 encodes the ISP; docs/WIRE.md).\n");
 }
 
@@ -91,6 +93,18 @@ int main(int argc, char** argv) {
       config.trace_out = value;
     } else if (key == "--sample-period-s") {
       config.sample_period = ppsim::sim::Time::from_seconds(std::stod(value));
+    } else if (key == "--telemetry-to") {
+      ppsim::net::IpAddress collect_ip;
+      std::uint16_t collect_port = 0;
+      if (!ppsim::wire::parse_host_port(value, &collect_ip, &collect_port)) {
+        std::fprintf(stderr, "ppsim-node: --telemetry-to: bad IP:PORT '%s'\n",
+                     value.c_str());
+        return 2;
+      }
+      config.telemetry_to = value;
+    } else if (key == "--telemetry-period-s") {
+      config.telemetry_period =
+          ppsim::sim::Time::from_seconds(std::stod(value));
     } else if (key == "--help" || key == "-h") {
       usage();
       return 0;
@@ -119,14 +133,16 @@ int main(int argc, char** argv) {
   std::printf(
       "ppsim-node role=%s ip=%s sent=%llu delivered=%llu "
       "uplink_drops=%llu downlink_drops=%llu dead_drops=%llu "
-      "rx_errors=%llu\n",
+      "rx_errors=%llu telemetry_seq=%llu telemetry_datagrams=%llu\n",
       role, config.ip.to_string().c_str(),
       static_cast<unsigned long long>(report.transport.packets_sent),
       static_cast<unsigned long long>(report.transport.packets_delivered),
       static_cast<unsigned long long>(report.transport.uplink_drops),
       static_cast<unsigned long long>(report.transport.downlink_drops),
       static_cast<unsigned long long>(report.transport.dead_destination_drops),
-      static_cast<unsigned long long>(report.rx_errors.total()));
+      static_cast<unsigned long long>(report.rx_errors.total()),
+      static_cast<unsigned long long>(report.telemetry_seq),
+      static_cast<unsigned long long>(report.telemetry_datagrams));
   if (config.role == NodeRole::kPeer) {
     std::printf(
         "ppsim-node peer-report chunks_played=%llu chunks_missed=%llu "

@@ -13,18 +13,40 @@ off-diagonal traffic. Runs for --duration seconds, then asserts:
   * (unless --no-kill) a peer SIGTERMed mid-run still exits 0 and still
     writes parseable metrics/samples NDJSON — the graceful-shutdown pin.
 
+With --collect, a ppsim-collect process joins the deployment and every
+node ships ppsim-telemetry-v1 snapshots to it; one extra peer is SIGKILLed
+mid-run (when --peers >= 3) and the harness additionally asserts:
+
+  * the collector sees every node, reports the SIGKILLed peer lost
+    (event=node-lost) and the SIGTERMed peer closed (event=node-closed);
+  * each closed node's collector-side last_seq equals the node's own
+    reported telemetry_seq — the shutdown-ordering pin;
+  * the final fleet summary carries a nonzero intra-ISP share;
+  * the collector's merged-metrics and fleet-matrix artifacts are
+    byte-identical to `ppsim-analyze --fleet` run offline over the closed
+    nodes' sink files;
+  * the live fleet samples stream parses via `ppsim-analyze --samples`.
+
+The shared deployment port is picked automatically (--port 0, the
+default): the harness reserves an OS-assigned UDP port and retries with a
+fresh one (up to 3 attempts) if any node fails its bind — so parallel
+smokes cannot flake on a busy machine. The collector always binds port 0
+and announces the chosen port on stdout.
+
 Exit 0 on success, 1 on any failed check, with a greppable FAIL line.
 
 Usage:
   tools/wire_smoke.py --build-dir build [--peers 4] [--duration 30]
-                      [--port 47161] [--sample-period 5] [--no-kill]
-                      [--artifacts-dir DIR]
+                      [--port 0] [--sample-period 5] [--no-kill]
+                      [--collect] [--artifacts-dir DIR]
 """
 
 import argparse
+import filecmp
 import json
 import os
 import signal
+import socket
 import subprocess
 import sys
 import tempfile
@@ -35,6 +57,7 @@ import time
 HUB_BOOTSTRAP = "127.1.0.1"
 HUB_TRACKER = "127.1.0.2"
 SOURCE_IP = "127.1.0.3"
+COLLECT_IP = "127.0.0.9"
 PEER_BLOCKS = [1, 2, 3, 4, 5]
 
 failures = []
@@ -60,6 +83,21 @@ def parse_report(stdout):
     return fields
 
 
+def parse_collector_nodes(stdout):
+    """Collects per-node report lines (`node=IP role=... last_seq=N`)."""
+    nodes = {}
+    for line in stdout.splitlines():
+        if not line.startswith("node="):
+            continue
+        fields = {}
+        for token in line.split():
+            if "=" in token:
+                key, _, value = token.partition("=")
+                fields[key] = value
+        nodes[fields["node"]] = fields
+    return nodes
+
+
 def ndjson_parses(path):
     try:
         with open(path, "r", encoding="utf-8") as f:
@@ -71,22 +109,38 @@ def ndjson_parses(path):
         return -1
 
 
+def pick_port():
+    """Reserves an OS-assigned UDP port on loopback and releases it; the
+    deployment then binds that port on its 127.x addresses. A lost race is
+    caught by the bind-failure retry loop."""
+    s = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    s.bind(("127.0.0.1", 0))
+    port = s.getsockname()[1]
+    s.close()
+    return port
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--build-dir", required=True)
     ap.add_argument("--peers", type=int, default=4)
     ap.add_argument("--duration", type=float, default=30.0)
-    ap.add_argument("--port", type=int, default=47161)
+    ap.add_argument("--port", type=int, default=0,
+                    help="shared deployment UDP port (0 = pick a free one)")
     ap.add_argument("--sample-period", type=float, default=5.0)
     ap.add_argument("--no-kill", action="store_true",
                     help="skip the SIGTERM-mid-run graceful-shutdown check")
+    ap.add_argument("--collect", action="store_true",
+                    help="run ppsim-collect and the fleet-telemetry checks")
     ap.add_argument("--artifacts-dir", default=None,
                     help="keep NDJSON artifacts here (default: temp dir)")
     args = ap.parse_args()
 
     node = os.path.join(args.build_dir, "tools", "ppsim-node")
     analyze = os.path.join(args.build_dir, "tools", "ppsim-analyze")
-    for binary in (node, analyze):
+    collect = os.path.join(args.build_dir, "tools", "ppsim-collect")
+    needed = [node, analyze] + ([collect] if args.collect else [])
+    for binary in needed:
         if not os.access(binary, os.X_OK):
             print(f"wire-smoke FAIL: missing binary {binary}")
             return 1
@@ -96,10 +150,51 @@ def main():
     print(f"wire-smoke: artifacts in {out_dir}")
 
     kill_victim = None if args.no_kill or args.peers < 2 else args.peers - 1
+    # The hard-loss victim only exists in collect mode: SIGKILL gives the
+    # collector a node that vanishes without a closing snapshot.
+    hard_victim = args.peers - 2 if args.collect and args.peers >= 3 else None
 
-    def spawn(name, role, ip, duration, extra=()):
+    server_duration = args.duration + 2.0
+
+    collector = None
+    telemetry_addr = None
+    if args.collect:
+        fleet_metrics = os.path.join(out_dir, "fleet_metrics.ndjson")
+        fleet_matrix = os.path.join(out_dir, "fleet_matrix.ndjson")
+        fleet_samples = os.path.join(out_dir, "fleet_samples.ndjson")
+        log = open(os.path.join(out_dir, "collect.log"), "w+")
+        collector = {
+            "name": "collect",
+            "log": log,
+            "proc": subprocess.Popen(
+                [collect, f"--bind={COLLECT_IP}:0",
+                 "--heartbeat-timeout-s=4", "--summary-period-s=1",
+                 f"--duration-s={server_duration + 20.0}",
+                 f"--fleet-samples-out={fleet_samples}",
+                 f"--fleet-metrics-out={fleet_metrics}",
+                 f"--fleet-matrix-out={fleet_matrix}"],
+                stdout=log, stderr=subprocess.STDOUT),
+        }
+        # The collector announces its OS-picked port before ingest starts.
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline and telemetry_addr is None:
+            log.flush()
+            with open(log.name, "r", encoding="utf-8") as f:
+                for line in f:
+                    if line.startswith("collect_listening="):
+                        telemetry_addr = line.split("=", 1)[1].strip()
+                        break
+            if telemetry_addr is None:
+                time.sleep(0.1)
+        if telemetry_addr is None:
+            print("wire-smoke FAIL: ppsim-collect never announced its port")
+            collector["proc"].kill()
+            return 1
+        print(f"wire-smoke: collector at {telemetry_addr}")
+
+    def spawn(name, role, ip, duration, port, extra=()):
         argv = [
-            node, f"--role={role}", f"--ip={ip}", f"--port={args.port}",
+            node, f"--role={role}", f"--ip={ip}", f"--port={port}",
             f"--duration-s={duration}",
             f"--sample-period-s={args.sample_period}",
             f"--bootstrap={HUB_BOOTSTRAP}", f"--tracker={HUB_TRACKER}",
@@ -107,33 +202,70 @@ def main():
             f"--metrics-out={out_dir}/{name}_metrics.ndjson",
             f"--samples-out={out_dir}/{name}_samples.ndjson",
         ] + list(extra)
+        if telemetry_addr is not None:
+            argv += [f"--telemetry-to={telemetry_addr}",
+                     "--telemetry-period-s=1"]
         log = open(os.path.join(out_dir, f"{name}.log"), "w+")
         proc = subprocess.Popen(argv, stdout=log, stderr=subprocess.STDOUT)
-        return {"name": name, "proc": proc, "log": log}
+        return {"name": name, "ip": ip, "proc": proc, "log": log}
+
+    def reap(entries):
+        for entry in entries:
+            entry["proc"].kill()
+            entry["proc"].wait()
+            entry["log"].close()
 
     procs = []
-    # Servers outlive the peers slightly so departing goodbyes don't land on
-    # closed sockets.
-    server_duration = args.duration + 2.0
-    procs.append(spawn("hub", "hub", HUB_BOOTSTRAP, server_duration))
-    time.sleep(0.3)
-    procs.append(spawn("source", "source", SOURCE_IP, server_duration))
-    time.sleep(0.3)
     peers = []
-    for i in range(args.peers):
-        block = PEER_BLOCKS[i % len(PEER_BLOCKS)]
-        entry = spawn(f"peer{i}", "peer", f"127.{block}.0.{10 + i}",
-                      args.duration, extra=[f"--seed={i + 1}"])
-        peers.append(entry)
-        procs.append(entry)
-        time.sleep(0.1)
+    for attempt in range(3):
+        port = args.port if args.port else pick_port()
+        procs = []
+        peers = []
+        # Servers outlive the peers slightly so departing goodbyes don't
+        # land on closed sockets.
+        procs.append(spawn("hub", "hub", HUB_BOOTSTRAP, server_duration,
+                           port))
+        time.sleep(0.3)
+        if procs[0]["proc"].poll() is not None:
+            print(f"wire-smoke: port {port} unusable (hub exited "
+                  f"{procs[0]['proc'].returncode}), retrying")
+            reap(procs)
+            continue
+        procs.append(spawn("source", "source", SOURCE_IP, server_duration,
+                           port))
+        time.sleep(0.3)
+        for i in range(args.peers):
+            block = PEER_BLOCKS[i % len(PEER_BLOCKS)]
+            entry = spawn(f"peer{i}", "peer", f"127.{block}.0.{10 + i}",
+                          args.duration, port, extra=[f"--seed={i + 1}"])
+            peers.append(entry)
+            procs.append(entry)
+            time.sleep(0.1)
+        if any(e["proc"].poll() is not None for e in procs):
+            print(f"wire-smoke: port {port} unusable (early node exit), "
+                  "retrying")
+            reap(procs)
+            continue
+        print(f"wire-smoke: deployment on shared port {port}")
+        break
+    else:
+        print("wire-smoke FAIL: no usable shared port after 3 attempts")
+        if collector is not None:
+            collector["proc"].kill()
+        return 1
 
-    if kill_victim is not None:
+    if kill_victim is not None or hard_victim is not None:
         time.sleep(args.duration / 2.0)
-        victim = peers[kill_victim]
-        print(f"wire-smoke: SIGTERM {victim['name']} mid-run "
-              f"(pid {victim['proc'].pid})")
-        victim["proc"].send_signal(signal.SIGTERM)
+        if hard_victim is not None:
+            victim = peers[hard_victim]
+            print(f"wire-smoke: SIGKILL {victim['name']} mid-run "
+                  f"(pid {victim['proc'].pid})")
+            victim["proc"].send_signal(signal.SIGKILL)
+        if kill_victim is not None:
+            victim = peers[kill_victim]
+            print(f"wire-smoke: SIGTERM {victim['name']} mid-run "
+                  f"(pid {victim['proc'].pid})")
+            victim["proc"].send_signal(signal.SIGTERM)
 
     deadline = time.monotonic() + server_duration + 30.0
     for entry in procs:
@@ -151,10 +283,18 @@ def main():
         stdout = entry["log"].read()
         entry["log"].close()
         reports[entry["name"]] = parse_report(stdout)
+        if hard_victim is not None and entry is peers[hard_victim]:
+            check(entry["proc"].returncode != 0,
+                  f"{entry['name']} SIGKILLed (rc "
+                  f"{entry['proc'].returncode})")
+            continue
         check(entry["proc"].returncode == 0,
               f"{entry['name']} exit code {entry['proc'].returncode}")
 
+    hard_name = peers[hard_victim]["name"] if hard_victim is not None else None
     for name, rep in reports.items():
+        if name == hard_name:
+            continue
         check(rep.get("rx_errors") == "0",
               f"{name} rx_errors={rep.get('rx_errors')}")
 
@@ -166,7 +306,8 @@ def main():
     check(int(reports["hub"].get("joins_served", 0)) >= args.peers,
           f"hub joins_served={reports['hub'].get('joins_served')}")
 
-    survivors = [p for i, p in enumerate(peers) if i != kill_victim]
+    survivors = [p for i, p in enumerate(peers)
+                 if i != kill_victim and i != hard_victim]
     best = None
     for entry in survivors:
         rep = reports[entry["name"]]
@@ -182,7 +323,8 @@ def main():
     check(best is not None and best[2] > 0.0,
           f"continuity > 0 on best surviving peer ({best})")
 
-    sample_file = os.path.join(out_dir, f"{survivors[0]['name']}_samples.ndjson")
+    sample_file = os.path.join(out_dir,
+                               f"{survivors[0]['name']}_samples.ndjson")
     analyzed = subprocess.run([analyze, "--samples", sample_file],
                               capture_output=True, text=True)
     check(analyzed.returncode == 0,
@@ -209,6 +351,97 @@ def main():
         check(killed_analyzed.returncode == 0,
               f"ppsim-analyze on killed {name} samples "
               f"(rc={killed_analyzed.returncode})")
+
+    if collector is not None:
+        # All gracefully-exiting nodes send closing snapshots; once the
+        # collector has marked the hard victim lost it has everything, so
+        # SIGTERM ends it deterministically (duration-s is the backstop).
+        try:
+            collector["proc"].wait(timeout=6.0)
+        except subprocess.TimeoutExpired:
+            collector["proc"].send_signal(signal.SIGTERM)
+            try:
+                collector["proc"].wait(timeout=30.0)
+            except subprocess.TimeoutExpired:
+                collector["proc"].kill()
+                collector["proc"].wait()
+        collector["log"].seek(0)
+        clog = collector["log"].read()
+        collector["log"].close()
+        check(collector["proc"].returncode == 0,
+              f"collector exit code {collector['proc'].returncode}")
+
+        cnodes = parse_collector_nodes(clog)
+        expected_closed = [e for e in procs
+                           if hard_victim is None or e is not peers[hard_victim]]
+        check(len(cnodes) == len(procs),
+              f"collector saw {len(cnodes)}/{len(procs)} nodes")
+        for entry in expected_closed:
+            crep = cnodes.get(entry["ip"], {})
+            check(crep.get("status") == "closed",
+                  f"collector status of {entry['name']} "
+                  f"({entry['ip']}) = {crep.get('status')}")
+            node_seq = reports[entry["name"]].get("telemetry_seq")
+            check(node_seq is not None and crep.get("last_seq") == node_seq,
+                  f"{entry['name']} closing seq: node={node_seq} "
+                  f"collector={crep.get('last_seq')}")
+            check(int(reports[entry["name"]].get("telemetry_datagrams", 0))
+                  > 0,
+                  f"{entry['name']} shipped telemetry datagrams")
+        if hard_victim is not None:
+            hv = peers[hard_victim]
+            check(f"event=node-lost node={hv['ip']}" in clog,
+                  f"collector declared {hv['name']} ({hv['ip']}) lost")
+            check(cnodes.get(hv["ip"], {}).get("status") == "lost",
+                  f"collector final status of {hv['name']} = "
+                  f"{cnodes.get(hv['ip'], {}).get('status')}")
+        if kill_victim is not None:
+            tv = peers[kill_victim]
+            check(f"event=node-closed node={tv['ip']}" in clog,
+                  f"collector saw {tv['name']} ({tv['ip']}) close")
+
+        summary = [l for l in clog.splitlines()
+                   if l.startswith("[collect] t=")]
+        check(bool(summary), "collector emitted fleet summaries")
+        if summary:
+            last = dict(tok.partition("=")[::2] for tok in
+                        summary[-1].split() if "=" in tok)
+            check(float(last.get("intra_isp_share", 0)) > 0.0,
+                  f"fleet intra_isp_share="
+                  f"{last.get('intra_isp_share')} > 0")
+
+        # The self-verification pin: offline fold of the closed nodes' own
+        # sink files must reproduce the collector's artifacts byte for
+        # byte.
+        specs = []
+        for entry in expected_closed:
+            specs += ["--node",
+                      f"{entry['ip']}={out_dir}/{entry['name']}"
+                      f"_metrics.ndjson,{out_dir}/{entry['name']}"
+                      f"_samples.ndjson"]
+        offline_metrics = os.path.join(out_dir, "offline_metrics.ndjson")
+        offline_matrix = os.path.join(out_dir, "offline_matrix.ndjson")
+        folded = subprocess.run(
+            [analyze, "--fleet"] + specs +
+            ["--fleet-metrics-out", offline_metrics,
+             "--fleet-matrix-out", offline_matrix],
+            capture_output=True, text=True)
+        check(folded.returncode == 0,
+              f"ppsim-analyze --fleet (rc={folded.returncode})")
+        if folded.returncode == 0:
+            print(folded.stdout.rstrip()[:2000])
+            check(filecmp.cmp(fleet_metrics, offline_metrics, shallow=False),
+                  "collector merged metrics == offline fold (byte-identical)")
+            check(filecmp.cmp(fleet_matrix, offline_matrix, shallow=False),
+                  "collector fleet matrix == offline fold (byte-identical)")
+        fleet_rows = ndjson_parses(fleet_samples)
+        check(fleet_rows > 0,
+              f"fleet samples stream has rows ({fleet_rows})")
+        fleet_analyzed = subprocess.run([analyze, "--samples", fleet_samples],
+                                        capture_output=True, text=True)
+        check(fleet_analyzed.returncode == 0,
+              f"ppsim-analyze --samples on fleet stream "
+              f"(rc={fleet_analyzed.returncode})")
 
     if failures:
         print(f"wire-smoke FAIL: {len(failures)} check(s) failed")
